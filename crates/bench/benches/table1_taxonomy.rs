@@ -1,0 +1,17 @@
+//! Regenerates Table 1 — the application taxonomy — and times its construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xl_bench::emit;
+use xlayer_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    emit(&render_table1());
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("build_taxonomy", |b| b.iter(apps::taxonomy::table1_applications));
+    group.bench_function("render_table1", |b| b.iter(render_table1));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Table 2 — middlebox query-triggering behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xl_bench::emit;
+use xlayer_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    emit(&render_table2());
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("render_table2", |b| b.iter(render_table2));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

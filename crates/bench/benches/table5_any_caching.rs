@@ -1,0 +1,18 @@
+//! Regenerates Table 5 — ANY caching behaviour of popular resolver
+//! implementations (each row is a full packet-level simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xl_bench::{emit, BENCH_SEED};
+use xlayer_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_table5(BENCH_SEED);
+    emit(&render_table5(&rows));
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("full_any_caching_experiment", |b| b.iter(|| run_table5(BENCH_SEED)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures. Each bench target prints the reproduced table/figure
+//! and (where the underlying computation is cheap enough to repeat) times it
+//! with Criterion.
+
+/// Seed used by every bench so printed tables are reproducible run to run.
+pub const BENCH_SEED: u64 = 2021;
+
+/// Sample cap for population-based campaigns in benches.
+pub const BENCH_SAMPLE_CAP: u64 = 10_000;
+
+/// Prints a banner followed by the rendered table.
+pub fn emit(table: &str) {
+    println!();
+    println!("{table}");
+}

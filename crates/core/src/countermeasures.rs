@@ -1,0 +1,221 @@
+//! Section 6 countermeasures as toggleable defences, evaluated by re-running
+//! the actual attacks with each defence enabled — the ablation study behind
+//! the recommendations.
+
+use crate::report::TextTable;
+use attacks::prelude::*;
+use netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A deployable defence from Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Defence {
+    /// No defence beyond RFC 5452 (the baseline).
+    None,
+    /// 0x20 case randomisation at the resolver.
+    X20Encoding,
+    /// DNSSEC signing of the zone plus validation at the resolver.
+    Dnssec,
+    /// The resolver/firewall drops fragmented responses.
+    FragmentFiltering,
+    /// The resolver's OS uses per-destination ICMP rate limits.
+    PerDestinationIcmpLimit,
+    /// The nameserver randomises the order of records in responses.
+    RandomizedResponseOrder,
+    /// The nameserver uses random IP identification values.
+    RandomIpid,
+    /// The nameserver refuses to lower its path MTU below 1280 bytes.
+    MinimumPmtu1280,
+    /// The nameserver disables response rate limiting (cannot be muted).
+    NoNameserverRrl,
+    /// Route origin validation filters the hijacked announcement.
+    RouteOriginValidation,
+}
+
+impl Defence {
+    /// All defences in evaluation order.
+    pub fn all() -> Vec<Defence> {
+        vec![
+            Defence::None,
+            Defence::X20Encoding,
+            Defence::Dnssec,
+            Defence::FragmentFiltering,
+            Defence::PerDestinationIcmpLimit,
+            Defence::RandomizedResponseOrder,
+            Defence::RandomIpid,
+            Defence::MinimumPmtu1280,
+            Defence::NoNameserverRrl,
+            Defence::RouteOriginValidation,
+        ]
+    }
+}
+
+/// Result of one (method, defence) cell of the ablation matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationCell {
+    /// The poisoning methodology.
+    pub method: PoisonMethod,
+    /// The defence in place.
+    pub defence: Defence,
+    /// Whether the attack still succeeded.
+    pub attack_succeeded: bool,
+}
+
+fn env_with_defence(defence: Defence, seed: u64, for_saddns: bool) -> (netsim::engine::Simulator, VictimEnv) {
+    let mut cfg = VictimEnvConfig::default();
+    cfg.seed = seed;
+    if for_saddns {
+        cfg.resolver.port_range = (40000, 40127);
+        cfg.resolver.query_timeout = Duration::from_secs(30);
+        cfg.resolver.max_retries = 0;
+        cfg.nameserver = cfg.nameserver.clone().with_rrl(10);
+    }
+    match defence {
+        Defence::None => {}
+        Defence::X20Encoding => cfg.resolver.use_0x20 = true,
+        Defence::Dnssec => {
+            cfg.zone_signed = true;
+            cfg.resolver.delegations.clear();
+            cfg.resolver = cfg
+                .resolver
+                .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
+                .with_dnssec_validation();
+        }
+        Defence::FragmentFiltering => cfg.resolver.accept_fragments = false,
+        Defence::PerDestinationIcmpLimit => {
+            cfg.resolver.icmp_rate_limit = IcmpRateLimitPolicy::PerDestination { capacity: 50, per_second: 50.0 }
+        }
+        Defence::RandomizedResponseOrder => cfg.nameserver.randomize_record_order = true,
+        Defence::RandomIpid => cfg.nameserver.ipid_policy = IpIdPolicy::Random,
+        Defence::MinimumPmtu1280 => cfg.nameserver.min_accepted_mtu = 1280,
+        Defence::NoNameserverRrl => cfg.nameserver.rrl_limit = None,
+        Defence::RouteOriginValidation => {}
+    }
+    cfg.build()
+}
+
+/// Runs one methodology against one defence and reports whether it still works.
+pub fn evaluate_cell(method: PoisonMethod, defence: Defence, seed: u64) -> AblationCell {
+    let succeeded = match method {
+        PoisonMethod::HijackDns => {
+            let (mut sim, env) = env_with_defence(defence, seed, false);
+            let mut cfg = HijackDnsConfig::new(env.attacker_addr);
+            cfg.rov_blocks = defence == Defence::RouteOriginValidation;
+            HijackDnsAttack::new(cfg).run(&mut sim, &env).success
+        }
+        PoisonMethod::SadDns => {
+            let (mut sim, env) = env_with_defence(defence, seed, true);
+            let mut cfg = SadDnsConfig::new(env.attacker_addr);
+            cfg.scan_range = (40000, 40127);
+            cfg.max_iterations = 1;
+            SadDnsAttack::new(cfg).run(&mut sim, &env).success
+        }
+        PoisonMethod::FragDns => {
+            let (mut sim, env) = env_with_defence(defence, seed, false);
+            let mut cfg = FragDnsConfig::new(env.attacker_addr);
+            cfg.max_iterations = 1;
+            FragDnsAttack::new(cfg).run(&mut sim, &env).success
+        }
+    };
+    AblationCell { method, defence, attack_succeeded: succeeded }
+}
+
+/// Runs the defence ablation for a chosen set of defences (all methods).
+pub fn run_ablation(defences: &[Defence], seed: u64) -> Vec<AblationCell> {
+    let mut cells = Vec::new();
+    for &defence in defences {
+        for method in PoisonMethod::all() {
+            cells.push(evaluate_cell(method, defence, seed));
+        }
+    }
+    cells
+}
+
+/// Renders the ablation matrix.
+pub fn render_ablation(cells: &[AblationCell]) -> String {
+    let mut t = TextTable::new(
+        "Countermeasure ablation — does the attack still succeed?",
+        &["Defence", "HijackDNS", "SadDNS", "FragDNS"],
+    );
+    let defences: Vec<Defence> = {
+        let mut seen = Vec::new();
+        for c in cells {
+            if !seen.contains(&c.defence) {
+                seen.push(c.defence);
+            }
+        }
+        seen
+    };
+    for d in defences {
+        let get = |m: PoisonMethod| {
+            cells
+                .iter()
+                .find(|c| c.defence == d && c.method == m)
+                .map(|c| if c.attack_succeeded { "succeeds" } else { "BLOCKED" })
+                .unwrap_or("-")
+        };
+        t.row([format!("{d:?}"), get(PoisonMethod::HijackDns).into(), get(PoisonMethod::SadDns).into(), get(PoisonMethod::FragDns).into()]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_attacks_all_succeed() {
+        for method in PoisonMethod::all() {
+            let cell = evaluate_cell(method, Defence::None, 31);
+            assert!(cell.attack_succeeded, "{method} should succeed without defences");
+        }
+    }
+
+    #[test]
+    fn x20_blocks_saddns_but_not_hijack_or_frag() {
+        assert!(!evaluate_cell(PoisonMethod::SadDns, Defence::X20Encoding, 32).attack_succeeded);
+        assert!(evaluate_cell(PoisonMethod::HijackDns, Defence::X20Encoding, 32).attack_succeeded);
+        assert!(evaluate_cell(PoisonMethod::FragDns, Defence::X20Encoding, 32).attack_succeeded);
+    }
+
+    #[test]
+    fn dnssec_blocks_forged_responses() {
+        assert!(!evaluate_cell(PoisonMethod::HijackDns, Defence::Dnssec, 33).attack_succeeded);
+    }
+
+    #[test]
+    fn fragment_filtering_blocks_fragdns_only() {
+        assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::FragmentFiltering, 34).attack_succeeded);
+        assert!(evaluate_cell(PoisonMethod::HijackDns, Defence::FragmentFiltering, 34).attack_succeeded);
+    }
+
+    #[test]
+    fn per_destination_icmp_blocks_saddns() {
+        assert!(!evaluate_cell(PoisonMethod::SadDns, Defence::PerDestinationIcmpLimit, 35).attack_succeeded);
+    }
+
+    #[test]
+    fn nameserver_side_defences_block_fragdns() {
+        assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::RandomIpid, 36).attack_succeeded);
+        assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::MinimumPmtu1280, 36).attack_succeeded);
+        assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::RandomizedResponseOrder, 36).attack_succeeded);
+    }
+
+    #[test]
+    fn disabling_rrl_blocks_saddns_muting() {
+        assert!(!evaluate_cell(PoisonMethod::SadDns, Defence::NoNameserverRrl, 37).attack_succeeded);
+    }
+
+    #[test]
+    fn rov_blocks_hijackdns() {
+        assert!(!evaluate_cell(PoisonMethod::HijackDns, Defence::RouteOriginValidation, 38).attack_succeeded);
+    }
+
+    #[test]
+    fn rendering_matrix() {
+        let cells = run_ablation(&[Defence::None, Defence::FragmentFiltering], 39);
+        let rendered = render_ablation(&cells);
+        assert!(rendered.contains("FragmentFiltering"));
+        assert!(rendered.contains("BLOCKED"));
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end cross-layer attack scenarios (Section 4): trigger a query,
+//! poison the victim resolver with one of the Section 3 methodologies, then
+//! let the *application* consume the poisoned records and observe the damage.
+//!
+//! Three headline scenarios are implemented in full:
+//!
+//! * **RPKI downgrade → BGP hijack** — the paper's strongest result: poison
+//!   the resolver used by an RPKI relying party so its repository sync lands
+//!   on the attacker's host, the ROA cache empties, route-origin validation
+//!   degrades to "unknown", and a prefix hijack that ROV used to block now
+//!   succeeds even against enforcing ASes;
+//! * **password-recovery account takeover** — poison the MX/A records of a
+//!   victim's domain at the provider's resolver; the reset link goes to the
+//!   attacker;
+//! * **SPF/DMARC downgrade** — intercept the TXT lookup and answer with an
+//!   empty response, so the receiving mail server finds no policy and accepts
+//!   the spoofed mail.
+
+use apps::prelude::*;
+use attacks::prelude::*;
+use bgp::prelude::*;
+use dns::prelude::*;
+use netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Outcome of the RPKI downgrade scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpkiDowngradeOutcome {
+    /// Whether the cache poisoning of the repository hostname succeeded.
+    pub dns_poisoned: bool,
+    /// Validation state of the hijacked announcement before the attack.
+    pub validity_before: Validity,
+    /// Validation state after the poisoned sync.
+    pub validity_after: Validity,
+    /// Whether an ROV-enforcing AS accepted the hijack before the attack.
+    pub hijack_accepted_before: bool,
+    /// Whether it accepts the hijack after the downgrade.
+    pub hijack_accepted_after: bool,
+}
+
+/// Runs the RPKI downgrade chain.
+pub fn rpki_downgrade_scenario(seed: u64) -> RpkiDowngradeOutcome {
+    // The victim AS (origin of 30.0.0.0/22) publishes a ROA; the relying
+    // party fetches it from rpki.vict.im, resolved through the victim resolver.
+    let victim_as = AsId(64500);
+    let attacker_as = AsId(666);
+    let protected_prefix: Prefix = "30.0.0.0/22".parse().expect("prefix");
+    let repo_addr: std::net::Ipv4Addr = "30.0.0.124".parse().expect("addr");
+    let repository = RpkiRepository::new("rpki.vict.im", repo_addr, vec![Roa::exact(protected_prefix, victim_as)]);
+    let mut relying_party = RelyingParty::new();
+
+    // Before the attack: sync via an un-poisoned resolver.
+    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+    let repo_name: DomainName = "rpki.vict.im".parse().expect("name");
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &repo_name, RecordType::A, 1);
+    sim.run();
+    let resolved_before = env.resolver(&sim).cache().cached_a(&repo_name, sim.now());
+    relying_party.sync(&repository, resolved_before);
+    let validity_before = relying_party.validate(protected_prefix, attacker_as);
+
+    // ROV-enforcing topology: does the hijack get through before the attack?
+    let (topo, map) = AsTopology::small_test_topology();
+    let rov: HashMap<AsId, RovPolicy> = topo.ases().map(|a| (a, RovPolicy::Enforced)).collect();
+    let before = sub_prefix_hijack(
+        &topo,
+        Announcement { prefix: protected_prefix, origin: map["stub1"] },
+        map["stub3"],
+        Some(map["stub4"]),
+        &rov,
+        &relying_party.validated_roas,
+    );
+
+    // Let the cached (genuine) entry expire before the attack, as a real
+    // attacker waiting for the next repository synchronisation would.
+    sim.run_for(Duration::from_secs(301));
+    // The attack: poison the repository hostname at the RP's resolver.
+    let mut hijack_cfg = HijackDnsConfig::new(env.attacker_addr);
+    hijack_cfg.target_name = repo_name.clone();
+    let report = HijackDnsAttack::new(hijack_cfg).run(&mut sim, &env);
+    let resolved_after = env.resolver(&sim).cache().cached_a(&repo_name, sim.now());
+    // The RP's next scheduled sync uses the poisoned answer.
+    relying_party.sync(&repository, resolved_after);
+    let validity_after = relying_party.validate(protected_prefix, attacker_as);
+    let after = sub_prefix_hijack(
+        &topo,
+        Announcement { prefix: protected_prefix, origin: map["stub1"] },
+        map["stub3"],
+        Some(map["stub4"]),
+        &rov,
+        &relying_party.validated_roas,
+    );
+
+    RpkiDowngradeOutcome {
+        dns_poisoned: report.success,
+        validity_before,
+        validity_after,
+        hijack_accepted_before: before.target_captured == Some(true),
+        hijack_accepted_after: after.target_captured == Some(true),
+    }
+}
+
+/// Outcome of the password-recovery scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccountTakeoverOutcome {
+    /// Whether the MX/A poisoning succeeded.
+    pub dns_poisoned: bool,
+    /// Where the recovery email went before the attack.
+    pub before: PasswordRecovery,
+    /// Where the recovery email goes after the attack.
+    pub after: PasswordRecovery,
+}
+
+/// Runs the password-recovery account-takeover chain (the provider's resolver
+/// is poisoned for the victim account's mail domain).
+pub fn password_recovery_scenario(seed: u64) -> AccountTakeoverOutcome {
+    let genuine_mx: std::net::Ipv4Addr = "30.0.0.26".parse().expect("addr");
+    let mail_name: DomainName = "mail.vict.im".parse().expect("name");
+    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+
+    // Before: the provider resolves the victim domain's mail host normally.
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &mail_name, RecordType::A, 1);
+    sim.run();
+    let resolved_before = env.resolver(&sim).cache().cached_a(&mail_name, sim.now());
+    let before = password_recovery(resolved_before, genuine_mx, env.attacker_addr);
+
+    // Let the genuine cache entry expire, then poison mail.vict.im via
+    // HijackDNS and re-run the recovery flow.
+    sim.run_for(Duration::from_secs(301));
+    let mut cfg = HijackDnsConfig::new(env.attacker_addr);
+    cfg.target_name = mail_name.clone();
+    let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
+    let resolved_after = env.resolver(&sim).cache().cached_a(&mail_name, sim.now());
+    let after = password_recovery(resolved_after, genuine_mx, env.attacker_addr);
+
+    AccountTakeoverOutcome { dns_poisoned: report.success, before, after }
+}
+
+/// Outcome of the SPF downgrade scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpfDowngradeOutcome {
+    /// SPF verdict for the attacker's spoofed mail before the attack.
+    pub before: SpfVerdict,
+    /// SPF verdict after the attack.
+    pub after: SpfVerdict,
+    /// Whether the receiving server would accept the spoofed mail after the attack.
+    pub spoofed_mail_accepted: bool,
+}
+
+/// Runs the SPF/DMARC downgrade chain: the attacker intercepts the TXT lookup
+/// (HijackDNS interception) and answers with an *empty* NOERROR response, so
+/// the receiving mail server finds no policy and falls back to accepting.
+pub fn spf_downgrade_scenario(seed: u64) -> SpfDowngradeOutcome {
+    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+    let name: DomainName = "vict.im".parse().expect("name");
+
+    // Before: the receiving mail server looks up the SPF policy normally.
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &name, RecordType::TXT, 1);
+    sim.run();
+    let policy_before = env
+        .resolver(&sim)
+        .cache()
+        .peek(&name, RecordType::TXT, sim.now())
+        .and_then(|e| e.records.iter().find_map(|r| match &r.rdata {
+            RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
+            _ => None,
+        }));
+    let before = evaluate_spf(policy_before.as_deref(), env.attacker_addr);
+
+    // Attack: hijack the nameserver's prefix, intercept the TXT re-query for
+    // a *different* resolver (fresh cache) and answer with an empty response.
+    let (mut sim, env) = VictimEnvConfig { seed: seed + 1, ..Default::default() }.build();
+    sim.set_route_override(Prefix::new(env.nameserver_addr, 24), env.attacker);
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &name, RecordType::TXT, 2);
+    // Wait for the interception, then forge an empty answer.
+    let deadline = sim.now() + Duration::from_secs(3);
+    let mut intercepted = None;
+    while sim.now() < deadline && intercepted.is_none() {
+        if !sim.step() {
+            break;
+        }
+        if let Some((obs, query)) = env
+            .attacker(&sim)
+            .intercepted_queries()
+            .into_iter()
+            .find(|(_, q)| q.question().map(|qq| qq.qtype == RecordType::TXT) == Some(true))
+        {
+            intercepted = Some((obs.datagram.clone(), query));
+        }
+    }
+    if let Some((dgram, query)) = intercepted {
+        let mut empty = Message::response_for(&query);
+        empty.header.authoritative = true;
+        let spoofed = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, dgram.src_port, empty.encode())
+            .into_packet(9, 64);
+        sim.inject(env.attacker, spoofed);
+    }
+    sim.run_for(Duration::from_secs(1));
+    let policy_after = env
+        .resolver(&sim)
+        .cache()
+        .peek(&name, RecordType::TXT, sim.now())
+        .and_then(|e| e.records.iter().find_map(|r| match &r.rdata {
+            RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
+            _ => None,
+        }));
+    let after = evaluate_spf(policy_after.as_deref(), env.attacker_addr);
+    SpfDowngradeOutcome { before, after, spoofed_mail_accepted: after != SpfVerdict::Fail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpki_downgrade_enables_the_filtered_hijack() {
+        let outcome = rpki_downgrade_scenario(21);
+        assert!(outcome.dns_poisoned);
+        assert_eq!(outcome.validity_before, Validity::Invalid);
+        assert_eq!(outcome.validity_after, Validity::NotFound);
+        assert!(!outcome.hijack_accepted_before, "ROV filtered the hijack before the attack");
+        assert!(outcome.hijack_accepted_after, "the downgrade re-enables the hijack");
+    }
+
+    #[test]
+    fn password_recovery_is_redirected_to_the_attacker() {
+        let outcome = password_recovery_scenario(22);
+        assert!(outcome.dns_poisoned);
+        assert_eq!(outcome.before, PasswordRecovery::OwnerReceivesLink);
+        assert_eq!(outcome.after, PasswordRecovery::AttackerReceivesLink);
+    }
+
+    #[test]
+    fn spf_downgrade_lets_spoofed_mail_through() {
+        let outcome = spf_downgrade_scenario(23);
+        assert_eq!(outcome.before, SpfVerdict::Fail, "with the genuine policy the spoofed mail is rejected");
+        assert_eq!(outcome.after, SpfVerdict::None, "after the attack no policy is retrievable");
+        assert!(outcome.spoofed_mail_accepted);
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's figures: announced-prefix CDFs (Figure 3), EDNS-size vs.
+//! minimum-fragment-size CDFs (Figure 4) and the overlap of vulnerable
+//! populations (Figure 5).
+
+use crate::population::{self, DomainProfile, ResolverProfile};
+use crate::report::TextTable;
+use crate::vulnscan;
+use serde::{Deserialize, Serialize};
+
+/// A cumulative distribution: `(x, fraction ≤ x)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Series label.
+    pub label: String,
+    /// Points, ascending in `x`.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF of `values` evaluated at the given thresholds.
+    pub fn at_thresholds(label: &str, values: &[u32], thresholds: &[u32]) -> Cdf {
+        let n = values.len().max(1) as f64;
+        let points = thresholds
+            .iter()
+            .map(|&t| (t, values.iter().filter(|&&v| v <= t).count() as f64 / n))
+            .collect();
+        Cdf { label: label.to_string(), points }
+    }
+
+    /// The fraction at a given threshold (0 if the threshold is absent).
+    pub fn at(&self, x: u32) -> f64 {
+        self.points.iter().find(|(t, _)| *t == x).map(|(_, f)| *f).unwrap_or(0.0)
+    }
+}
+
+/// Figure 3: distribution of announced prefix lengths (/11 … /24) for open
+/// resolvers, ad-net resolvers and Alexa nameservers.
+pub fn figure3_prefix_distributions(seed: u64, sample_cap: u64) -> Vec<Cdf> {
+    let thresholds: Vec<u32> = (11..=24).collect();
+    let specs = population::table3_datasets();
+    let open = population::generate_resolvers(&specs[7], sample_cap, seed);
+    let adnet = population::generate_resolvers(&specs[6], sample_cap, seed);
+    let domain_specs = population::table4_datasets();
+    let alexa_ns = population::generate_domains(&domain_specs[1], sample_cap, seed);
+    vec![
+        Cdf::at_thresholds("Resolvers: Open resolver", &open.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
+        Cdf::at_thresholds("Resolvers: Adnet", &adnet.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
+        Cdf::at_thresholds("Nameservers: Alexa", &alexa_ns.iter().map(|d| u32::from(d.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
+    ]
+}
+
+/// Figure 4: CDF of resolver EDNS UDP sizes vs. CDF of the minimum fragment
+/// size emitted by (fragmenting) Alexa nameservers.
+pub fn figure4_edns_vs_fragment(seed: u64, sample_cap: u64) -> (Cdf, Cdf) {
+    let thresholds = [68u32, 292, 512, 548, 1232, 1500, 2048, 3072, 4096];
+    let specs = population::table3_datasets();
+    let open = population::generate_resolvers(&specs[7], sample_cap, seed);
+    let edns: Vec<u32> = open.iter().map(|r| u32::from(r.edns_size)).collect();
+    let domain_specs = population::table4_datasets();
+    let alexa: Vec<DomainProfile> = population::generate_domains(&domain_specs[1], sample_cap, seed);
+    let min_frag: Vec<u32> = alexa.iter().filter(|d| d.fragments_any).map(|d| u32::from(d.min_fragment_size)).collect();
+    (
+        Cdf::at_thresholds("EDNS size of resolvers", &edns, &thresholds),
+        Cdf::at_thresholds("Minimum fragment size of nameservers", &min_frag, &thresholds),
+    )
+}
+
+/// Figure 5: overlap of the vulnerable sets (per methodology).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VennCounts {
+    /// Vulnerable to HijackDNS only.
+    pub only_hijack: u64,
+    /// Vulnerable to SadDNS only.
+    pub only_saddns: u64,
+    /// Vulnerable to FragDNS only.
+    pub only_frag: u64,
+    /// Hijack ∧ SadDNS (not Frag).
+    pub hijack_saddns: u64,
+    /// Hijack ∧ Frag (not SadDNS).
+    pub hijack_frag: u64,
+    /// SadDNS ∧ Frag (not Hijack).
+    pub saddns_frag: u64,
+    /// All three.
+    pub all_three: u64,
+}
+
+impl VennCounts {
+    /// Total elements vulnerable to at least one method.
+    pub fn total_vulnerable(&self) -> u64 {
+        self.only_hijack + self.only_saddns + self.only_frag + self.hijack_saddns + self.hijack_frag + self.saddns_frag + self.all_three
+    }
+
+    /// Elements vulnerable to HijackDNS (any combination).
+    pub fn hijack_total(&self) -> u64 {
+        self.only_hijack + self.hijack_saddns + self.hijack_frag + self.all_three
+    }
+
+    /// Elements vulnerable to SadDNS (any combination).
+    pub fn saddns_total(&self) -> u64 {
+        self.only_saddns + self.hijack_saddns + self.saddns_frag + self.all_three
+    }
+
+    /// Elements vulnerable to FragDNS (any combination).
+    pub fn frag_total(&self) -> u64 {
+        self.only_frag + self.hijack_frag + self.saddns_frag + self.all_three
+    }
+
+    fn add(&mut self, hijack: bool, saddns: bool, frag: bool) {
+        match (hijack, saddns, frag) {
+            (true, false, false) => self.only_hijack += 1,
+            (false, true, false) => self.only_saddns += 1,
+            (false, false, true) => self.only_frag += 1,
+            (true, true, false) => self.hijack_saddns += 1,
+            (true, false, true) => self.hijack_frag += 1,
+            (false, true, true) => self.saddns_frag += 1,
+            (true, true, true) => self.all_three += 1,
+            (false, false, false) => {}
+        }
+    }
+}
+
+/// Figure 5a: overlap over all resolver datasets.
+pub fn figure5_resolver_overlap(seed: u64, sample_cap: u64) -> VennCounts {
+    let mut counts = VennCounts::default();
+    for spec in population::table3_datasets() {
+        let pop: Vec<ResolverProfile> = population::generate_resolvers(&spec, sample_cap, seed);
+        for r in &pop {
+            counts.add(
+                vulnscan::resolver_hijackable(r),
+                vulnscan::resolver_saddns_vulnerable(r),
+                vulnscan::resolver_frag_vulnerable(r),
+            );
+        }
+    }
+    counts
+}
+
+/// Figure 5b: overlap over all domain datasets.
+pub fn figure5_domain_overlap(seed: u64, sample_cap: u64) -> VennCounts {
+    let mut counts = VennCounts::default();
+    for spec in population::table4_datasets() {
+        let pop: Vec<DomainProfile> = population::generate_domains(&spec, sample_cap, seed);
+        for d in &pop {
+            counts.add(
+                vulnscan::domain_hijackable(d),
+                vulnscan::domain_saddns_vulnerable(d),
+                vulnscan::domain_frag_any_vulnerable(d),
+            );
+        }
+    }
+    counts
+}
+
+/// Renders a CDF set as a text table (one row per threshold).
+pub fn render_cdfs(title: &str, cdfs: &[Cdf]) -> String {
+    let mut headers = vec!["x".to_string()];
+    headers.extend(cdfs.iter().map(|c| c.label.clone()));
+    let mut t = TextTable::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    if let Some(first) = cdfs.first() {
+        for &(x, _) in &first.points {
+            let mut row = vec![x.to_string()];
+            for c in cdfs {
+                row.push(format!("{:.1}%", c.at(x) * 100.0));
+            }
+            t.row(row);
+        }
+    }
+    t.render()
+}
+
+/// Renders the Venn counts.
+pub fn render_venn(title: &str, v: &VennCounts) -> String {
+    let mut t = TextTable::new(title, &["Region", "Count"]);
+    t.row(["HijackDNS only", &v.only_hijack.to_string()]);
+    t.row(["SadDNS only", &v.only_saddns.to_string()]);
+    t.row(["FragDNS only", &v.only_frag.to_string()]);
+    t.row(["Hijack ∩ SadDNS", &v.hijack_saddns.to_string()]);
+    t.row(["Hijack ∩ FragDNS", &v.hijack_frag.to_string()]);
+    t.row(["SadDNS ∩ FragDNS", &v.saddns_frag.to_string()]);
+    t.row(["All three", &v.all_three.to_string()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shapes() {
+        let cdfs = figure3_prefix_distributions(11, 10_000);
+        assert_eq!(cdfs.len(), 3);
+        for cdf in &cdfs {
+            // CDFs are monotone and end at 100% at /24.
+            for w in cdf.points.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+            assert!((cdf.at(24) - 1.0).abs() < 1e-9);
+            // A substantial share of announcements is shorter than /24.
+            assert!(cdf.at(23) > 0.4);
+        }
+    }
+
+    #[test]
+    fn figure4_bimodal_edns_and_548_fragments() {
+        let (edns, frag) = figure4_edns_vs_fragment(11, 10_000);
+        // ~40% of resolvers advertise ≤512 bytes; ~50% advertise 4096.
+        assert!((edns.at(512) - 0.40).abs() < 0.05);
+        assert!(edns.at(2048) < 0.55);
+        assert!((edns.at(4096) - 1.0).abs() < 1e-9);
+        // Most fragmenting nameservers can be pushed to 548 bytes.
+        assert!(frag.at(548) > 0.80);
+        assert!(frag.at(292) < 0.15);
+    }
+
+    #[test]
+    fn figure5_hijack_dominates() {
+        let resolvers = figure5_resolver_overlap(11, 3_000);
+        assert!(resolvers.hijack_total() > resolvers.saddns_total());
+        assert!(resolvers.hijack_total() > resolvers.frag_total());
+        assert!(resolvers.total_vulnerable() > 0);
+        // SadDNS and FragDNS overlap mostly *inside* the hijackable set.
+        assert!(resolvers.all_three + resolvers.hijack_saddns >= resolvers.only_saddns);
+
+        let domains = figure5_domain_overlap(11, 3_000);
+        assert!(domains.hijack_total() > domains.saddns_total());
+        assert!(domains.saddns_total() > domains.frag_total() / 2, "domains: SadDNS and FragDNS are the small sets");
+    }
+
+    #[test]
+    fn rendering_works() {
+        let cdfs = figure3_prefix_distributions(11, 1_000);
+        let s = render_cdfs("Figure 3", &cdfs);
+        assert!(s.contains("Open resolver"));
+        let v = figure5_resolver_overlap(11, 1_000);
+        let s = render_venn("Figure 5a", &v);
+        assert!(s.contains("All three"));
+    }
+}

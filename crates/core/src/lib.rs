@@ -1,0 +1,65 @@
+//! # xlayer-core — the cross-layer attack framework and evaluation harness
+//!
+//! This crate is the paper's primary contribution layer: it ties the
+//! substrates (`netsim`, `dns`, `bgp`), the three poisoning methodologies
+//! (`attacks`) and the application models (`apps`) into reproducible
+//! experiments:
+//!
+//! * [`population`] — synthetic Internet populations calibrated to the
+//!   paper's measured marginals (the substitution for Censys / ad-network /
+//!   Alexa datasets, documented in `DESIGN.md`);
+//! * [`vulnscan`] — property classification plus active packet-level probes
+//!   (ICMP global-limit test, fragment-acceptance test, RRL burst test,
+//!   PMTUD fragmentation test);
+//! * [`measurements`] — the Table 3 (vulnerable resolvers) and Table 4
+//!   (vulnerable domains) campaigns;
+//! * [`anycache`] — the Table 5 `ANY`-caching experiment;
+//! * [`analysis`] — the Table 6 comparative analysis (applicability,
+//!   effectiveness, stealth), backed by real attack simulations;
+//! * [`figures`] — Figures 3, 4 and 5;
+//! * [`taxonomy`] — rendering of Tables 1 and 2 from the `apps` models;
+//! * [`crosslayer`] — end-to-end cross-layer scenarios (RPKI downgrade →
+//!   BGP hijack, password-recovery takeover, SPF downgrade);
+//! * [`countermeasures`] — the Section 6 defence ablation;
+//! * [`report`] — plain-text table rendering used by benches and examples.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod anycache;
+pub mod countermeasures;
+pub mod crosslayer;
+pub mod figures;
+pub mod measurements;
+pub mod population;
+pub mod report;
+pub mod taxonomy;
+pub mod vulnscan;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::analysis::{run_table6, render_table6, saddns_effectiveness, ComparisonReport, MethodComparison};
+    pub use crate::anycache::{run_table5, render_table5, AnyCachingResult};
+    pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
+    pub use crate::crosslayer::{
+        password_recovery_scenario, rpki_downgrade_scenario, spf_downgrade_scenario, AccountTakeoverOutcome,
+        RpkiDowngradeOutcome, SpfDowngradeOutcome,
+    };
+    pub use crate::figures::{
+        figure3_prefix_distributions, figure4_edns_vs_fragment, figure5_domain_overlap, figure5_resolver_overlap,
+        render_cdfs, render_venn, Cdf, VennCounts,
+    };
+    pub use crate::measurements::{
+        render_table3, render_table4, run_table3, run_table4, DomainDatasetResult, ResolverDatasetResult,
+        DEFAULT_SAMPLE_CAP,
+    };
+    pub use crate::population::{
+        generate_domains, generate_resolvers, table3_datasets, table4_datasets, DatasetSpec, DomainProfile,
+        ResolverProfile,
+    };
+    pub use crate::report::{pct, TextTable};
+    pub use crate::taxonomy::{render_table1, render_table2};
+    pub use crate::vulnscan::*;
+}
+
+pub use prelude::*;

@@ -1,0 +1,210 @@
+//! The Internet-measurement campaigns: vulnerable resolvers (Table 3) and
+//! vulnerable domains (Table 4).
+//!
+//! Each campaign generates the synthetic population for every dataset (see
+//! [`crate::population`]), classifies every element with the vulnerability
+//! scanners and reports the per-dataset percentages — the same aggregation
+//! the paper performs over its live measurements.
+
+use crate::population::{self, DatasetSpec, DomainProfile, ResolverProfile};
+use crate::report::{pct, TextTable};
+use crate::vulnscan;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table 3 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolverDatasetResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Protocols column.
+    pub protocols: String,
+    /// Fraction vulnerable to BGP sub-prefix hijack.
+    pub hijack: f64,
+    /// Fraction vulnerable to SadDNS.
+    pub saddns: f64,
+    /// Fraction vulnerable to FragDNS.
+    pub frag: f64,
+    /// Population size the paper reports.
+    pub reported_size: u64,
+    /// Sample actually generated and classified.
+    pub sample_size: usize,
+}
+
+/// One row of the Table 4 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainDatasetResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Protocols column.
+    pub protocols: String,
+    /// Fraction vulnerable to BGP sub-prefix hijack.
+    pub hijack: f64,
+    /// Fraction vulnerable to SadDNS (mutable nameservers).
+    pub saddns: f64,
+    /// Fraction vulnerable to FragDNS with ANY-style inflation.
+    pub frag_any: f64,
+    /// Fraction vulnerable to deterministic FragDNS (global IPID).
+    pub frag_global: f64,
+    /// Fraction of DNSSEC-signed domains.
+    pub dnssec: f64,
+    /// Population size the paper reports.
+    pub reported_size: u64,
+    /// Sample actually generated and classified.
+    pub sample_size: usize,
+}
+
+/// Default cap on generated sample sizes (keeps the campaigns fast while
+/// retaining tight confidence intervals).
+pub const DEFAULT_SAMPLE_CAP: u64 = 20_000;
+
+fn fraction<T>(pop: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if pop.is_empty() {
+        return 0.0;
+    }
+    pop.iter().filter(|x| pred(x)).count() as f64 / pop.len() as f64
+}
+
+/// Runs the Table 3 campaign over all nine resolver datasets.
+pub fn run_table3(seed: u64, sample_cap: u64) -> Vec<ResolverDatasetResult> {
+    population::table3_datasets()
+        .iter()
+        .map(|spec| classify_resolver_dataset(spec, seed, sample_cap))
+        .collect()
+}
+
+/// Classifies one resolver dataset.
+pub fn classify_resolver_dataset(spec: &DatasetSpec, seed: u64, sample_cap: u64) -> ResolverDatasetResult {
+    let pop: Vec<ResolverProfile> = population::generate_resolvers(spec, sample_cap, seed);
+    ResolverDatasetResult {
+        dataset: spec.name.to_string(),
+        protocols: spec.protocols.to_string(),
+        hijack: fraction(&pop, vulnscan::resolver_hijackable),
+        saddns: fraction(&pop, vulnscan::resolver_saddns_vulnerable),
+        frag: fraction(&pop, vulnscan::resolver_frag_vulnerable),
+        reported_size: spec.reported_size,
+        sample_size: pop.len(),
+    }
+}
+
+/// Runs the Table 4 campaign over all ten domain datasets.
+pub fn run_table4(seed: u64, sample_cap: u64) -> Vec<DomainDatasetResult> {
+    population::table4_datasets()
+        .iter()
+        .map(|spec| classify_domain_dataset(spec, seed, sample_cap))
+        .collect()
+}
+
+/// Classifies one domain dataset.
+pub fn classify_domain_dataset(spec: &DatasetSpec, seed: u64, sample_cap: u64) -> DomainDatasetResult {
+    let pop: Vec<DomainProfile> = population::generate_domains(spec, sample_cap, seed);
+    DomainDatasetResult {
+        dataset: spec.name.to_string(),
+        protocols: spec.protocols.to_string(),
+        hijack: fraction(&pop, vulnscan::domain_hijackable),
+        saddns: fraction(&pop, vulnscan::domain_saddns_vulnerable),
+        frag_any: fraction(&pop, vulnscan::domain_frag_any_vulnerable),
+        frag_global: fraction(&pop, vulnscan::domain_frag_global_vulnerable),
+        dnssec: fraction(&pop, |d| d.dnssec_signed),
+        reported_size: spec.reported_size,
+        sample_size: pop.len(),
+    }
+}
+
+/// Renders the Table 3 reproduction.
+pub fn render_table3(rows: &[ResolverDatasetResult]) -> String {
+    let mut t = TextTable::new(
+        "Table 3 — Vulnerable resolvers",
+        &["Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Fragment", "Dataset size"],
+    );
+    for r in rows {
+        t.row([
+            r.dataset.clone(),
+            r.protocols.clone(),
+            pct(r.hijack),
+            pct(r.saddns),
+            pct(r.frag),
+            r.reported_size.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Table 4 reproduction.
+pub fn render_table4(rows: &[DomainDatasetResult]) -> String {
+    let mut t = TextTable::new(
+        "Table 4 — Vulnerable domains",
+        &["Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Frag (any)", "Frag (global)", "DNSSEC", "Total"],
+    );
+    for r in rows {
+        t.row([
+            r.dataset.clone(),
+            r.protocols.clone(),
+            pct(r.hijack),
+            pct(r.saddns),
+            pct(r.frag_any),
+            pct(r.frag_global),
+            pct(r.dnssec),
+            r.reported_size.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reproduces_paper_shape() {
+        let rows = run_table3(42, 20_000);
+        assert_eq!(rows.len(), 9);
+        let open = rows.iter().find(|r| r.dataset.contains("Open resolvers")).unwrap();
+        // Paper: 74% / 12% / 31%.
+        assert!((open.hijack - 0.74).abs() < 0.03, "hijack {}", open.hijack);
+        assert!((open.saddns - 0.12).abs() < 0.03, "saddns {}", open.saddns);
+        assert!((open.frag - 0.31).abs() < 0.03, "frag {}", open.frag);
+        // Ad-net: fragment acceptance is the highest of the big datasets (91%).
+        let adnet = rows.iter().find(|r| r.dataset.contains("Ad-net")).unwrap();
+        assert!(adnet.frag > 0.85);
+        // HijackDNS applies to by far the most resolvers in every dataset.
+        for r in &rows {
+            assert!(r.hijack >= r.saddns || r.hijack == 0.0, "{}: hijack < saddns", r.dataset);
+        }
+    }
+
+    #[test]
+    fn table4_reproduces_paper_shape() {
+        let rows = run_table4(42, 20_000);
+        assert_eq!(rows.len(), 10);
+        let alexa = rows.iter().find(|r| r.dataset == "Alexa 1M").unwrap();
+        assert!((alexa.hijack - 0.53).abs() < 0.03);
+        assert!((alexa.saddns - 0.12).abs() < 0.03);
+        assert!(alexa.frag_any < 0.08);
+        assert!(alexa.frag_global <= alexa.frag_any, "global-IPID fragmentation is a subset");
+        assert!(alexa.dnssec < 0.05, "fewer than 5% of domains are signed");
+        // Eduroam stands out with very high sub-prefix hijackability (96%).
+        let eduroam = rows.iter().find(|r| r.dataset.contains("Eduroam")).unwrap();
+        assert!(eduroam.hijack > 0.9);
+        // RPKI repositories are small networks (/24): low hijackability.
+        let rpki = rows.iter().find(|r| r.dataset.contains("RPKI")).unwrap();
+        assert!(rpki.hijack < 0.4);
+    }
+
+    #[test]
+    fn rendering_contains_all_datasets() {
+        let rows = run_table3(1, 500);
+        let rendered = render_table3(&rows);
+        for r in &rows {
+            assert!(rendered.contains(&r.dataset));
+        }
+        let rows4 = run_table4(1, 500);
+        let rendered4 = render_table4(&rows4);
+        assert!(rendered4.contains("Eduroam"));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(run_table3(7, 2_000), run_table3(7, 2_000));
+        assert_ne!(run_table3(7, 2_000), run_table3(8, 2_000));
+    }
+}

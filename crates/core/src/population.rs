@@ -1,0 +1,291 @@
+//! Synthetic Internet populations.
+//!
+//! The paper measures real front-end datasets (open resolvers from Censys, an
+//! ad-network client study, Alexa Top-1M domains, eduroam institution lists,
+//! RIR/registrar whois contacts, well-known NTP/Bitcoin/RPKI domains, ...).
+//! Those datasets cannot be scanned from this environment, so each one is
+//! replaced by a *generator* that draws per-resolver / per-domain security
+//! properties from distributions calibrated to the marginals the paper
+//! reports (Tables 3 and 4, Figures 3 and 4). Every property is an explicit
+//! field, the vulnerability scanners in [`crate::vulnscan`] re-derive the
+//! table columns from the properties (they are not hard-coded percentages),
+//! and the same profiles drive full packet-level attack simulations for
+//! spot-check samples.
+
+use dns::profiles::ResolverImplementation;
+use rand::Rng;
+use rand_chacha::ChaCha20Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Security-relevant properties of one recursive resolver back-end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolverProfile {
+    /// Length of the BGP announcement covering the resolver's address.
+    pub announced_prefix_len: u8,
+    /// Whether the host applies a global (shared) ICMP error rate limit.
+    pub global_icmp_limit: bool,
+    /// Whether fragmented UDP responses are accepted and reassembled.
+    pub accepts_fragments: bool,
+    /// EDNS UDP payload size advertised in queries.
+    pub edns_size: u16,
+    /// Whether the resolver validates DNSSEC.
+    pub validates_dnssec: bool,
+    /// Whether the back-end answered the liveness probe (Section 5.1.2).
+    pub alive: bool,
+    /// The implementation family this resolver behaves like.
+    pub implementation: ResolverImplementation,
+}
+
+/// Security-relevant properties of one domain (represented by its nameservers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainProfile {
+    /// Length of the BGP announcement covering the (majority of) nameservers.
+    pub announced_prefix_len: u8,
+    /// Whether at least one authoritative nameserver applies response rate
+    /// limiting (the SadDNS muting prerequisite).
+    pub ns_rate_limits: bool,
+    /// Whether a nameserver honours spoofed PTBs and emits fragmented
+    /// responses to inflated (`ANY` / bloated) queries.
+    pub fragments_any: bool,
+    /// Whether fragmentation is also reachable with plain `A`/`MX` queries.
+    pub fragments_a_or_mx: bool,
+    /// Whether the nameservers use a global incremental IP-ID counter.
+    pub global_ipid: bool,
+    /// The minimum fragment size the nameserver can be talked down to.
+    pub min_fragment_size: u16,
+    /// Whether the domain is DNSSEC-signed.
+    pub dnssec_signed: bool,
+}
+
+/// A named dataset specification with calibrated property probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as it appears in the paper's table.
+    pub name: &'static str,
+    /// Protocols column.
+    pub protocols: &'static str,
+    /// The full population size the paper reports.
+    pub reported_size: u64,
+    /// Probability that an element's covering announcement is shorter than /24.
+    pub p_subprefix_hijackable: f64,
+    /// Probability of the SadDNS-relevant property (global ICMP limit for
+    /// resolvers, rate-limiting nameservers for domains).
+    pub p_saddns: f64,
+    /// Probability of the FragDNS-relevant property (fragment acceptance for
+    /// resolvers, ANY-fragmentation for domains).
+    pub p_frag: f64,
+    /// Probability of a global incremental IPID (domains only).
+    pub p_global_ipid: f64,
+    /// Probability of DNSSEC (signing for domains, validating for resolvers).
+    pub p_dnssec: f64,
+}
+
+impl DatasetSpec {
+    /// How many profiles to actually generate: the reported size capped so
+    /// campaigns stay fast; percentages are estimated from the sample.
+    pub fn sample_size(&self, cap: u64) -> usize {
+        self.reported_size.min(cap).max(1) as usize
+    }
+}
+
+/// The nine resolver datasets of Table 3 with marginals calibrated to the
+/// paper's measurements.
+pub fn table3_datasets() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "Local university", protocols: "Radius", reported_size: 1, p_subprefix_hijackable: 1.00, p_saddns: 0.00, p_frag: 1.00, p_global_ipid: 0.0, p_dnssec: 0.3 },
+        DatasetSpec { name: "Popular services (PW-recovery)", protocols: "PW-recovery", reported_size: 29, p_subprefix_hijackable: 0.93, p_saddns: 0.16, p_frag: 0.90, p_global_ipid: 0.0, p_dnssec: 0.3 },
+        DatasetSpec { name: "Popular CAs", protocols: "DV", reported_size: 5, p_subprefix_hijackable: 0.75, p_saddns: 0.00, p_frag: 0.00, p_global_ipid: 0.0, p_dnssec: 0.6 },
+        DatasetSpec { name: "Popular CDNs", protocols: "CDN", reported_size: 4, p_subprefix_hijackable: 1.00, p_saddns: 0.00, p_frag: 0.25, p_global_ipid: 0.0, p_dnssec: 0.3 },
+        DatasetSpec { name: "Alexa 1M SRV", protocols: "XMPP", reported_size: 476, p_subprefix_hijackable: 0.73, p_saddns: 0.01, p_frag: 0.57, p_global_ipid: 0.0, p_dnssec: 0.2 },
+        DatasetSpec { name: "Alexa 1M MX", protocols: "SMTP/SPF/DMARC/DKIM", reported_size: 61_036, p_subprefix_hijackable: 0.79, p_saddns: 0.09, p_frag: 0.56, p_global_ipid: 0.0, p_dnssec: 0.2 },
+        DatasetSpec { name: "Ad-net study", protocols: "HTTP/DANE/OCSP", reported_size: 5_847, p_subprefix_hijackable: 0.70, p_saddns: 0.11, p_frag: 0.91, p_global_ipid: 0.0, p_dnssec: 0.286 },
+        DatasetSpec { name: "Open resolvers", protocols: "All", reported_size: 1_583_045, p_subprefix_hijackable: 0.74, p_saddns: 0.12, p_frag: 0.31, p_global_ipid: 0.0, p_dnssec: 0.2 },
+        DatasetSpec { name: "Cache test (pool.ntp.org)", protocols: "NTP", reported_size: 448_521, p_subprefix_hijackable: 0.79, p_saddns: 0.09, p_frag: 0.32, p_global_ipid: 0.0, p_dnssec: 0.2 },
+    ]
+}
+
+/// The ten domain datasets of Table 4 with marginals calibrated to the paper.
+pub fn table4_datasets() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "Eduroam list", protocols: "Radius", reported_size: 1_152, p_subprefix_hijackable: 0.96, p_saddns: 0.11, p_frag: 0.44, p_global_ipid: 0.18 / 0.44, p_dnssec: 0.10 },
+        DatasetSpec { name: "Alexa 1M", protocols: "HTTP/DANE/DV", reported_size: 877_071, p_subprefix_hijackable: 0.53, p_saddns: 0.12, p_frag: 0.04, p_global_ipid: 0.25, p_dnssec: 0.02 },
+        DatasetSpec { name: "Alexa 1M MX", protocols: "SMTP/SPF/DKIM/DMARC", reported_size: 63_726, p_subprefix_hijackable: 0.44, p_saddns: 0.06, p_frag: 0.07, p_global_ipid: 0.14, p_dnssec: 0.03 },
+        DatasetSpec { name: "Alexa 1M SRV", protocols: "XMPP", reported_size: 2_025, p_subprefix_hijackable: 0.44, p_saddns: 0.04, p_frag: 0.29, p_global_ipid: 0.17, p_dnssec: 0.07 },
+        DatasetSpec { name: "RIR whois", protocols: "PW-recovery", reported_size: 58_742, p_subprefix_hijackable: 0.59, p_saddns: 0.09, p_frag: 0.14, p_global_ipid: 0.29, p_dnssec: 0.04 },
+        DatasetSpec { name: "Registrar whois", protocols: "PW-recovery", reported_size: 4_628, p_subprefix_hijackable: 0.51, p_saddns: 0.10, p_frag: 0.23, p_global_ipid: 0.22, p_dnssec: 0.06 },
+        DatasetSpec { name: "Well-known NTP", protocols: "NTP", reported_size: 9, p_subprefix_hijackable: 0.25, p_saddns: 0.00, p_frag: 0.25, p_global_ipid: 1.0, p_dnssec: 0.25 },
+        DatasetSpec { name: "Well-known crypto-currency", protocols: "Bitcoin", reported_size: 32, p_subprefix_hijackable: 0.28, p_saddns: 0.17, p_frag: 0.21, p_global_ipid: 0.14, p_dnssec: 0.21 },
+        DatasetSpec { name: "Well-known RPKI", protocols: "RPKI", reported_size: 8, p_subprefix_hijackable: 0.14, p_saddns: 0.00, p_frag: 0.00, p_global_ipid: 0.0, p_dnssec: 0.67 },
+        DatasetSpec { name: "Cert. scan", protocols: "IKE/OpenVPN", reported_size: 307, p_subprefix_hijackable: 0.51, p_saddns: 0.11, p_frag: 0.05, p_global_ipid: 0.20, p_dnssec: 0.07 },
+    ]
+}
+
+/// Draws an announced prefix length: hijackable elements get lengths /11–/23
+/// (weighted towards /16–/22 as in Figure 3), others get /24.
+fn draw_prefix_len<R: Rng>(rng: &mut R, hijackable: bool) -> u8 {
+    if hijackable {
+        // Skew towards the middle of the distribution in Figure 3.
+        let weights: [(u8, u32); 13] =
+            [(11, 1), (12, 2), (13, 2), (14, 3), (15, 4), (16, 8), (17, 6), (18, 7), (19, 10), (20, 12), (21, 12), (22, 16), (23, 10)];
+        let total: u32 = weights.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (len, w) in weights {
+            if pick < w {
+                return len;
+            }
+            pick -= w;
+        }
+        22
+    } else {
+        24
+    }
+}
+
+/// Draws an EDNS buffer size following the bimodal distribution of Figure 4:
+/// ~40 % at (or below) 512 bytes, ~10 % between 1232 and 2048, ~50 % at 4096.
+pub fn draw_edns_size<R: Rng>(rng: &mut R) -> u16 {
+    let p: f64 = rng.gen();
+    if p < 0.40 {
+        512
+    } else if p < 0.50 {
+        *[1232u16, 1400, 1452, 2048].get(rng.gen_range(0..4)).unwrap_or(&1232)
+    } else {
+        4096
+    }
+}
+
+/// Draws a minimum fragment size for a fragmenting nameserver: 83 % can be
+/// pushed to 548 bytes, ~7 % all the way to 292, the rest stop at 1280/1500.
+pub fn draw_min_fragment_size<R: Rng>(rng: &mut R, fragments: bool) -> u16 {
+    if !fragments {
+        return 1500;
+    }
+    let p: f64 = rng.gen();
+    if p < 0.07 {
+        292
+    } else if p < 0.07 + 0.832 {
+        548
+    } else {
+        1280
+    }
+}
+
+/// Generates the resolver population for a dataset.
+pub fn generate_resolvers(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<ResolverProfile> {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0x5e501_u64 ^ spec.reported_size);
+    let n = spec.sample_size(cap);
+    let implementations = ResolverImplementation::all();
+    (0..n)
+        .map(|_| {
+            let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
+            ResolverProfile {
+                announced_prefix_len: draw_prefix_len(&mut rng, hijackable),
+                global_icmp_limit: rng.gen_bool(spec.p_saddns),
+                accepts_fragments: rng.gen_bool(spec.p_frag),
+                edns_size: draw_edns_size(&mut rng),
+                validates_dnssec: rng.gen_bool(spec.p_dnssec),
+                alive: rng.gen_bool(0.97),
+                implementation: implementations[rng.gen_range(0..implementations.len())],
+            }
+        })
+        .collect()
+}
+
+/// Generates the domain population for a dataset.
+pub fn generate_domains(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<DomainProfile> {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0xd0a1_u64 ^ spec.reported_size);
+    let n = spec.sample_size(cap);
+    (0..n)
+        .map(|_| {
+            let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
+            let fragments_any = rng.gen_bool(spec.p_frag);
+            DomainProfile {
+                announced_prefix_len: draw_prefix_len(&mut rng, hijackable),
+                ns_rate_limits: rng.gen_bool(spec.p_saddns),
+                fragments_any,
+                fragments_a_or_mx: fragments_any && rng.gen_bool(0.1),
+                global_ipid: fragments_any && rng.gen_bool(spec.p_global_ipid.min(1.0)),
+                min_fragment_size: draw_min_fragment_size(&mut rng, fragments_any),
+                dnssec_signed: rng.gen_bool(spec.p_dnssec),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_resolver_and_ten_domain_datasets() {
+        assert_eq!(table3_datasets().len(), 9);
+        assert_eq!(table4_datasets().len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &table3_datasets()[7];
+        let a = generate_resolvers(spec, 1000, 1);
+        let b = generate_resolvers(spec, 1000, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn marginals_match_spec_within_tolerance() {
+        let spec = &table3_datasets()[7]; // open resolvers: 74% / 12% / 31%
+        let pop = generate_resolvers(spec, 20_000, 42);
+        let frac = |f: &dyn Fn(&ResolverProfile) -> bool| pop.iter().filter(|r| f(r)).count() as f64 / pop.len() as f64;
+        assert!((frac(&|r| r.announced_prefix_len < 24) - 0.74).abs() < 0.02);
+        assert!((frac(&|r| r.global_icmp_limit) - 0.12).abs() < 0.02);
+        assert!((frac(&|r| r.accepts_fragments) - 0.31).abs() < 0.02);
+    }
+
+    #[test]
+    fn domain_marginals_match_spec() {
+        let spec = &table4_datasets()[1]; // Alexa 1M: 53% / 12% / 4%
+        let pop = generate_domains(spec, 20_000, 42);
+        let frac = |f: &dyn Fn(&DomainProfile) -> bool| pop.iter().filter(|d| f(d)).count() as f64 / pop.len() as f64;
+        assert!((frac(&|d| d.announced_prefix_len < 24) - 0.53).abs() < 0.02);
+        assert!((frac(&|d| d.ns_rate_limits) - 0.12).abs() < 0.02);
+        assert!((frac(&|d| d.fragments_any) - 0.04).abs() < 0.02);
+    }
+
+    #[test]
+    fn edns_distribution_is_bimodal() {
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let sizes: Vec<u16> = (0..10_000).map(|_| draw_edns_size(&mut rng)).collect();
+        let small = sizes.iter().filter(|&&s| s <= 512).count() as f64 / sizes.len() as f64;
+        let large = sizes.iter().filter(|&&s| s >= 4000).count() as f64 / sizes.len() as f64;
+        assert!((small - 0.40).abs() < 0.03, "≈40% of resolvers advertise ≤512");
+        assert!((large - 0.50).abs() < 0.03, "≈50% advertise ≥4000");
+    }
+
+    #[test]
+    fn min_fragment_sizes_concentrate_at_548() {
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let sizes: Vec<u16> = (0..10_000).map(|_| draw_min_fragment_size(&mut rng, true)).collect();
+        let at_548 = sizes.iter().filter(|&&s| s == 548).count() as f64 / sizes.len() as f64;
+        let at_292 = sizes.iter().filter(|&&s| s == 292).count() as f64 / sizes.len() as f64;
+        assert!(at_548 > 0.78, "most fragmenting nameservers go down to 548 bytes");
+        assert!(at_292 > 0.04 && at_292 < 0.11);
+        assert!(draw_min_fragment_size(&mut rng, false) == 1500);
+    }
+
+    #[test]
+    fn sample_size_is_capped() {
+        let spec = &table3_datasets()[7];
+        assert_eq!(spec.sample_size(5_000), 5_000);
+        assert_eq!(table3_datasets()[0].sample_size(5_000), 1);
+    }
+
+    #[test]
+    fn prefix_lengths_respect_hijackability() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(draw_prefix_len(&mut rng, true) < 24);
+            assert_eq!(draw_prefix_len(&mut rng, false), 24);
+        }
+    }
+}

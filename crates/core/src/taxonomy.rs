@@ -1,0 +1,90 @@
+//! Rendering of Table 1 (application taxonomy) and Table 2 (middlebox
+//! query-triggering behaviour) from the `apps` crate models.
+
+use crate::report::TextTable;
+use apps::prelude::*;
+use attacks::outcome::PoisonMethod;
+
+/// Renders the Table 1 reproduction.
+pub fn render_table1() -> String {
+    let mut t = TextTable::new(
+        "Table 1 — Attacks against popular systems leveraging a poisoned DNS cache",
+        &["Category", "Protocol", "Use case", "Query name", "Trigger", "Records", "Hijack", "SadDNS", "Frag", "Impact"],
+    );
+    for app in table1_applications() {
+        let has = |m: PoisonMethod| {
+            if app.methods.contains(&m) {
+                if app.needs_third_party_trigger && m != PoisonMethod::HijackDns {
+                    "✓²"
+                } else {
+                    "✓"
+                }
+            } else {
+                "✗"
+            }
+        };
+        t.row([
+            format!("{:?}", app.category),
+            app.protocol.to_string(),
+            app.use_case.to_string(),
+            format!("{:?}", app.query_name),
+            format!("{:?}", app.trigger),
+            app.record_types.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(","),
+            has(PoisonMethod::HijackDns).to_string(),
+            has(PoisonMethod::SadDns).to_string(),
+            has(PoisonMethod::FragDns).to_string(),
+            app.impact_text.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Table 2 reproduction.
+pub fn render_table2() -> String {
+    let mut t = TextTable::new(
+        "Table 2 — Query triggering behaviour at middleboxes",
+        &["Type", "Provider", "Trigger query", "Caching time", "Websites in Alexa 100K"],
+    );
+    for row in table2_middleboxes() {
+        let trigger = match row.trigger {
+            TriggerBehaviour::Timer(d) => format!("timer ({}s)", d.as_nanos() / 1_000_000_000),
+            TriggerBehaviour::OnDemand => "on-demand".to_string(),
+        };
+        let caching = match row.caching {
+            CachingBehaviour::HonoursTtl => "TTL".to_string(),
+            CachingBehaviour::Fixed(d) => format!("{}s", d.as_nanos() / 1_000_000_000),
+        };
+        let alexa = if row.alexa_100k_sites == 0 { "-".to_string() } else { row.alexa_100k_sites.to_string() };
+        t.row([format!("{:?}", row.kind), row.provider.to_string(), trigger, caching, alexa]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rendering_has_all_twenty_rows() {
+        let rendered = render_table1();
+        assert!(rendered.lines().count() >= 22);
+        for needle in ["Radius", "XMPP", "SPF,DMARC", "RPKI", "Bitcoin", "OpenVPN", "Downgrade: no ROV"] {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn table1_marks_third_party_triggers() {
+        let rendered = render_table1();
+        assert!(rendered.contains("✓²"));
+        assert!(rendered.contains("✗"));
+    }
+
+    #[test]
+    fn table2_rendering_lists_providers() {
+        let rendered = render_table2();
+        for needle in ["pfSense", "Cloudflare", "DNS Made Easy", "on-demand", "timer"] {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+}

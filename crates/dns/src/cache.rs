@@ -1,0 +1,287 @@
+//! The resolver cache — the asset every attack in the paper targets.
+//!
+//! A single poisoned entry here redirects *all* applications sharing the
+//! resolver (Section 4.3.2, "cross-application DNS caches"), which is why the
+//! cache exposes inspection helpers used throughout the workspace to decide
+//! whether an attack succeeded and which applications are affected.
+//!
+//! The `ANY`-caching policy knob reproduces Table 5: three of the five
+//! popular resolver implementations answer later `A` queries straight from a
+//! cached `ANY` response, which lets an attacker poison with an inflated
+//! (fragmentable) `ANY` response and still hit ordinary `A` lookups.
+
+use crate::name::DomainName;
+use crate::rdata::{RData, RecordType, ResourceRecord};
+use netsim::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How a resolver caches and reuses the contents of `ANY` responses
+/// (Table 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnyCachingPolicy {
+    /// The records from an `ANY` response are cached and used to answer
+    /// subsequent specific queries without re-querying (BIND 9.14,
+    /// PowerDNS Recursor 4.3, systemd-resolved 245 — *vulnerable*).
+    CacheAndUse,
+    /// `ANY` responses are forwarded to the client but their contents are not
+    /// used for subsequent specific queries (dnsmasq 2.79).
+    NotCached,
+    /// The resolver refuses/does not support `ANY` queries at all
+    /// (Unbound 1.9).
+    Unsupported,
+}
+
+/// One cached record set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The cached records.
+    pub records: Vec<ResourceRecord>,
+    /// Absolute expiry time.
+    pub expires: SimTime,
+    /// When the entry was inserted.
+    pub inserted: SimTime,
+    /// Whether the entry was inserted from an `ANY` response.
+    pub from_any: bool,
+}
+
+/// A positive-only resolver cache keyed by `(name, type)`.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    entries: HashMap<(DomainName, u16), CacheEntry>,
+    /// Total number of insertions (metrics).
+    pub insertions: u64,
+    /// Total number of cache hits (metrics).
+    pub hits: u64,
+    /// Total number of cache misses (metrics).
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    fn key(name: &DomainName, rtype: RecordType) -> (DomainName, u16) {
+        (name.to_lowercase(), rtype.number())
+    }
+
+    /// Inserts records grouped by `(owner name, type)` with their TTLs.
+    ///
+    /// `from_any` marks entries that came from an `ANY` response so the
+    /// ANY-caching policy can decide whether later specific queries may use
+    /// them.
+    pub fn insert_records(&mut self, records: &[ResourceRecord], now: SimTime, from_any: bool) {
+        let mut grouped: HashMap<(DomainName, u16), Vec<ResourceRecord>> = HashMap::new();
+        for rr in records {
+            // RRSIGs ride along with the set they cover.
+            let rtype = match &rr.rdata {
+                RData::Rrsig { type_covered, .. } => *type_covered,
+                _ => rr.rtype(),
+            };
+            grouped.entry(Self::key(&rr.name, rtype)).or_default().push(rr.clone());
+        }
+        for (key, set) in grouped {
+            let min_ttl = set.iter().map(|r| r.ttl).min().unwrap_or(0);
+            let entry = CacheEntry {
+                records: set,
+                expires: now + Duration::from_secs(u64::from(min_ttl)),
+                inserted: now,
+                from_any,
+            };
+            self.entries.insert(key, entry);
+            self.insertions += 1;
+        }
+    }
+
+    /// Looks up a record set. `allow_any_derived` controls whether entries
+    /// that were inserted from an `ANY` response may satisfy the lookup.
+    pub fn lookup_with_policy(
+        &mut self,
+        name: &DomainName,
+        rtype: RecordType,
+        now: SimTime,
+        allow_any_derived: bool,
+    ) -> Option<Vec<ResourceRecord>> {
+        let key = Self::key(name, rtype);
+        match self.entries.get(&key) {
+            Some(entry) if entry.expires > now && (allow_any_derived || !entry.from_any) => {
+                self.hits += 1;
+                Some(entry.records.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a record set, allowing ANY-derived entries (the common case).
+    pub fn lookup(&mut self, name: &DomainName, rtype: RecordType, now: SimTime) -> Option<Vec<ResourceRecord>> {
+        self.lookup_with_policy(name, rtype, now, true)
+    }
+
+    /// Non-mutating peek that ignores hit/miss accounting.
+    pub fn peek(&self, name: &DomainName, rtype: RecordType, now: SimTime) -> Option<&CacheEntry> {
+        self.entries.get(&Self::key(name, rtype)).filter(|e| e.expires > now)
+    }
+
+    /// Convenience used everywhere in the attack evaluations: the first `A`
+    /// address cached for `name`, if any.
+    pub fn cached_a(&self, name: &DomainName, now: SimTime) -> Option<Ipv4Addr> {
+        self.peek(name, RecordType::A, now)
+            .and_then(|e| e.records.iter().find_map(|r| r.rdata.as_ipv4()))
+    }
+
+    /// Whether the cache currently maps `name`'s `A` record to `addr` — the
+    /// "is the cache poisoned with the attacker's address?" check.
+    pub fn is_poisoned_with(&self, name: &DomainName, addr: Ipv4Addr, now: SimTime) -> bool {
+        self.cached_a(name, now) == Some(addr)
+    }
+
+    /// Removes expired entries.
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, e| e.expires > now);
+    }
+
+    /// Removes everything (the operator's "flush the cache" remediation).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of live entries at `now`.
+    pub fn len_at(&self, now: SimTime) -> usize {
+        self.entries.values().filter(|e| e.expires > now).count()
+    }
+
+    /// Total number of entries including expired ones not yet evicted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries (measurement tooling: "which applications'
+    /// well-known domains are present in this cache?", Section 4.3.2).
+    pub fn iter(&self) -> impl Iterator<Item = (&(DomainName, u16), &CacheEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn a(name: &str, ttl: u32, addr: &str) -> ResourceRecord {
+        ResourceRecord::new(n(name), ttl, RData::A(addr.parse().unwrap()))
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25")], SimTime::ZERO, false);
+        let got = c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.cached_a(&n("vict.im"), SimTime::ZERO), Some("30.0.0.25".parse().unwrap()));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("VICT.IM", 300, "30.0.0.25")], SimTime::ZERO, false);
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 60, "30.0.0.25")], SimTime::ZERO, false);
+        let before = SimTime::ZERO + Duration::from_secs(59);
+        let after = SimTime::ZERO + Duration::from_secs(61);
+        assert!(c.lookup(&n("vict.im"), RecordType::A, before).is_some());
+        assert!(c.lookup(&n("vict.im"), RecordType::A, after).is_none());
+        assert_eq!(c.len_at(after), 0);
+        c.evict_expired(after);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn poisoning_check() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 300, "6.6.6.6")], SimTime::ZERO, false);
+        assert!(c.is_poisoned_with(&n("vict.im"), "6.6.6.6".parse().unwrap(), SimTime::ZERO));
+        assert!(!c.is_poisoned_with(&n("vict.im"), "30.0.0.25".parse().unwrap(), SimTime::ZERO));
+    }
+
+    #[test]
+    fn later_insert_overwrites() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25")], SimTime::ZERO, false);
+        c.insert_records(&[a("vict.im", 300, "6.6.6.6")], SimTime::ZERO, false);
+        assert_eq!(c.cached_a(&n("vict.im"), SimTime::ZERO), Some("6.6.6.6".parse().unwrap()));
+        assert_eq!(c.insertions, 2);
+    }
+
+    #[test]
+    fn any_derived_entries_respect_policy() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 300, "6.6.6.6")], SimTime::ZERO, true);
+        // Policy CacheAndUse: hit.
+        assert!(c.lookup_with_policy(&n("vict.im"), RecordType::A, SimTime::ZERO, true).is_some());
+        // Policy NotCached: the ANY-derived entry may not answer an A query.
+        assert!(c.lookup_with_policy(&n("vict.im"), RecordType::A, SimTime::ZERO, false).is_none());
+    }
+
+    #[test]
+    fn different_types_are_distinct() {
+        let mut c = Cache::new();
+        c.insert_records(
+            &[
+                a("vict.im", 300, "30.0.0.25"),
+                ResourceRecord::new(n("vict.im"), 300, RData::Txt("v=spf1 -all".into())),
+            ],
+            SimTime::ZERO,
+            false,
+        );
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).is_some());
+        assert!(c.lookup(&n("vict.im"), RecordType::TXT, SimTime::ZERO).is_some());
+        assert!(c.lookup(&n("vict.im"), RecordType::MX, SimTime::ZERO).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rrsig_files_under_covered_type() {
+        let mut c = Cache::new();
+        let rrsig = ResourceRecord::new(n("vict.im"), 300, RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true });
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig], SimTime::ZERO, false);
+        let set = c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).unwrap();
+        assert_eq!(set.len(), 2, "A record and its RRSIG cached together");
+    }
+
+    #[test]
+    fn minimum_ttl_of_set_is_used() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 10, "30.0.0.25"), a("vict.im", 300, "30.0.0.26")], SimTime::ZERO, false);
+        let after = SimTime::ZERO + Duration::from_secs(11);
+        assert!(c.lookup(&n("vict.im"), RecordType::A, after).is_none());
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = Cache::new();
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25")], SimTime::ZERO, false);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+}

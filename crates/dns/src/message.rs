@@ -1,0 +1,395 @@
+//! DNS message header, questions and the full message codec.
+//!
+//! The 16-bit transaction identifier (TXID) in the header is — together with
+//! the UDP source port — the challenge-response defence of RFC 5452 that all
+//! three poisoning methodologies must defeat: HijackDNS reads it off the
+//! intercepted query, SadDNS brute-forces it after recovering the port, and
+//! FragDNS avoids it entirely because it sits in the first fragment.
+
+use crate::name::{DomainName, NameError};
+use crate::rdata::{RData, RecordType, ResourceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// DNS response codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure (what a resolver returns when all retries time out —
+    /// the symptom applications see during a DoS via cache poisoning).
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused (e.g. by a rate-limiting nameserver).
+    Refused,
+}
+
+impl Rcode {
+    fn to_u4(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    fn from_u4(v: u8) -> Rcode {
+        match v {
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => Rcode::NoError,
+        }
+    }
+}
+
+/// The DNS message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Transaction identifier — 16 bits of the 32-bit challenge space.
+    pub id: u16,
+    /// True for responses, false for queries.
+    pub is_response: bool,
+    /// Authoritative answer flag.
+    pub authoritative: bool,
+    /// Truncation flag (response did not fit the advertised UDP size).
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Authenticated data (DNSSEC-validated by the resolver).
+    pub authenticated_data: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Header {
+    /// A query header with the given transaction ID.
+    pub fn query(id: u16) -> Self {
+        Header {
+            id,
+            is_response: false,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            authenticated_data: false,
+            rcode: Rcode::NoError,
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// Queried name (case carries 0x20 entropy).
+    pub name: DomainName,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// A full DNS message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Header.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional section (including the EDNS OPT pseudo-record).
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Builds a query for `name`/`qtype` with the given TXID.
+    pub fn query(id: u16, name: DomainName, qtype: RecordType) -> Self {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question { name, qtype }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Adds an EDNS OPT record advertising the given UDP payload size.
+    pub fn with_edns(mut self, udp_payload_size: u16) -> Self {
+        self.additionals.push(ResourceRecord::new(DomainName::root(), 0, RData::Opt { udp_payload_size }));
+        self
+    }
+
+    /// Builds a response skeleton echoing this query's ID and question.
+    pub fn response_for(query: &Message) -> Self {
+        let mut header = query.header;
+        header.is_response = true;
+        header.recursion_available = true;
+        Message {
+            header,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The first question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// The EDNS-advertised UDP payload size, or the 512-byte classic default.
+    pub fn edns_udp_size(&self) -> u16 {
+        self.additionals
+            .iter()
+            .find_map(|rr| match rr.rdata {
+                RData::Opt { udp_payload_size } => Some(udp_payload_size),
+                _ => None,
+            })
+            .unwrap_or(512)
+    }
+
+    /// All records in the answer + authority + additional sections.
+    pub fn all_records(&self) -> impl Iterator<Item = &ResourceRecord> {
+        self.answers.iter().chain(self.authorities.iter()).chain(self.additionals.iter())
+    }
+
+    /// Serialises the message (with name compression in owner names).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(512);
+        let mut compression: HashMap<String, u16> = HashMap::new();
+        buf.extend_from_slice(&self.header.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.header.is_response {
+            flags |= 0x8000;
+        }
+        if self.header.authoritative {
+            flags |= 0x0400;
+        }
+        if self.header.truncated {
+            flags |= 0x0200;
+        }
+        if self.header.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.header.recursion_available {
+            flags |= 0x0080;
+        }
+        if self.header.authenticated_data {
+            flags |= 0x0020;
+        }
+        flags |= u16::from(self.header.rcode.to_u4());
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.authorities.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&(self.additionals.len() as u16).to_be_bytes());
+        for q in &self.questions {
+            q.name.encode(&mut buf, Some(&mut compression));
+            buf.extend_from_slice(&q.qtype.number().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        }
+        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            rr.encode(&mut buf, Some(&mut compression));
+        }
+        buf
+    }
+
+    /// Parses a message from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, NameError> {
+        if buf.len() < 12 {
+            return Err(NameError::Truncated);
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        let flags = u16::from_be_bytes([buf[2], buf[3]]);
+        let header = Header {
+            id,
+            is_response: flags & 0x8000 != 0,
+            authoritative: flags & 0x0400 != 0,
+            truncated: flags & 0x0200 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            authenticated_data: flags & 0x0020 != 0,
+            rcode: Rcode::from_u4((flags & 0x000F) as u8),
+        };
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let (name, next) = DomainName::decode(buf, pos)?;
+            let fixed = buf.get(next..next + 4).ok_or(NameError::Truncated)?;
+            let qtype = RecordType::from_number(u16::from_be_bytes([fixed[0], fixed[1]]));
+            questions.push(Question { name, qtype });
+            pos = next + 4;
+        }
+        let read_section = |count: usize, pos: &mut usize| -> Result<Vec<ResourceRecord>, NameError> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (rr, next) = ResourceRecord::decode(buf, *pos)?;
+                out.push(rr);
+                *pos = next;
+            }
+            Ok(out)
+        };
+        let answers = read_section(ancount, &mut pos)?;
+        let authorities = read_section(nscount, &mut pos)?;
+        let additionals = read_section(arcount, &mut pos)?;
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+
+    /// The encoded size of this message in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.header.is_response { "response" } else { "query" };
+        let q = self
+            .questions
+            .first()
+            .map(|q| format!("{} {}", q.name, q.qtype))
+            .unwrap_or_else(|| "<no question>".to_string());
+        write!(
+            f,
+            "{kind} id={:#06x} {q} ans={} auth={} add={} rcode={:?}",
+            self.header.id,
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+            self.header.rcode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0xABCD, n("vict.im"), RecordType::A).with_edns(4096);
+        let decoded = Message::decode(&q.encode()).unwrap();
+        assert_eq!(decoded, q);
+        assert_eq!(decoded.header.id, 0xABCD);
+        assert!(!decoded.header.is_response);
+        assert_eq!(decoded.edns_udp_size(), 4096);
+    }
+
+    #[test]
+    fn default_edns_size_is_512() {
+        let q = Message::query(1, n("vict.im"), RecordType::A);
+        assert_eq!(q.edns_udp_size(), 512);
+    }
+
+    #[test]
+    fn response_roundtrip_with_records() {
+        let q = Message::query(7, n("vict.im"), RecordType::ANY);
+        let mut r = Message::response_for(&q);
+        r.header.authoritative = true;
+        r.answers.push(ResourceRecord::new(n("vict.im"), 300, RData::A(Ipv4Addr::new(30, 0, 0, 25))));
+        r.answers.push(ResourceRecord::new(n("vict.im"), 300, RData::Mx { preference: 10, exchange: n("mail.vict.im") }));
+        r.authorities.push(ResourceRecord::new(n("vict.im"), 300, RData::Ns(n("ns1.vict.im"))));
+        r.additionals.push(ResourceRecord::new(n("ns1.vict.im"), 300, RData::A(Ipv4Addr::new(123, 0, 0, 53))));
+        let decoded = Message::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert!(decoded.header.is_response);
+        assert_eq!(decoded.answers.len(), 2);
+        assert_eq!(decoded.all_records().count(), 4);
+    }
+
+    #[test]
+    fn response_echoes_question_and_id() {
+        let q = Message::query(0x1234, n("abc.vict.im"), RecordType::A);
+        let r = Message::response_for(&q);
+        assert_eq!(r.header.id, 0x1234);
+        assert_eq!(r.question().unwrap().name, n("abc.vict.im"));
+        assert!(r.header.is_response);
+    }
+
+    #[test]
+    fn compression_reduces_size() {
+        let q = Message::query(7, n("vict.im"), RecordType::A);
+        let mut r = Message::response_for(&q);
+        for i in 0..10 {
+            r.answers.push(ResourceRecord::new(n("vict.im"), 300, RData::A(Ipv4Addr::new(30, 0, 0, i))));
+        }
+        let size = r.wire_size();
+        // 10 A records at "vict.im": with compression each owner name costs 2
+        // bytes instead of 9. The total must therefore be well under the
+        // uncompressed estimate.
+        assert!(size < 12 + 13 + 10 * (9 + 14), "compressed size {size} too large");
+        let decoded = Message::decode(&r.encode()).unwrap();
+        assert_eq!(decoded.answers.len(), 10);
+        assert!(decoded.answers.iter().all(|rr| rr.name == n("vict.im")));
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let mut m = Message::query(1, n("x.example"), RecordType::TXT);
+        m.header.is_response = true;
+        m.header.authoritative = true;
+        m.header.truncated = true;
+        m.header.recursion_available = true;
+        m.header.authenticated_data = true;
+        m.header.rcode = Rcode::NxDomain;
+        let d = Message::decode(&m.encode()).unwrap();
+        assert_eq!(d.header, m.header);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let q = Message::query(9, n("vict.im"), RecordType::A);
+        let bytes = q.encode();
+        assert!(Message::decode(&bytes[..8]).is_err());
+        assert!(Message::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn rcode_values_roundtrip() {
+        for rc in [Rcode::NoError, Rcode::FormErr, Rcode::ServFail, Rcode::NxDomain, Rcode::NotImp, Rcode::Refused] {
+            assert_eq!(Rcode::from_u4(rc.to_u4()), rc);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let q = Message::query(0x2233, n("vict.im"), RecordType::A);
+        let s = q.to_string();
+        assert!(s.contains("query"));
+        assert!(s.contains("vict.im"));
+        assert!(s.contains("0x2233"));
+    }
+
+    #[test]
+    fn question_case_preserved_through_wire() {
+        // 0x20: the mixed-case question must survive encode/decode exactly.
+        let name = DomainName::from_labels(vec!["VicT", "iM"]).unwrap();
+        let q = Message::query(5, name.clone(), RecordType::A);
+        let d = Message::decode(&q.encode()).unwrap();
+        assert!(d.question().unwrap().name.eq_case_sensitive(&name));
+    }
+}

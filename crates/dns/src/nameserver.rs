@@ -1,0 +1,494 @@
+//! The authoritative nameserver node.
+//!
+//! The nameserver exhibits every property the paper's measurements probe for
+//! (Section 5.2.2):
+//!
+//! * **PMTUD reaction** — it honours spoofed ICMP "fragmentation needed"
+//!   messages and subsequently fragments its UDP responses (FragDNS
+//!   prerequisite), unless hardened with a minimum accepted MTU;
+//! * **IP-ID assignment policy** — global incremental counter (predictable),
+//!   per-destination counter, or random (sets the FragDNS hit rate);
+//! * **response rate limiting (RRL)** — which the SadDNS attacker abuses to
+//!   "mute" the genuine server and extend its race window;
+//! * **`ANY` amplification** — large `ANY` responses exceed the minimum MTU
+//!   and fragment, the main response-inflation vector;
+//! * **record-order randomisation** — the countermeasure that makes the
+//!   second-fragment UDP checksum unpredictable;
+//! * **EDNS/TC handling** — responses larger than the client's advertised
+//!   EDNS size are truncated, which defeats fragmentation-based poisoning
+//!   (the "fitting into the response" constraint of Figure 4).
+
+use crate::message::{Message, Rcode};
+use crate::rdata::{RecordType, ResourceRecord};
+use crate::zone::{LookupResult, Zone};
+use netsim::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Configuration of an authoritative nameserver.
+#[derive(Debug, Clone)]
+pub struct NameserverConfig {
+    /// Address the nameserver listens on (port 53).
+    pub addr: Ipv4Addr,
+    /// Response rate limit in responses/second; `None` disables RRL.
+    pub rrl_limit: Option<u32>,
+    /// IP identification policy for outgoing packets.
+    pub ipid_policy: IpIdPolicy,
+    /// Whether the order of records in responses is randomised
+    /// (countermeasure: makes the spoofed-fragment checksum unpredictable).
+    pub randomize_record_order: bool,
+    /// Whether `ANY` queries are answered with the full record set.
+    pub respond_to_any: bool,
+    /// Whether ICMP fragmentation-needed messages are honoured (PMTUD).
+    pub honor_pmtud: bool,
+    /// Minimum path MTU the server will accept from PMTUD signals.
+    pub min_accepted_mtu: u16,
+    /// Optional padding: responses are padded (with a synthetic TXT record)
+    /// up to at least this many bytes — the "custom nameserver application
+    /// which will always emit fragmented responses padded to a certain size"
+    /// used by the paper's FragDNS vulnerability scanner.
+    pub pad_responses_to: Option<u16>,
+}
+
+impl NameserverConfig {
+    /// A conventional, unhardened nameserver at `addr`.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        NameserverConfig {
+            addr,
+            rrl_limit: None,
+            ipid_policy: IpIdPolicy::GlobalCounter,
+            randomize_record_order: false,
+            respond_to_any: true,
+            honor_pmtud: true,
+            min_accepted_mtu: 68,
+            pad_responses_to: None,
+        }
+    }
+
+    /// Enables RRL with the given responses/second budget.
+    pub fn with_rrl(mut self, per_second: u32) -> Self {
+        self.rrl_limit = Some(per_second);
+        self
+    }
+
+    /// Sets the IPID policy.
+    pub fn with_ipid(mut self, policy: IpIdPolicy) -> Self {
+        self.ipid_policy = policy;
+        self
+    }
+}
+
+/// Counters exposed for measurements and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameserverStats {
+    /// Queries received (any type).
+    pub queries_received: u64,
+    /// `ANY` queries received.
+    pub any_queries: u64,
+    /// Responses actually sent.
+    pub responses_sent: u64,
+    /// Responses suppressed by RRL ("muted").
+    pub responses_suppressed: u64,
+    /// Responses truncated because they exceeded the client's EDNS size.
+    pub responses_truncated: u64,
+    /// Responses that left the server as more than one IP fragment.
+    pub responses_fragmented: u64,
+    /// PMTUD updates accepted.
+    pub pmtu_updates: u64,
+}
+
+/// An authoritative nameserver serving one or more zones.
+pub struct Nameserver {
+    stack: UdpStack,
+    zones: Vec<Zone>,
+    config: NameserverConfig,
+    rrl: ResponseRateLimiter,
+    /// Counters.
+    pub stats: NameserverStats,
+}
+
+impl Nameserver {
+    /// Creates a nameserver for the given zones.
+    pub fn new(config: NameserverConfig, zones: Vec<Zone>) -> Self {
+        let stack_cfg = StackConfig {
+            ipid_policy: config.ipid_policy,
+            pmtud_enabled: config.honor_pmtud,
+            min_accepted_mtu: config.min_accepted_mtu,
+            ..Default::default()
+        };
+        let mut stack = UdpStack::new(vec![config.addr], stack_cfg);
+        stack.open_port(53);
+        let rrl = match config.rrl_limit {
+            Some(limit) => ResponseRateLimiter::new(limit),
+            None => ResponseRateLimiter::disabled(),
+        };
+        Nameserver { stack, zones, config, rrl, stats: NameserverStats::default() }
+    }
+
+    /// The address this server listens on.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.config.addr
+    }
+
+    /// Whether this server enforces response rate limiting.
+    pub fn has_rrl(&self) -> bool {
+        self.rrl.is_enabled()
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &NameserverConfig {
+        &self.config
+    }
+
+    /// Read access to the zones served.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The current path MTU the server assumes towards `dst` — used by the
+    /// vulnerability scanner to check whether a spoofed PTB was accepted.
+    pub fn path_mtu_to(&self, dst: Ipv4Addr, now: SimTime) -> u16 {
+        self.stack.pmtu().mtu_for(dst, now)
+    }
+
+    /// The value the next global-counter IPID would take (measurement hook
+    /// for the FragDNS IPID-predictability probe).
+    pub fn peek_ipid(&self) -> u16 {
+        self.stack.peek_global_ipid()
+    }
+
+    /// Builds the response message for a query, without transmitting it.
+    /// Public so vulnerability scanners can reason about response sizes.
+    pub fn answer_query(&self, query: &Message, rng: &mut impl Rng) -> Message {
+        let mut response = Message::response_for(query);
+        response.header.authoritative = true;
+        let Some(question) = query.question() else {
+            response.header.rcode = Rcode::FormErr;
+            return response;
+        };
+        if question.qtype == RecordType::ANY && !self.config.respond_to_any {
+            response.header.rcode = Rcode::NotImp;
+            return response;
+        }
+        let mut matched: Option<LookupResult> = None;
+        for zone in &self.zones {
+            match zone.lookup(&question.name, question.qtype) {
+                LookupResult::OutOfZone => continue,
+                other => {
+                    matched = Some(other);
+                    break;
+                }
+            }
+        }
+        match matched {
+            Some(LookupResult::Records(mut records)) => {
+                if self.config.randomize_record_order {
+                    records.shuffle(rng);
+                }
+                response.answers = records;
+                // Authority + glue for the first matching zone.
+                if let Some(zone) = self.zones.iter().find(|z| z.contains(&question.name)) {
+                    if let LookupResult::Records(ns) = zone.lookup(&zone.origin, RecordType::NS) {
+                        for rr in ns.iter().filter(|r| r.rtype() == RecordType::NS) {
+                            response.authorities.push(rr.clone());
+                            // Glue: the A record of the nameserver host.
+                            if let crate::rdata::RData::Ns(host) = &rr.rdata {
+                                if let LookupResult::Records(glue) = zone.lookup(host, RecordType::A) {
+                                    for g in glue.into_iter().filter(|g| g.rtype() == RecordType::A) {
+                                        response.additionals.push(g);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Some(LookupResult::NoData) => {}
+            Some(LookupResult::NxDomain) => response.header.rcode = Rcode::NxDomain,
+            Some(LookupResult::OutOfZone) | None => response.header.rcode = Rcode::Refused,
+        }
+        // Optional padding to force fragmentation (scanner behaviour).
+        if let Some(target) = self.config.pad_responses_to {
+            let current = response.wire_size();
+            if current < usize::from(target) && response.header.rcode == Rcode::NoError {
+                let pad = usize::from(target) - current - 16;
+                if pad > 0 {
+                    response.answers.push(ResourceRecord::new(
+                        question.name.clone(),
+                        60,
+                        crate::rdata::RData::Txt("P".repeat(pad)),
+                    ));
+                }
+            }
+        }
+        response
+    }
+
+    fn serve(&mut self, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(&dgram.payload) else { return };
+        if query.header.is_response {
+            return;
+        }
+        self.stats.queries_received += 1;
+        if query.question().map(|q| q.qtype) == Some(RecordType::ANY) {
+            self.stats.any_queries += 1;
+        }
+
+        // RRL: a muted nameserver simply does not respond.
+        if !self.rrl.allow(ctx.now()) {
+            self.stats.responses_suppressed += 1;
+            return;
+        }
+
+        let mut response = self.answer_query(&query, ctx.rng());
+
+        // EDNS size handling: truncate when the response does not fit the
+        // client's advertised buffer.
+        let limit = usize::from(query.edns_udp_size());
+        if response.wire_size() > limit {
+            response.header.truncated = true;
+            response.answers.clear();
+            response.authorities.clear();
+            self.stats.responses_truncated += 1;
+        }
+        // Echo an OPT record advertising a large server-side buffer.
+        response = response.with_edns(4096);
+
+        let payload = response.encode();
+        let now = ctx.now();
+        let packets = self.stack.send_udp(self.config.addr, dgram.src, 53, dgram.src_port, payload, now, ctx.rng());
+        if packets.len() > 1 {
+            self.stats.responses_fragmented += 1;
+        }
+        self.stats.responses_sent += 1;
+        for pkt in packets {
+            ctx.send(pkt);
+        }
+    }
+}
+
+impl Node for Nameserver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+        let now = ctx.now();
+        let output = {
+            let rng = ctx.rng();
+            self.stack.handle_packet(&pkt, now, rng)
+        };
+        for reply in output.replies {
+            ctx.send(reply);
+        }
+        for event in output.events {
+            match event {
+                StackEvent::Udp(dgram) if dgram.dst_port == 53 => self.serve(&dgram, ctx),
+                StackEvent::PmtuUpdate { .. } => self.stats.pmtu_updates += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DomainName;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    const NS_ADDR: Ipv4Addr = Ipv4Addr::new(123, 0, 0, 53);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(30, 0, 0, 1);
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn victim_zone() -> Zone {
+        let mut z = Zone::new(n("vict.im"));
+        z.add_ns("ns1.vict.im", NS_ADDR);
+        z.add_a("vict.im", "30.0.0.25".parse().unwrap());
+        z.add_a("www.vict.im", "30.0.0.25".parse().unwrap());
+        z.add_mx(10, "mail.vict.im", "30.0.0.26".parse().unwrap());
+        z.add_txt("vict.im", "v=spf1 ip4:30.0.0.0/24 -all");
+        z
+    }
+
+    fn server(config: NameserverConfig) -> Nameserver {
+        Nameserver::new(config, vec![victim_zone()])
+    }
+
+    fn query_packet(name: &str, qtype: RecordType, id: u16, edns: u16) -> Ipv4Packet {
+        let q = Message::query(id, n(name), qtype).with_edns(edns);
+        UdpDatagram::new(RESOLVER, NS_ADDR, 34567, 53, q.encode()).into_packet(9, 64)
+    }
+
+    /// Runs one query through a simulator with just the nameserver and a sink
+    /// resolver, returning the packets the nameserver sent back.
+    fn ask(server: Nameserver, queries: Vec<Ipv4Packet>) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let ns = sim.add_node("ns", vec![NS_ADDR], server);
+        let res = sim.add_node("resolver", vec![RESOLVER], SinkNode::default());
+        sim.connect(ns, res, Link::with_latency(Duration::from_millis(5)));
+        for q in queries {
+            sim.inject(res, q);
+        }
+        sim.run();
+        (sim, ns, res)
+    }
+
+    #[test]
+    fn answers_a_query_authoritatively() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let srv = server(NameserverConfig::new(NS_ADDR));
+        let q = Message::query(7, n("www.vict.im"), RecordType::A);
+        let r = srv.answer_query(&q, &mut rng);
+        assert!(r.header.is_response);
+        assert!(r.header.authoritative);
+        assert_eq!(r.header.rcode, Rcode::NoError);
+        assert_eq!(r.answers[0].rdata.as_ipv4(), Some("30.0.0.25".parse().unwrap()));
+        assert!(r.authorities.iter().any(|rr| rr.rtype() == RecordType::NS));
+    }
+
+    #[test]
+    fn nxdomain_and_refused() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let srv = server(NameserverConfig::new(NS_ADDR));
+        let r = srv.answer_query(&Message::query(7, n("nope.vict.im"), RecordType::A), &mut rng);
+        assert_eq!(r.header.rcode, Rcode::NxDomain);
+        let r = srv.answer_query(&Message::query(7, n("other.example"), RecordType::A), &mut rng);
+        assert_eq!(r.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn any_refusal_configurable() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut cfg = NameserverConfig::new(NS_ADDR);
+        cfg.respond_to_any = false;
+        let srv = server(cfg);
+        let r = srv.answer_query(&Message::query(7, n("vict.im"), RecordType::ANY), &mut rng);
+        assert_eq!(r.header.rcode, Rcode::NotImp);
+    }
+
+    #[test]
+    fn serves_queries_over_the_network() {
+        let (sim, ns, res) = ask(server(NameserverConfig::new(NS_ADDR)), vec![query_packet("vict.im", RecordType::A, 42, 4096)]);
+        assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().stats.queries_received, 1);
+        assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().stats.responses_sent, 1);
+        assert_eq!(sim.stats(res).udp_received, 1);
+    }
+
+    #[test]
+    fn rrl_mutes_after_burst() {
+        let cfg = NameserverConfig::new(NS_ADDR).with_rrl(10);
+        let queries: Vec<Ipv4Packet> = (0..100).map(|i| query_packet("vict.im", RecordType::A, i, 4096)).collect();
+        let (sim, ns, _res) = ask(server(cfg), queries);
+        let stats = &sim.node_ref::<Nameserver>(ns).unwrap().stats;
+        assert_eq!(stats.queries_received, 100);
+        assert_eq!(stats.responses_sent, 10, "only the RRL budget is answered");
+        assert_eq!(stats.responses_suppressed, 90);
+    }
+
+    #[test]
+    fn pmtud_then_any_query_fragments_response() {
+        // Step 1 of FragDNS: spoofed ICMP PTB lowers the server's path MTU.
+        let srv = server(NameserverConfig::new(NS_ADDR));
+        let mut sim = Simulator::new(3);
+        let ns = sim.add_node("ns", vec![NS_ADDR], srv);
+        let res = sim.add_node("resolver", vec![RESOLVER], SinkNode::default());
+        sim.connect(ns, res, Link::default());
+        // Craft the PTB quoting a packet "from" the nameserver to the resolver.
+        let quoted = UdpDatagram::new(NS_ADDR, RESOLVER, 53, 34567, vec![0u8; 64]).into_packet(1, 64);
+        let ptb = IcmpMessage::fragmentation_needed(&quoted, 68).into_packet(RESOLVER, NS_ADDR, 2, 64);
+        sim.inject(res, ptb);
+        sim.run();
+        assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().path_mtu_to(RESOLVER, sim.now()), 68);
+        assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().stats.pmtu_updates, 1);
+        // Step 2: an ANY query now produces a fragmented response.
+        sim.inject(res, query_packet("vict.im", RecordType::ANY, 7, 4096));
+        sim.run();
+        let stats = &sim.node_ref::<Nameserver>(ns).unwrap().stats;
+        assert_eq!(stats.responses_fragmented, 1);
+        assert!(sim.stats(res).udp_received >= 2, "multiple fragments arrive at the resolver");
+    }
+
+    #[test]
+    fn hardened_server_ignores_tiny_ptb() {
+        let mut cfg = NameserverConfig::new(NS_ADDR);
+        cfg.min_accepted_mtu = 1280;
+        let srv = server(cfg);
+        let mut sim = Simulator::new(4);
+        let ns = sim.add_node("ns", vec![NS_ADDR], srv);
+        let res = sim.add_node("resolver", vec![RESOLVER], SinkNode::default());
+        sim.connect(ns, res, Link::default());
+        let quoted = UdpDatagram::new(NS_ADDR, RESOLVER, 53, 34567, vec![0u8; 64]).into_packet(1, 64);
+        let ptb = IcmpMessage::fragmentation_needed(&quoted, 292).into_packet(RESOLVER, NS_ADDR, 2, 64);
+        sim.inject(res, ptb);
+        sim.run();
+        assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().path_mtu_to(RESOLVER, sim.now()), 1500);
+    }
+
+    #[test]
+    fn small_edns_buffer_causes_truncation() {
+        let mut cfg = NameserverConfig::new(NS_ADDR);
+        cfg.pad_responses_to = Some(1400);
+        let (sim, ns, _res) = ask(server(cfg), vec![query_packet("vict.im", RecordType::ANY, 7, 512)]);
+        let stats = &sim.node_ref::<Nameserver>(ns).unwrap().stats;
+        // The padded ANY answer exceeds the client's 512-byte buffer, so the
+        // server truncates instead of sending (and fragmenting) the answer —
+        // exactly the "must fit the resolver's EDNS size" constraint.
+        assert_eq!(stats.responses_truncated, 1);
+        assert_eq!(stats.responses_fragmented, 0);
+    }
+
+    #[test]
+    fn padding_inflates_responses() {
+        let mut cfg = NameserverConfig::new(NS_ADDR);
+        cfg.pad_responses_to = Some(1400);
+        let srv = server(cfg);
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let r = srv.answer_query(&Message::query(7, n("vict.im"), RecordType::A), &mut rng);
+        assert!(r.wire_size() >= 1300, "padded response is large: {}", r.wire_size());
+    }
+
+    #[test]
+    fn record_order_randomisation_changes_wire_bytes() {
+        let mut cfg = NameserverConfig::new(NS_ADDR);
+        cfg.randomize_record_order = true;
+        let mut zone = victim_zone();
+        for i in 0..8 {
+            zone.add_a("many.vict.im", format!("30.0.1.{i}").parse().unwrap());
+        }
+        let srv = Nameserver::new(cfg, vec![zone]);
+        let q = Message::query(7, n("many.vict.im"), RecordType::A);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..6 {
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            seen.insert(srv.answer_query(&q, &mut rng).encode());
+        }
+        assert!(seen.len() > 1, "different shuffles produce different responses");
+    }
+
+    #[test]
+    fn ipid_policy_observable_from_responses() {
+        // Global counter: consecutive responses carry consecutive IPIDs.
+        let (sim, _ns, res) = ask(
+            server(NameserverConfig::new(NS_ADDR).with_ipid(IpIdPolicy::GlobalCounter)),
+            (0..3).map(|i| query_packet("vict.im", RecordType::A, i, 4096)).collect(),
+        );
+        let ids: Vec<u16> = sim
+            .trace()
+            .entries()
+            .iter()
+            .filter(|e| e.verdict == netsim::trace::TraceVerdict::Delivered && e.to == "resolver" && e.summary.contains("UDP"))
+            .filter_map(|e| {
+                // We cannot recover the IPID from the summary; instead assert
+                // via the server's counter.
+                let _ = e;
+                None
+            })
+            .collect();
+        let _ = ids;
+        let srv = sim.node_ref::<Nameserver>(_ns).unwrap();
+        assert_eq!(srv.peek_ipid(), 4, "global counter advanced once per response (starting at 1)");
+        let _ = res;
+    }
+}

@@ -1,0 +1,619 @@
+//! Resource record types and RDATA encoding.
+//!
+//! The record types implemented here are exactly those Table 1 of the paper
+//! lists as attack vectors: `A` (address hijack), `NS` (application-agnostic
+//! cache poisoning), `CNAME` (used by the FragDNS vulnerability probe), `MX`
+//! (email interception and bounce-triggered queries), `TXT` (SPF / DKIM /
+//! DMARC downgrade), `SRV` and `NAPTR` (XMPP and Radius/eduroam peer
+//! discovery), `IPSECKEY` (opportunistic IPsec hijack), plus `SOA`, `OPT`
+//! (EDNS buffer sizes, Figure 4) and the `ANY` query type used to inflate
+//! response sizes past the fragmentation threshold.
+
+use crate::name::{DomainName, NameError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// DNS record/query types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address record.
+    A,
+    /// Authoritative nameserver.
+    NS,
+    /// Canonical name (alias).
+    CNAME,
+    /// Start of authority.
+    SOA,
+    /// Mail exchanger.
+    MX,
+    /// Free-form text (SPF/DKIM/DMARC policies).
+    TXT,
+    /// IPv6 address record (carried as opaque 16 bytes).
+    AAAA,
+    /// Service locator (XMPP, SIP, ...).
+    SRV,
+    /// Naming authority pointer (Radius/eduroam dynamic discovery).
+    NAPTR,
+    /// IPsec keying material for opportunistic encryption.
+    IPSECKEY,
+    /// EDNS(0) pseudo-record.
+    OPT,
+    /// DNSSEC: zone signing key (modelled, not cryptographically verified).
+    DNSKEY,
+    /// DNSSEC: signature (modelled, not cryptographically verified).
+    RRSIG,
+    /// Query-only meta type matching every record at a name.
+    ANY,
+    /// Any other type, carried by its numeric value.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// Wire value of the type.
+    pub fn number(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::NS => 2,
+            RecordType::CNAME => 5,
+            RecordType::SOA => 6,
+            RecordType::MX => 15,
+            RecordType::TXT => 16,
+            RecordType::AAAA => 28,
+            RecordType::SRV => 33,
+            RecordType::NAPTR => 35,
+            RecordType::OPT => 41,
+            RecordType::IPSECKEY => 45,
+            RecordType::RRSIG => 46,
+            RecordType::DNSKEY => 48,
+            RecordType::ANY => 255,
+            RecordType::Unknown(n) => n,
+        }
+    }
+
+    /// Parses a wire type value.
+    pub fn from_number(n: u16) -> Self {
+        match n {
+            1 => RecordType::A,
+            2 => RecordType::NS,
+            5 => RecordType::CNAME,
+            6 => RecordType::SOA,
+            15 => RecordType::MX,
+            16 => RecordType::TXT,
+            28 => RecordType::AAAA,
+            33 => RecordType::SRV,
+            35 => RecordType::NAPTR,
+            41 => RecordType::OPT,
+            45 => RecordType::IPSECKEY,
+            46 => RecordType::RRSIG,
+            48 => RecordType::DNSKEY,
+            255 => RecordType::ANY,
+            other => RecordType::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::Unknown(n) => write!(f, "TYPE{n}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Record data, one variant per supported type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// Nameserver host name.
+    Ns(DomainName),
+    /// Alias target.
+    Cname(DomainName),
+    /// Start of authority.
+    Soa {
+        /// Primary nameserver.
+        mname: DomainName,
+        /// Responsible mailbox.
+        rname: DomainName,
+        /// Zone serial number.
+        serial: u32,
+        /// Refresh interval (seconds).
+        refresh: u32,
+        /// Retry interval (seconds).
+        retry: u32,
+        /// Expire interval (seconds).
+        expire: u32,
+        /// Negative-caching TTL (seconds).
+        minimum: u32,
+    },
+    /// Mail exchanger.
+    Mx {
+        /// Preference (lower is preferred).
+        preference: u16,
+        /// Mail server host name.
+        exchange: DomainName,
+    },
+    /// Text record (one or more character strings, joined).
+    Txt(String),
+    /// IPv6 address (opaque 16 bytes).
+    Aaaa([u8; 16]),
+    /// Service record.
+    Srv {
+        /// Priority (lower is preferred).
+        priority: u16,
+        /// Weight for equal-priority selection.
+        weight: u16,
+        /// Service port.
+        port: u16,
+        /// Target host name.
+        target: DomainName,
+    },
+    /// Naming authority pointer.
+    Naptr {
+        /// Order.
+        order: u16,
+        /// Preference.
+        preference: u16,
+        /// Flags string.
+        flags: String,
+        /// Service string (e.g. "aaa+auth:radius.tls.tcp").
+        service: String,
+        /// Regexp string.
+        regexp: String,
+        /// Replacement domain.
+        replacement: DomainName,
+    },
+    /// IPsec key (simplified: gateway plus opaque key bytes).
+    IpsecKey {
+        /// Gateway precedence.
+        precedence: u8,
+        /// Gateway address.
+        gateway: Ipv4Addr,
+        /// Public key bytes.
+        public_key: Vec<u8>,
+    },
+    /// DNSSEC key (modelled: opaque key tag only).
+    Dnskey {
+        /// Key tag.
+        key_tag: u16,
+    },
+    /// DNSSEC signature (modelled: covered type + signer + validity flag).
+    Rrsig {
+        /// The record type this signature covers.
+        type_covered: RecordType,
+        /// The zone that produced the signature.
+        signer: DomainName,
+        /// Whether the (simulated) signature is cryptographically valid.
+        valid: bool,
+    },
+    /// EDNS(0) OPT pseudo-record payload: requestor's UDP payload size.
+    Opt {
+        /// Advertised maximum UDP payload size.
+        udp_payload_size: u16,
+    },
+    /// Unknown type: raw RDATA bytes.
+    Raw(Vec<u8>),
+}
+
+impl RData {
+    /// The record type this data belongs to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Ns(_) => RecordType::NS,
+            RData::Cname(_) => RecordType::CNAME,
+            RData::Soa { .. } => RecordType::SOA,
+            RData::Mx { .. } => RecordType::MX,
+            RData::Txt(_) => RecordType::TXT,
+            RData::Aaaa(_) => RecordType::AAAA,
+            RData::Srv { .. } => RecordType::SRV,
+            RData::Naptr { .. } => RecordType::NAPTR,
+            RData::IpsecKey { .. } => RecordType::IPSECKEY,
+            RData::Dnskey { .. } => RecordType::DNSKEY,
+            RData::Rrsig { .. } => RecordType::RRSIG,
+            RData::Opt { .. } => RecordType::OPT,
+            RData::Raw(_) => RecordType::Unknown(0),
+        }
+    }
+
+    /// Encodes the RDATA (without the length prefix). Name compression is
+    /// deliberately *not* used inside RDATA so record sizes are predictable —
+    /// which also matches the "randomise/minimise responses" discussion.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RData::A(addr) => buf.extend_from_slice(&addr.octets()),
+            RData::Ns(name) | RData::Cname(name) => name.encode(buf, None),
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+                mname.encode(buf, None);
+                rname.encode(buf, None);
+                for v in [serial, refresh, retry, expire, minimum] {
+                    buf.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            RData::Mx { preference, exchange } => {
+                buf.extend_from_slice(&preference.to_be_bytes());
+                exchange.encode(buf, None);
+            }
+            RData::Txt(text) => {
+                // Split into 255-byte character strings.
+                let bytes = text.as_bytes();
+                if bytes.is_empty() {
+                    buf.push(0);
+                }
+                for chunk in bytes.chunks(255) {
+                    buf.push(chunk.len() as u8);
+                    buf.extend_from_slice(chunk);
+                }
+            }
+            RData::Aaaa(bytes) => buf.extend_from_slice(bytes),
+            RData::Srv { priority, weight, port, target } => {
+                buf.extend_from_slice(&priority.to_be_bytes());
+                buf.extend_from_slice(&weight.to_be_bytes());
+                buf.extend_from_slice(&port.to_be_bytes());
+                target.encode(buf, None);
+            }
+            RData::Naptr { order, preference, flags, service, regexp, replacement } => {
+                buf.extend_from_slice(&order.to_be_bytes());
+                buf.extend_from_slice(&preference.to_be_bytes());
+                for s in [flags, service, regexp] {
+                    buf.push(s.len() as u8);
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                replacement.encode(buf, None);
+            }
+            RData::IpsecKey { precedence, gateway, public_key } => {
+                buf.push(*precedence);
+                buf.push(1); // gateway type: IPv4
+                buf.push(2); // algorithm: RSA (nominal)
+                buf.extend_from_slice(&gateway.octets());
+                buf.extend_from_slice(public_key);
+            }
+            RData::Dnskey { key_tag } => {
+                buf.extend_from_slice(&key_tag.to_be_bytes());
+            }
+            RData::Rrsig { type_covered, signer, valid } => {
+                buf.extend_from_slice(&type_covered.number().to_be_bytes());
+                buf.push(u8::from(*valid));
+                signer.encode(buf, None);
+            }
+            RData::Opt { udp_payload_size } => {
+                // OPT carries its payload size in the CLASS field; the RDATA
+                // itself is empty in our model. Encode the size here only so
+                // raw storage round-trips.
+                buf.extend_from_slice(&udp_payload_size.to_be_bytes());
+            }
+            RData::Raw(bytes) => buf.extend_from_slice(bytes),
+        }
+    }
+
+    /// Decodes RDATA of the given type from `msg[offset..offset+len]`.
+    pub fn decode(rtype: RecordType, msg: &[u8], offset: usize, len: usize) -> Result<RData, NameError> {
+        let end = offset + len;
+        let slice = msg.get(offset..end).ok_or(NameError::Truncated)?;
+        let out = match rtype {
+            RecordType::A => {
+                if slice.len() != 4 {
+                    return Err(NameError::Truncated);
+                }
+                RData::A(Ipv4Addr::new(slice[0], slice[1], slice[2], slice[3]))
+            }
+            RecordType::NS => RData::Ns(DomainName::decode(msg, offset)?.0),
+            RecordType::CNAME => RData::Cname(DomainName::decode(msg, offset)?.0),
+            RecordType::SOA => {
+                let (mname, pos) = DomainName::decode(msg, offset)?;
+                let (rname, pos) = DomainName::decode(msg, pos)?;
+                let ints = msg.get(pos..pos + 20).ok_or(NameError::Truncated)?;
+                let g = |i: usize| u32::from_be_bytes([ints[i], ints[i + 1], ints[i + 2], ints[i + 3]]);
+                RData::Soa { mname, rname, serial: g(0), refresh: g(4), retry: g(8), expire: g(12), minimum: g(16) }
+            }
+            RecordType::MX => {
+                if slice.len() < 2 {
+                    return Err(NameError::Truncated);
+                }
+                let preference = u16::from_be_bytes([slice[0], slice[1]]);
+                let (exchange, _) = DomainName::decode(msg, offset + 2)?;
+                RData::Mx { preference, exchange }
+            }
+            RecordType::TXT => {
+                let mut text = String::new();
+                let mut pos = 0usize;
+                while pos < slice.len() {
+                    let l = slice[pos] as usize;
+                    let chunk = slice.get(pos + 1..pos + 1 + l).ok_or(NameError::Truncated)?;
+                    text.push_str(&String::from_utf8_lossy(chunk));
+                    pos += 1 + l;
+                }
+                RData::Txt(text)
+            }
+            RecordType::AAAA => {
+                let bytes: [u8; 16] = slice.try_into().map_err(|_| NameError::Truncated)?;
+                RData::Aaaa(bytes)
+            }
+            RecordType::SRV => {
+                if slice.len() < 6 {
+                    return Err(NameError::Truncated);
+                }
+                let priority = u16::from_be_bytes([slice[0], slice[1]]);
+                let weight = u16::from_be_bytes([slice[2], slice[3]]);
+                let port = u16::from_be_bytes([slice[4], slice[5]]);
+                let (target, _) = DomainName::decode(msg, offset + 6)?;
+                RData::Srv { priority, weight, port, target }
+            }
+            RecordType::NAPTR => {
+                if slice.len() < 4 {
+                    return Err(NameError::Truncated);
+                }
+                let order = u16::from_be_bytes([slice[0], slice[1]]);
+                let preference = u16::from_be_bytes([slice[2], slice[3]]);
+                let mut pos = offset + 4;
+                let mut strings = Vec::new();
+                for _ in 0..3 {
+                    let l = *msg.get(pos).ok_or(NameError::Truncated)? as usize;
+                    let s = msg.get(pos + 1..pos + 1 + l).ok_or(NameError::Truncated)?;
+                    strings.push(String::from_utf8_lossy(s).to_string());
+                    pos += 1 + l;
+                }
+                let (replacement, _) = DomainName::decode(msg, pos)?;
+                RData::Naptr {
+                    order,
+                    preference,
+                    flags: strings[0].clone(),
+                    service: strings[1].clone(),
+                    regexp: strings[2].clone(),
+                    replacement,
+                }
+            }
+            RecordType::IPSECKEY => {
+                if slice.len() < 7 {
+                    return Err(NameError::Truncated);
+                }
+                let precedence = slice[0];
+                let gateway = Ipv4Addr::new(slice[3], slice[4], slice[5], slice[6]);
+                RData::IpsecKey { precedence, gateway, public_key: slice[7..].to_vec() }
+            }
+            RecordType::DNSKEY => {
+                if slice.len() < 2 {
+                    return Err(NameError::Truncated);
+                }
+                RData::Dnskey { key_tag: u16::from_be_bytes([slice[0], slice[1]]) }
+            }
+            RecordType::RRSIG => {
+                if slice.len() < 3 {
+                    return Err(NameError::Truncated);
+                }
+                let type_covered = RecordType::from_number(u16::from_be_bytes([slice[0], slice[1]]));
+                let valid = slice[2] != 0;
+                let (signer, _) = DomainName::decode(msg, offset + 3)?;
+                RData::Rrsig { type_covered, signer, valid }
+            }
+            RecordType::OPT => {
+                let size = if slice.len() >= 2 { u16::from_be_bytes([slice[0], slice[1]]) } else { 512 };
+                RData::Opt { udp_payload_size: size }
+            }
+            _ => RData::Raw(slice.to_vec()),
+        };
+        Ok(out)
+    }
+
+    /// The IPv4 address carried by this record, when it has one.
+    pub fn as_ipv4(&self) -> Option<Ipv4Addr> {
+        match self {
+            RData::A(a) => Some(*a),
+            RData::IpsecKey { gateway, .. } => Some(*gateway),
+            _ => None,
+        }
+    }
+}
+
+/// A resource record: owner name, class/TTL and typed data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl ResourceRecord {
+    /// Creates a record.
+    pub fn new(name: DomainName, ttl: u32, rdata: RData) -> Self {
+        ResourceRecord { name, ttl, rdata }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+
+    /// Encodes the record (name, type, class, TTL, RDLENGTH, RDATA).
+    pub fn encode(&self, buf: &mut Vec<u8>, compression: Option<&mut HashMap<String, u16>>) {
+        self.name.encode(buf, compression);
+        buf.extend_from_slice(&self.rtype().number().to_be_bytes());
+        // OPT abuses the class field for the UDP payload size (RFC 6891).
+        let class: u16 = match &self.rdata {
+            RData::Opt { udp_payload_size } => *udp_payload_size,
+            _ => 1, // IN
+        };
+        buf.extend_from_slice(&class.to_be_bytes());
+        buf.extend_from_slice(&self.ttl.to_be_bytes());
+        let mut rdata = Vec::new();
+        match &self.rdata {
+            // OPT RDATA is empty on the wire in our model.
+            RData::Opt { .. } => {}
+            other => other.encode(&mut rdata),
+        }
+        buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&rdata);
+    }
+
+    /// Decodes a record starting at `offset`; returns it and the next offset.
+    pub fn decode(msg: &[u8], offset: usize) -> Result<(ResourceRecord, usize), NameError> {
+        let (name, pos) = DomainName::decode(msg, offset)?;
+        let fixed = msg.get(pos..pos + 10).ok_or(NameError::Truncated)?;
+        let rtype = RecordType::from_number(u16::from_be_bytes([fixed[0], fixed[1]]));
+        let class = u16::from_be_bytes([fixed[2], fixed[3]]);
+        let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+        let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+        let rdata_start = pos + 10;
+        if msg.len() < rdata_start + rdlen {
+            return Err(NameError::Truncated);
+        }
+        let rdata = if rtype == RecordType::OPT {
+            RData::Opt { udp_payload_size: class }
+        } else {
+            RData::decode(rtype, msg, rdata_start, rdlen)?
+        };
+        Ok((ResourceRecord { name, ttl, rdata }, rdata_start + rdlen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(rr: ResourceRecord) {
+        let mut buf = Vec::new();
+        rr.encode(&mut buf, None);
+        let (decoded, end) = ResourceRecord::decode(&buf, 0).unwrap();
+        assert_eq!(decoded, rr);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn a_record_roundtrip() {
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::A("6.6.6.6".parse().unwrap())));
+    }
+
+    #[test]
+    fn ns_cname_roundtrip() {
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Ns(n("ns1.vict.im"))));
+        roundtrip(ResourceRecord::new(n("www.vict.im"), 60, RData::Cname(n("cdn.provider.example"))));
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            3600,
+            RData::Soa {
+                mname: n("ns1.vict.im"),
+                rname: n("hostmaster.vict.im"),
+                serial: 2021082301,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ));
+    }
+
+    #[test]
+    fn mx_txt_roundtrip() {
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Mx { preference: 10, exchange: n("mail.vict.im") }));
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Txt("v=spf1 ip4:30.0.0.0/24 -all".into())));
+    }
+
+    #[test]
+    fn long_txt_roundtrip() {
+        // TXT longer than one character-string (e.g. a DKIM key).
+        let long = "k=rsa; p=".to_string() + &"A".repeat(600);
+        roundtrip(ResourceRecord::new(n("sel._domainkey.vict.im"), 300, RData::Txt(long)));
+    }
+
+    #[test]
+    fn srv_naptr_roundtrip() {
+        roundtrip(ResourceRecord::new(
+            n("_xmpp-server._tcp.vict.im"),
+            300,
+            RData::Srv { priority: 5, weight: 0, port: 5269, target: n("xmpp.vict.im") },
+        ));
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Naptr {
+                order: 100,
+                preference: 10,
+                flags: "s".into(),
+                service: "aaa+auth:radius.tls.tcp".into(),
+                regexp: String::new(),
+                replacement: n("_radiustls._tcp.vict.im"),
+            },
+        ));
+    }
+
+    #[test]
+    fn ipseckey_dnssec_roundtrip() {
+        roundtrip(ResourceRecord::new(
+            n("vpn.vict.im"),
+            300,
+            RData::IpsecKey { precedence: 10, gateway: "30.0.0.99".parse().unwrap(), public_key: vec![1, 2, 3, 4] },
+        ));
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Dnskey { key_tag: 12345 }));
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true },
+        ));
+    }
+
+    #[test]
+    fn aaaa_and_unknown_roundtrip() {
+        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Aaaa([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])));
+    }
+
+    #[test]
+    fn opt_record_carries_payload_size_in_class() {
+        let rr = ResourceRecord::new(DomainName::root(), 0, RData::Opt { udp_payload_size: 4096 });
+        let mut buf = Vec::new();
+        rr.encode(&mut buf, None);
+        let (decoded, _) = ResourceRecord::decode(&buf, 0).unwrap();
+        assert_eq!(decoded.rdata, RData::Opt { udp_payload_size: 4096 });
+    }
+
+    #[test]
+    fn record_type_numbers_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::NS,
+            RecordType::CNAME,
+            RecordType::SOA,
+            RecordType::MX,
+            RecordType::TXT,
+            RecordType::AAAA,
+            RecordType::SRV,
+            RecordType::NAPTR,
+            RecordType::IPSECKEY,
+            RecordType::OPT,
+            RecordType::DNSKEY,
+            RecordType::RRSIG,
+            RecordType::ANY,
+        ] {
+            assert_eq!(RecordType::from_number(t.number()), t);
+        }
+        assert_eq!(RecordType::from_number(9999), RecordType::Unknown(9999));
+    }
+
+    #[test]
+    fn as_ipv4_extracts_addresses() {
+        assert_eq!(RData::A("1.2.3.4".parse().unwrap()).as_ipv4(), Some("1.2.3.4".parse().unwrap()));
+        assert_eq!(RData::Txt("x".into()).as_ipv4(), None);
+    }
+
+    #[test]
+    fn truncated_rdata_rejected() {
+        let rr = ResourceRecord::new(n("vict.im"), 300, RData::A("1.2.3.4".parse().unwrap()));
+        let mut buf = Vec::new();
+        rr.encode(&mut buf, None);
+        buf.truncate(buf.len() - 2);
+        assert!(ResourceRecord::decode(&buf, 0).is_err());
+    }
+}

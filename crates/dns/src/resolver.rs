@@ -1,0 +1,920 @@
+//! The recursive resolver node — the victim of every attack in the paper.
+//!
+//! The resolver implements the RFC 5452 anti-spoofing defences and all the
+//! knobs whose presence or absence the measurement campaigns test:
+//!
+//! * **source-port randomisation** (or weaker policies for ablations),
+//! * **TXID randomisation**, matched case-sensitively against responses,
+//! * optional **0x20 case randomisation** of query names,
+//! * **bailiwick filtering** of response records,
+//! * optional **DNSSEC validation** (modelled signatures),
+//! * configurable **EDNS buffer size** (Figure 4 distribution),
+//! * configurable **ANY-caching policy** (Table 5),
+//! * the OS-level properties exposed by its [`UdpStack`]: the **global ICMP
+//!   rate limit** probed by SadDNS, **fragment acceptance** probed by
+//!   FragDNS, and the defragmentation cache itself.
+//!
+//! The resolver answers clients on port 53, performs recursion towards the
+//! configured delegations (or an upstream forwarder), retries on timeout and
+//! returns `SERVFAIL` when all retries fail — the symptom applications see
+//! when an attacker mounts a DoS through the cache.
+
+use crate::cache::{AnyCachingPolicy, Cache};
+use crate::message::{Message, Question, Rcode};
+use crate::name::DomainName;
+use crate::rdata::{RData, RecordType, ResourceRecord};
+use netsim::prelude::*;
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How the resolver chooses UDP source ports for upstream queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPolicy {
+    /// A fresh uniformly random port per query (RFC 5452 behaviour).
+    Random,
+    /// Sequentially increasing ports (pre-Kaminsky behaviour; trivially
+    /// predictable, used for ablation experiments).
+    Sequential(u16),
+    /// A single fixed port for every query (worst case).
+    Fixed(u16),
+}
+
+/// A delegation entry: queries for names under `zone` are sent to one of the
+/// listed nameserver addresses. `signed` marks DNSSEC-signed zones.
+#[derive(Debug, Clone)]
+pub struct Delegation {
+    /// The zone suffix this delegation covers.
+    pub zone: DomainName,
+    /// Authoritative nameserver addresses.
+    pub nameservers: Vec<Ipv4Addr>,
+    /// Whether the zone is DNSSEC-signed (a validating resolver will reject
+    /// unsigned/forged data for it).
+    pub signed: bool,
+}
+
+/// Configuration of a recursive resolver.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Address the resolver listens on and queries from.
+    pub addr: Ipv4Addr,
+    /// Source-port selection policy.
+    pub port_policy: PortPolicy,
+    /// Inclusive range from which random ephemeral ports are drawn. The
+    /// (1024, 65535) default models the full ephemeral range; experiments
+    /// that need a faster SadDNS scan narrow it and scale results up.
+    pub port_range: (u16, u16),
+    /// Whether 0x20 case randomisation is applied to outgoing queries.
+    pub use_0x20: bool,
+    /// Whether (modelled) DNSSEC validation is performed for signed zones.
+    pub validate_dnssec: bool,
+    /// EDNS UDP payload size advertised in upstream queries.
+    pub edns_size: u16,
+    /// How ANY-derived cache entries may be reused (Table 5).
+    pub any_caching: AnyCachingPolicy,
+    /// ICMP error rate-limit policy of the resolver's OS (SadDNS side channel).
+    pub icmp_rate_limit: IcmpRateLimitPolicy,
+    /// Whether fragmented responses are accepted (FragDNS prerequisite).
+    pub accept_fragments: bool,
+    /// Upstream query timeout before retrying.
+    pub query_timeout: Duration,
+    /// Number of upstream retries before answering SERVFAIL.
+    pub max_retries: u32,
+    /// Known delegations (zone -> authoritative nameservers).
+    pub delegations: Vec<Delegation>,
+    /// When set, the resolver acts as a forwarder and sends every query to
+    /// this upstream recursive resolver instead of the authoritative servers.
+    pub upstream: Option<Ipv4Addr>,
+}
+
+impl ResolverConfig {
+    /// A standard, RFC 5452-compliant resolver with the vulnerable Linux
+    /// global ICMP rate limit and fragment acceptance (the common baseline
+    /// the paper measures against).
+    pub fn new(addr: Ipv4Addr) -> Self {
+        ResolverConfig {
+            addr,
+            port_policy: PortPolicy::Random,
+            port_range: (1024, u16::MAX),
+            use_0x20: false,
+            validate_dnssec: false,
+            edns_size: 4096,
+            any_caching: AnyCachingPolicy::CacheAndUse,
+            icmp_rate_limit: IcmpRateLimitPolicy::linux_default(),
+            accept_fragments: true,
+            query_timeout: Duration::from_secs(2),
+            max_retries: 2,
+            delegations: Vec::new(),
+            upstream: None,
+        }
+    }
+
+    /// Adds a delegation.
+    pub fn with_delegation(mut self, zone: &str, nameservers: Vec<Ipv4Addr>, signed: bool) -> Self {
+        self.delegations.push(Delegation { zone: zone.parse().expect("valid zone"), nameservers, signed });
+        self
+    }
+
+    /// Enables 0x20 case randomisation.
+    pub fn with_0x20(mut self) -> Self {
+        self.use_0x20 = true;
+        self
+    }
+
+    /// Enables DNSSEC validation.
+    pub fn with_dnssec_validation(mut self) -> Self {
+        self.validate_dnssec = true;
+        self
+    }
+}
+
+/// Why a response was rejected (counters for the measurement harness).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries received from clients.
+    pub client_queries: u64,
+    /// Client queries answered from cache.
+    pub cache_answers: u64,
+    /// Queries sent upstream (including retries).
+    pub upstream_queries: u64,
+    /// Upstream responses accepted and cached.
+    pub responses_accepted: u64,
+    /// Responses dropped because the TXID did not match.
+    pub rejected_txid: u64,
+    /// Responses dropped because the question (or its 0x20 casing) mismatched.
+    pub rejected_question: u64,
+    /// Records dropped by bailiwick filtering.
+    pub rejected_bailiwick_records: u64,
+    /// Responses dropped by DNSSEC validation.
+    pub rejected_dnssec: u64,
+    /// Truncated responses received (would retry over TCP; the UDP answer is
+    /// not cached).
+    pub truncated_responses: u64,
+    /// Upstream timeouts.
+    pub timeouts: u64,
+    /// SERVFAIL answers returned to clients.
+    pub servfails: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    txid: u16,
+    question: Question,
+    /// Question as sent on the wire (0x20-cased).
+    wire_question: Question,
+    port: u16,
+    nameserver: Ipv4Addr,
+    bailiwick: DomainName,
+    signed_zone: bool,
+    retries_left: u32,
+    clients: Vec<ClientRef>,
+    /// Original query type requested by the client (ANY handling).
+    client_qtype: RecordType,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClientRef {
+    addr: Ipv4Addr,
+    port: u16,
+    txid: u16,
+}
+
+/// The recursive resolver node.
+pub struct Resolver {
+    stack: UdpStack,
+    config: ResolverConfig,
+    cache: Cache,
+    outstanding: HashMap<u64, Outstanding>,
+    port_to_token: HashMap<u16, u64>,
+    next_token: u64,
+    next_sequential_port: u16,
+    /// Counters.
+    pub stats: ResolverStats,
+}
+
+impl Resolver {
+    /// Creates a resolver from its configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        let stack_cfg = StackConfig {
+            icmp_rate_limit: config.icmp_rate_limit,
+            accept_fragments: config.accept_fragments,
+            ipid_policy: IpIdPolicy::Random,
+            ..Default::default()
+        };
+        let mut stack = UdpStack::new(vec![config.addr], stack_cfg);
+        stack.open_port(53);
+        let next_sequential_port = match config.port_policy {
+            PortPolicy::Sequential(start) => start,
+            _ => 10_000,
+        };
+        Resolver {
+            stack,
+            config,
+            cache: Cache::new(),
+            outstanding: HashMap::new(),
+            port_to_token: HashMap::new(),
+            next_token: 1,
+            next_sequential_port,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// The resolver's address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.config.addr
+    }
+
+    /// Read access to the cache (poisoning checks, cross-application probes).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Mutable access to the cache (operator interventions in experiments).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Read access to the OS stack (ICMP limiter inspection in measurements).
+    pub fn stack(&self) -> &UdpStack {
+        &self.stack
+    }
+
+    /// Ephemeral ports with outstanding upstream queries — what the SadDNS
+    /// port scan is trying to find.
+    pub fn outstanding_ports(&self) -> Vec<u16> {
+        self.port_to_token.keys().copied().collect()
+    }
+
+    /// Number of outstanding upstream queries.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether the resolver's cache maps `name` to `addr` — the canonical
+    /// "was the cache poisoned?" check used by the attack harnesses.
+    pub fn is_poisoned_with(&self, name: &DomainName, addr: Ipv4Addr, now: SimTime) -> bool {
+        self.cache.is_poisoned_with(name, addr, now)
+    }
+
+    fn allocate_port(&mut self, rng: &mut impl Rng) -> u16 {
+        match self.config.port_policy {
+            PortPolicy::Random => loop {
+                let (lo, hi) = self.config.port_range;
+                let p = rng.gen_range(lo..=hi);
+                if !self.stack.is_port_open(p) {
+                    return p;
+                }
+            },
+            PortPolicy::Sequential(_) => {
+                let p = self.next_sequential_port;
+                self.next_sequential_port = self.next_sequential_port.wrapping_add(1).max(1024);
+                p
+            }
+            PortPolicy::Fixed(p) => p,
+        }
+    }
+
+    fn delegation_for(&self, name: &DomainName) -> Option<&Delegation> {
+        self.config
+            .delegations
+            .iter()
+            .filter(|d| name.is_subdomain_of(&d.zone))
+            .max_by_key(|d| d.zone.label_count())
+    }
+
+    /// Starts (or restarts) an upstream query. Returns `false` when no
+    /// nameserver is known for the name.
+    fn send_upstream(&mut self, token: u64, ctx: &mut Ctx<'_>) -> bool {
+        let Some(entry) = self.outstanding.get(&token).cloned() else { return false };
+        let now = ctx.now();
+        let query = Message::query(entry.txid, entry.wire_question.name.clone(), entry.wire_question.qtype)
+            .with_edns(self.config.edns_size);
+        let payload = query.encode();
+        let packets = self.stack.send_udp(
+            self.config.addr,
+            entry.nameserver,
+            entry.port,
+            53,
+            payload,
+            now,
+            ctx.rng(),
+        );
+        for pkt in packets {
+            ctx.send(pkt);
+        }
+        self.stats.upstream_queries += 1;
+        ctx.set_timer(self.config.query_timeout, token);
+        true
+    }
+
+    fn start_recursion(&mut self, question: Question, client: Option<ClientRef>, ctx: &mut Ctx<'_>) {
+        let (nameserver, bailiwick, signed) = if let Some(upstream) = self.config.upstream {
+            (upstream, DomainName::root(), false)
+        } else {
+            match self.delegation_for(&question.name) {
+                Some(d) if !d.nameservers.is_empty() => {
+                    let idx = ctx.rng().gen_range(0..d.nameservers.len());
+                    (d.nameservers[idx], d.zone.clone(), d.signed)
+                }
+                _ => {
+                    // No known nameserver: SERVFAIL immediately.
+                    if let Some(c) = client {
+                        self.answer_client_error(&question, c, Rcode::ServFail, ctx);
+                        self.stats.servfails += 1;
+                    }
+                    return;
+                }
+            }
+        };
+        let txid: u16 = ctx.rng().gen();
+        let port = self.allocate_port(ctx.rng());
+        let wire_name = if self.config.use_0x20 { question.name.randomize_case(ctx.rng()) } else { question.name.clone() };
+        let wire_question = Question { name: wire_name, qtype: question.qtype };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.stack.open_port(port);
+        self.port_to_token.insert(port, token);
+        self.outstanding.insert(
+            token,
+            Outstanding {
+                txid,
+                question: question.clone(),
+                wire_question,
+                port,
+                nameserver,
+                bailiwick,
+                signed_zone: signed,
+                retries_left: self.config.max_retries,
+                clients: client.into_iter().collect(),
+                client_qtype: question.qtype,
+            },
+        );
+        self.send_upstream(token, ctx);
+    }
+
+    fn answer_client_from_records(
+        &mut self,
+        question: &Question,
+        records: &[ResourceRecord],
+        client: ClientRef,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let mut response = Message {
+            header: crate::message::Header {
+                id: client.txid,
+                is_response: true,
+                authoritative: false,
+                truncated: false,
+                recursion_desired: true,
+                recursion_available: true,
+                authenticated_data: false,
+                rcode: Rcode::NoError,
+            },
+            questions: vec![question.clone()],
+            answers: records.to_vec(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        if records.is_empty() {
+            response.header.rcode = Rcode::NxDomain;
+        }
+        let payload = response.encode();
+        let now = ctx.now();
+        let packets = self.stack.send_udp(self.config.addr, client.addr, 53, client.port, payload, now, ctx.rng());
+        for pkt in packets {
+            ctx.send(pkt);
+        }
+    }
+
+    fn answer_client_error(&mut self, question: &Question, client: ClientRef, rcode: Rcode, ctx: &mut Ctx<'_>) {
+        let mut response = Message::query(client.txid, question.name.clone(), question.qtype);
+        response.header.is_response = true;
+        response.header.recursion_available = true;
+        response.header.rcode = rcode;
+        let payload = response.encode();
+        let now = ctx.now();
+        let packets = self.stack.send_udp(self.config.addr, client.addr, 53, client.port, payload, now, ctx.rng());
+        for pkt in packets {
+            ctx.send(pkt);
+        }
+    }
+
+    fn handle_client_query(&mut self, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(&dgram.payload) else { return };
+        if query.header.is_response {
+            return;
+        }
+        let Some(question) = query.question().cloned() else { return };
+        self.stats.client_queries += 1;
+        let client = ClientRef { addr: dgram.src, port: dgram.src_port, txid: query.header.id };
+
+        // ANY handling per implementation profile.
+        if question.qtype == RecordType::ANY && self.config.any_caching == AnyCachingPolicy::Unsupported {
+            self.answer_client_error(&question, client, Rcode::NotImp, ctx);
+            return;
+        }
+
+        // Cache lookup.
+        let allow_any_derived = self.config.any_caching == AnyCachingPolicy::CacheAndUse;
+        let now = ctx.now();
+        if let Some(records) = self.cache.lookup_with_policy(&question.name, question.qtype, now, allow_any_derived) {
+            self.stats.cache_answers += 1;
+            self.answer_client_from_records(&question, &records, client, ctx);
+            return;
+        }
+
+        // Join an identical outstanding query if one exists.
+        if let Some((_, entry)) = self
+            .outstanding
+            .iter_mut()
+            .find(|(_, o)| o.question.name == question.name && o.question.qtype == question.qtype)
+        {
+            entry.clients.push(client);
+            return;
+        }
+
+        self.start_recursion(question, Some(client), ctx);
+    }
+
+    /// Validates and ingests an upstream response delivered to `port`.
+    fn handle_upstream_response(&mut self, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
+        let Some(&token) = self.port_to_token.get(&dgram.dst_port) else { return };
+        let Ok(response) = Message::decode(&dgram.payload) else { return };
+        if !response.header.is_response {
+            return;
+        }
+        let Some(entry) = self.outstanding.get(&token).cloned() else { return };
+
+        // Challenge validation: TXID.
+        if response.header.id != entry.txid {
+            self.stats.rejected_txid += 1;
+            return;
+        }
+        // Challenge validation: question echo (0x20 when enabled).
+        let Some(echoed) = response.question() else {
+            self.stats.rejected_question += 1;
+            return;
+        };
+        let question_ok = if self.config.use_0x20 {
+            echoed.name.eq_case_sensitive(&entry.wire_question.name) && echoed.qtype == entry.wire_question.qtype
+        } else {
+            echoed.name == entry.wire_question.name && echoed.qtype == entry.wire_question.qtype
+        };
+        if !question_ok {
+            self.stats.rejected_question += 1;
+            return;
+        }
+
+        // Truncated responses are not cached from UDP (retry over TCP in the
+        // real world — out of scope, so the attack simply fails).
+        if response.header.truncated {
+            self.stats.truncated_responses += 1;
+            self.finish_query(token, &[], ctx);
+            return;
+        }
+
+        // Bailiwick filtering.
+        let mut in_bailiwick: Vec<ResourceRecord> = Vec::new();
+        for rr in response.all_records() {
+            if matches!(rr.rdata, RData::Opt { .. }) {
+                continue;
+            }
+            if rr.name.is_subdomain_of(&entry.bailiwick) {
+                in_bailiwick.push(rr.clone());
+            } else {
+                self.stats.rejected_bailiwick_records += 1;
+            }
+        }
+
+        // DNSSEC validation (modelled): for signed zones a validating
+        // resolver requires valid RRSIGs covering the answer records.
+        if self.config.validate_dnssec && entry.signed_zone {
+            let has_answers = in_bailiwick.iter().any(|r| !matches!(r.rdata, RData::Rrsig { .. }));
+            let all_signed_valid = !in_bailiwick.is_empty()
+                && in_bailiwick.iter().any(|r| matches!(r.rdata, RData::Rrsig { valid: true, .. }))
+                && in_bailiwick.iter().all(|r| !matches!(r.rdata, RData::Rrsig { valid: false, .. }));
+            if has_answers && !all_signed_valid {
+                self.stats.rejected_dnssec += 1;
+                return;
+            }
+        }
+
+        self.stats.responses_accepted += 1;
+        let now = ctx.now();
+        let from_any = entry.client_qtype == RecordType::ANY;
+        self.cache.insert_records(&in_bailiwick, now, from_any);
+        let answers: Vec<ResourceRecord> = in_bailiwick
+            .iter()
+            .filter(|r| {
+                entry.client_qtype == RecordType::ANY
+                    || r.rtype() == entry.client_qtype
+                    || r.rtype() == RecordType::CNAME
+            })
+            .cloned()
+            .collect();
+        self.finish_query(token, &answers, ctx);
+    }
+
+    fn finish_query(&mut self, token: u64, answers: &[ResourceRecord], ctx: &mut Ctx<'_>) {
+        if let Some(entry) = self.outstanding.remove(&token) {
+            self.port_to_token.remove(&entry.port);
+            self.stack.close_port(entry.port);
+            for client in entry.clients.clone() {
+                self.answer_client_from_records(&entry.question, answers, client, ctx);
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let Some(entry) = self.outstanding.get_mut(&token) else { return };
+        self.stats.timeouts += 1;
+        if entry.retries_left > 0 {
+            entry.retries_left -= 1;
+            // New port and TXID per retry (fresh challenge values).
+            let old_port = entry.port;
+            let new_txid: u16 = ctx.rng().gen();
+            entry.txid = new_txid;
+            self.port_to_token.remove(&old_port);
+            self.stack.close_port(old_port);
+            let new_port = self.allocate_port(ctx.rng());
+            self.stack.open_port(new_port);
+            if let Some(entry) = self.outstanding.get_mut(&token) {
+                entry.port = new_port;
+            }
+            self.port_to_token.insert(new_port, token);
+            self.send_upstream(token, ctx);
+        } else {
+            let entry = self.outstanding.get(&token).cloned().expect("checked above");
+            self.stats.servfails += entry.clients.len() as u64;
+            self.port_to_token.remove(&entry.port);
+            self.stack.close_port(entry.port);
+            self.outstanding.remove(&token);
+            for client in entry.clients {
+                self.answer_client_error(&entry.question, client, Rcode::ServFail, ctx);
+            }
+        }
+    }
+}
+
+impl Node for Resolver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+        let now = ctx.now();
+        let output = {
+            let rng = ctx.rng();
+            self.stack.handle_packet(&pkt, now, rng)
+        };
+        for reply in output.replies {
+            ctx.send(reply);
+        }
+        for event in output.events {
+            if let StackEvent::Udp(dgram) = event {
+                if dgram.dst_port == 53 {
+                    self.handle_client_query(&dgram, ctx);
+                } else {
+                    self.handle_upstream_response(&dgram, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.outstanding.contains_key(&token) {
+            self.handle_timeout(token, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nameserver::{Nameserver, NameserverConfig};
+    use crate::zone::Zone;
+
+    const RESOLVER_ADDR: Ipv4Addr = Ipv4Addr::new(30, 0, 0, 1);
+    const NS_ADDR: Ipv4Addr = Ipv4Addr::new(123, 0, 0, 53);
+    const CLIENT_ADDR: Ipv4Addr = Ipv4Addr::new(30, 0, 0, 25);
+    const ATTACKER_ADDR: Ipv4Addr = Ipv4Addr::new(6, 6, 6, 6);
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn victim_zone() -> Zone {
+        let mut z = Zone::new(n("vict.im"));
+        z.add_ns("ns1.vict.im", NS_ADDR);
+        z.add_a("vict.im", "30.0.0.80".parse().unwrap());
+        z.add_a("www.vict.im", "30.0.0.80".parse().unwrap());
+        z.add_txt("vict.im", "v=spf1 ip4:30.0.0.0/24 -all");
+        z
+    }
+
+    fn resolver_config() -> ResolverConfig {
+        ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec![NS_ADDR], false)
+    }
+
+    struct Setup {
+        sim: Simulator,
+        resolver: NodeId,
+        client: NodeId,
+        #[allow(dead_code)]
+        ns: NodeId,
+    }
+
+    fn setup(config: ResolverConfig, zone: Zone) -> Setup {
+        let mut sim = Simulator::new(11);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(config));
+        let ns = sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![zone]));
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::with_latency(Duration::from_millis(20)));
+        sim.connect(resolver, client, Link::with_latency(Duration::from_millis(1)));
+        Setup { sim, resolver, client, ns }
+    }
+
+    fn client_query(name: &str, qtype: RecordType, id: u16) -> Ipv4Packet {
+        let q = Message::query(id, n(name), qtype);
+        UdpDatagram::new(CLIENT_ADDR, RESOLVER_ADDR, 5353, 53, q.encode()).into_packet(1, 64)
+    }
+
+    #[test]
+    fn resolves_and_caches() {
+        let mut s = setup(resolver_config(), victim_zone());
+        s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 77));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.client_queries, 1);
+        assert_eq!(r.stats.upstream_queries, 1);
+        assert_eq!(r.stats.responses_accepted, 1);
+        assert_eq!(r.cache().cached_a(&n("www.vict.im"), s.sim.now()), Some("30.0.0.80".parse().unwrap()));
+        // The client received an answer.
+        assert!(s.sim.stats(s.client).udp_received >= 1);
+        // Second identical query is served from cache without upstream traffic.
+        s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 78));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.upstream_queries, 1);
+        assert_eq!(r.stats.cache_answers, 1);
+    }
+
+    #[test]
+    fn random_ports_and_txids_differ_between_queries() {
+        let mut s = setup(resolver_config(), victim_zone());
+        s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 1));
+        s.sim.inject(s.client, client_query("vict.im", RecordType::TXT, 2));
+        s.sim.run_until(SimTime::ZERO + Duration::from_millis(5));
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        let ports = r.outstanding_ports();
+        assert_eq!(ports.len(), 2);
+        assert_ne!(ports[0], ports[1]);
+        s.sim.run();
+    }
+
+    #[test]
+    fn servfail_when_nameserver_unreachable() {
+        // Delegation points at an address that no node owns.
+        let cfg = ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec!["9.9.9.9".parse().unwrap()], false);
+        let mut s = setup(cfg, victim_zone());
+        s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 5));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert!(r.stats.timeouts >= 1);
+        assert_eq!(r.stats.servfails, 1);
+        assert_eq!(r.outstanding_count(), 0);
+        assert!(r.cache().cached_a(&n("www.vict.im"), s.sim.now()).is_none());
+    }
+
+    #[test]
+    fn unknown_zone_servfails_immediately() {
+        let mut s = setup(resolver_config(), victim_zone());
+        s.sim.inject(s.client, client_query("unknown.example", RecordType::A, 5));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.servfails, 1);
+        assert_eq!(r.stats.upstream_queries, 0);
+    }
+
+    /// An off-path attacker blindly spraying spoofed responses with random
+    /// TXIDs at a *random* port has essentially no chance; with the port
+    /// known (fixed-port policy) and the full TXID space covered, the forgery
+    /// is accepted. This is the 16-bit-vs-32-bit entropy argument of §2.1.
+    #[test]
+    fn spoofed_response_needs_port_and_txid() {
+        // Fixed port, and we spray all TXIDs in a small window around the
+        // real one by sending the full 2^16 space in chunks — here we cheat
+        // and read the entropy structurally: with the right port and TXID the
+        // forgery is accepted.
+        let cfg = ResolverConfig { port_policy: PortPolicy::Fixed(33333), ..resolver_config() };
+        let mut sim = Simulator::new(5);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(cfg));
+        // Nameserver that never answers (so the race is trivially won).
+        let ns = sim.add_node("ns", vec![NS_ADDR], SinkNode::default());
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        let attacker = sim.add_node("attacker", vec![ATTACKER_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::default());
+        sim.connect(resolver, client, Link::default());
+        sim.connect(attacker, resolver, Link::with_latency(Duration::from_millis(1)));
+        sim.inject(client, client_query("www.vict.im", RecordType::A, 9));
+        sim.run_until(SimTime::ZERO + Duration::from_millis(50));
+
+        // Read the TXID the resolver chose (off-path attackers cannot do
+        // this; the SadDNS/FragDNS machinery in the `attacks` crate earns it).
+        let txid = {
+            let r = sim.node_ref::<Resolver>(resolver).unwrap();
+            r.outstanding.values().next().unwrap().txid
+        };
+        // Wrong TXID: rejected.
+        let mut forged = Message::query(txid.wrapping_add(1), n("www.vict.im"), RecordType::A);
+        forged.header.is_response = true;
+        forged.answers.push(ResourceRecord::new(n("www.vict.im"), 300, RData::A(ATTACKER_ADDR)));
+        let pkt = UdpDatagram::new(NS_ADDR, RESOLVER_ADDR, 53, 33333, forged.encode()).into_packet(2, 64);
+        sim.inject(attacker, pkt);
+        sim.run_until(sim.now() + Duration::from_millis(10));
+        assert_eq!(sim.node_ref::<Resolver>(resolver).unwrap().stats.rejected_txid, 1);
+        assert!(!sim.node_ref::<Resolver>(resolver).unwrap().is_poisoned_with(&n("www.vict.im"), ATTACKER_ADDR, sim.now()));
+
+        // Correct TXID and port: accepted, cache poisoned.
+        let mut forged = Message::query(txid, n("www.vict.im"), RecordType::A);
+        forged.header.is_response = true;
+        forged.answers.push(ResourceRecord::new(n("www.vict.im"), 300, RData::A(ATTACKER_ADDR)));
+        let pkt = UdpDatagram::new(NS_ADDR, RESOLVER_ADDR, 53, 33333, forged.encode()).into_packet(3, 64);
+        sim.inject(attacker, pkt);
+        sim.run_until(sim.now() + Duration::from_millis(10));
+        let r = sim.node_ref::<Resolver>(resolver).unwrap();
+        assert!(r.is_poisoned_with(&n("www.vict.im"), ATTACKER_ADDR, sim.now()));
+    }
+
+    #[test]
+    fn bailiwick_filtering_drops_out_of_zone_records() {
+        let cfg = ResolverConfig { port_policy: PortPolicy::Fixed(44444), ..resolver_config() };
+        let mut sim = Simulator::new(6);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(cfg));
+        let ns = sim.add_node("ns", vec![NS_ADDR], SinkNode::default());
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::default());
+        sim.connect(resolver, client, Link::default());
+        sim.inject(client, client_query("www.vict.im", RecordType::A, 9));
+        sim.run_until(SimTime::ZERO + Duration::from_millis(50));
+        let txid = sim.node_ref::<Resolver>(resolver).unwrap().outstanding.values().next().unwrap().txid;
+        // A "legitimate-looking" response that also tries to poison an
+        // unrelated domain (bank.example) — classic out-of-bailiwick injection.
+        let mut forged = Message::query(txid, n("www.vict.im"), RecordType::A);
+        forged.header.is_response = true;
+        forged.answers.push(ResourceRecord::new(n("www.vict.im"), 300, RData::A("30.0.0.80".parse().unwrap())));
+        forged.additionals.push(ResourceRecord::new(n("bank.example"), 300, RData::A(ATTACKER_ADDR)));
+        let pkt = UdpDatagram::new(NS_ADDR, RESOLVER_ADDR, 53, 44444, forged.encode()).into_packet(3, 64);
+        sim.inject(ns, pkt);
+        sim.run();
+        let r = sim.node_ref::<Resolver>(resolver).unwrap();
+        assert_eq!(r.stats.rejected_bailiwick_records, 1);
+        assert!(r.cache().cached_a(&n("bank.example"), sim.now()).is_none());
+        assert!(r.cache().cached_a(&n("www.vict.im"), sim.now()).is_some());
+    }
+
+    #[test]
+    fn x20_rejects_wrong_case_echo() {
+        let cfg = ResolverConfig { port_policy: PortPolicy::Fixed(40000), ..resolver_config() }.with_0x20();
+        let mut sim = Simulator::new(7);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(cfg));
+        let ns = sim.add_node("ns", vec![NS_ADDR], SinkNode::default());
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::default());
+        sim.connect(resolver, client, Link::default());
+        sim.inject(client, client_query("verylongname.vict.im", RecordType::A, 9));
+        sim.run_until(SimTime::ZERO + Duration::from_millis(50));
+        let txid = sim.node_ref::<Resolver>(resolver).unwrap().outstanding.values().next().unwrap().txid;
+        // Attacker knows the TXID (hypothetically) but echoes an all-lowercase
+        // question: 0x20 validation rejects it.
+        let mut forged = Message::query(txid, n("verylongname.vict.im"), RecordType::A);
+        forged.header.is_response = true;
+        forged.answers.push(ResourceRecord::new(n("verylongname.vict.im"), 300, RData::A(ATTACKER_ADDR)));
+        let pkt = UdpDatagram::new(NS_ADDR, RESOLVER_ADDR, 53, 40000, forged.encode()).into_packet(3, 64);
+        sim.inject(ns, pkt);
+        sim.run();
+        let r = sim.node_ref::<Resolver>(resolver).unwrap();
+        assert_eq!(r.stats.rejected_question, 1);
+        assert!(!r.is_poisoned_with(&n("verylongname.vict.im"), ATTACKER_ADDR, sim.now()));
+    }
+
+    #[test]
+    fn dnssec_validation_rejects_unsigned_forgery_for_signed_zone() {
+        let cfg = ResolverConfig {
+            port_policy: PortPolicy::Fixed(41000),
+            ..ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec![NS_ADDR], true)
+        }
+        .with_dnssec_validation();
+        let mut sim = Simulator::new(8);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(cfg));
+        let ns = sim.add_node("ns", vec![NS_ADDR], SinkNode::default());
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::default());
+        sim.connect(resolver, client, Link::default());
+        sim.inject(client, client_query("www.vict.im", RecordType::A, 9));
+        sim.run_until(SimTime::ZERO + Duration::from_millis(50));
+        let txid = sim.node_ref::<Resolver>(resolver).unwrap().outstanding.values().next().unwrap().txid;
+        let mut forged = Message::query(txid, n("www.vict.im"), RecordType::A);
+        forged.header.is_response = true;
+        forged.answers.push(ResourceRecord::new(n("www.vict.im"), 300, RData::A(ATTACKER_ADDR)));
+        let pkt = UdpDatagram::new(NS_ADDR, RESOLVER_ADDR, 53, 41000, forged.encode()).into_packet(3, 64);
+        sim.inject(ns, pkt);
+        sim.run();
+        let r = sim.node_ref::<Resolver>(resolver).unwrap();
+        assert_eq!(r.stats.rejected_dnssec, 1);
+        assert!(!r.is_poisoned_with(&n("www.vict.im"), ATTACKER_ADDR, sim.now()));
+    }
+
+    #[test]
+    fn signed_zone_with_validation_accepts_genuine_signed_answer() {
+        let cfg = ResolverConfig::new(RESOLVER_ADDR)
+            .with_delegation("vict.im", vec![NS_ADDR], true)
+            .with_dnssec_validation();
+        let mut s = setup(cfg, victim_zone().sign());
+        s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 1));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.responses_accepted, 1);
+        assert_eq!(r.stats.rejected_dnssec, 0);
+        assert!(r.cache().cached_a(&n("www.vict.im"), s.sim.now()).is_some());
+    }
+
+    #[test]
+    fn any_unsupported_profile_refuses_any_queries() {
+        let cfg = ResolverConfig { any_caching: AnyCachingPolicy::Unsupported, ..resolver_config() };
+        let mut s = setup(cfg, victim_zone());
+        s.sim.inject(s.client, client_query("vict.im", RecordType::ANY, 3));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.upstream_queries, 0, "ANY refused locally");
+    }
+
+    #[test]
+    fn any_cacheanduse_answers_subsequent_a_from_cache() {
+        let mut s = setup(resolver_config(), victim_zone());
+        s.sim.inject(s.client, client_query("vict.im", RecordType::ANY, 3));
+        s.sim.run();
+        s.sim.inject(s.client, client_query("vict.im", RecordType::A, 4));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.upstream_queries, 1, "A answered from the cached ANY contents");
+        assert_eq!(r.stats.cache_answers, 1);
+    }
+
+    #[test]
+    fn any_notcached_requeries_for_a() {
+        let cfg = ResolverConfig { any_caching: AnyCachingPolicy::NotCached, ..resolver_config() };
+        let mut s = setup(cfg, victim_zone());
+        s.sim.inject(s.client, client_query("vict.im", RecordType::ANY, 3));
+        s.sim.run();
+        s.sim.inject(s.client, client_query("vict.im", RecordType::A, 4));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.upstream_queries, 2, "A re-queried upstream (dnsmasq behaviour)");
+    }
+
+    #[test]
+    fn forwarder_mode_sends_to_upstream() {
+        // Forwarder -> upstream recursive resolver -> authoritative NS.
+        let upstream_cfg = resolver_config();
+        let fwd_cfg = ResolverConfig { upstream: Some(RESOLVER_ADDR), ..ResolverConfig::new("30.0.0.2".parse().unwrap()) };
+        let mut sim = Simulator::new(12);
+        let upstream = sim.add_node("upstream", vec![RESOLVER_ADDR], Resolver::new(upstream_cfg));
+        let fwd_addr: Ipv4Addr = "30.0.0.2".parse().unwrap();
+        let fwd = sim.add_node("forwarder", vec![fwd_addr], Resolver::new(fwd_cfg));
+        let ns = sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(upstream, ns, Link::default());
+        sim.connect(fwd, upstream, Link::default());
+        sim.connect(client, fwd, Link::default());
+        let q = Message::query(9, n("www.vict.im"), RecordType::A);
+        let pkt = UdpDatagram::new(CLIENT_ADDR, fwd_addr, 5353, 53, q.encode()).into_packet(1, 64);
+        sim.inject(client, pkt);
+        sim.run();
+        // Both caches hold the record: poisoning the upstream poisons every
+        // forwarder (and client) behind it.
+        assert!(sim.node_ref::<Resolver>(upstream).unwrap().cache().cached_a(&n("www.vict.im"), sim.now()).is_some());
+        assert!(sim.node_ref::<Resolver>(fwd).unwrap().cache().cached_a(&n("www.vict.im"), sim.now()).is_some());
+        assert!(sim.stats(client).udp_received >= 1);
+    }
+
+    #[test]
+    fn retries_use_fresh_challenge_values_then_succeed() {
+        // The nameserver is behind a lossy link: the first attempt may be
+        // lost, the resolver retries with a new port/TXID and eventually wins.
+        let mut sim = Simulator::new(33);
+        let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(resolver_config()));
+        let ns = sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
+        let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
+        sim.connect(resolver, ns, Link::default().loss(0.6));
+        sim.connect(resolver, client, Link::default());
+        sim.inject(client, client_query("www.vict.im", RecordType::A, 7));
+        sim.run();
+        let r = sim.node_ref::<Resolver>(resolver).unwrap();
+        // Either it eventually succeeded or exhausted retries; with seed 33
+        // at 60% loss and 3 attempts, we expect progress beyond one attempt.
+        assert!(r.stats.upstream_queries >= 1);
+        assert_eq!(r.outstanding_count(), 0, "no query left dangling");
+    }
+}

@@ -1,0 +1,292 @@
+//! Authoritative zone data.
+//!
+//! A [`Zone`] holds the records an authoritative nameserver serves for one
+//! origin. The builder covers all the record types used by the applications
+//! in Table 1 (mail, XMPP, Radius, SPF/DKIM policies, IPSECKEY, ...) plus the
+//! DNSSEC-signing flag used by the Table 4 "DNSSEC" column, and supports the
+//! `ANY` query expansion the FragDNS attacker uses to inflate responses.
+
+use crate::name::DomainName;
+use crate::rdata::{RData, RecordType, ResourceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Result of a zone lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupResult {
+    /// Records matching the query.
+    Records(Vec<ResourceRecord>),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist in the zone.
+    NxDomain,
+    /// The query name is outside this zone.
+    OutOfZone,
+}
+
+/// An authoritative zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// The zone origin (apex).
+    pub origin: DomainName,
+    /// Whether the zone is DNSSEC-signed. When true, every response the
+    /// nameserver produces carries (simulated) RRSIGs and a validating
+    /// resolver can detect spoofed data.
+    pub signed: bool,
+    /// Default TTL for records added without an explicit TTL.
+    pub default_ttl: u32,
+    records: BTreeMap<DomainName, Vec<ResourceRecord>>,
+}
+
+impl Zone {
+    /// Creates an empty zone with a standard SOA record.
+    pub fn new(origin: DomainName) -> Self {
+        let mut zone = Zone { origin: origin.clone(), signed: false, default_ttl: 300, records: BTreeMap::new() };
+        let soa = RData::Soa {
+            mname: origin.prepend("ns1").unwrap_or_else(|_| origin.clone()),
+            rname: origin.prepend("hostmaster").unwrap_or_else(|_| origin.clone()),
+            serial: 2021_08_23,
+            refresh: 7200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: 300,
+        };
+        zone.add(origin, 3600, soa);
+        zone
+    }
+
+    /// Marks the zone as DNSSEC-signed.
+    pub fn sign(mut self) -> Self {
+        self.signed = true;
+        self
+    }
+
+    /// Adds a record with an explicit TTL.
+    pub fn add(&mut self, name: DomainName, ttl: u32, rdata: RData) -> &mut Self {
+        self.records.entry(name.clone()).or_default().push(ResourceRecord::new(name, ttl, rdata));
+        self
+    }
+
+    /// Adds a record with the zone default TTL.
+    pub fn add_default(&mut self, name: DomainName, rdata: RData) -> &mut Self {
+        self.add(name, self.default_ttl, rdata)
+    }
+
+    /// Convenience: add an `A` record.
+    pub fn add_a(&mut self, name: &str, addr: Ipv4Addr) -> &mut Self {
+        let name: DomainName = name.parse().expect("valid name");
+        self.add_default(name, RData::A(addr))
+    }
+
+    /// Convenience: add an `NS` record at the apex plus its glue `A` record.
+    pub fn add_ns(&mut self, ns_host: &str, addr: Ipv4Addr) -> &mut Self {
+        let host: DomainName = ns_host.parse().expect("valid name");
+        self.add_default(self.origin.clone(), RData::Ns(host.clone()));
+        self.add_default(host, RData::A(addr))
+    }
+
+    /// Convenience: add an `MX` record plus the mail host's `A` record.
+    pub fn add_mx(&mut self, preference: u16, mail_host: &str, addr: Ipv4Addr) -> &mut Self {
+        let host: DomainName = mail_host.parse().expect("valid name");
+        self.add_default(self.origin.clone(), RData::Mx { preference, exchange: host.clone() });
+        self.add_default(host, RData::A(addr))
+    }
+
+    /// Convenience: add a `TXT` record.
+    pub fn add_txt(&mut self, name: &str, text: &str) -> &mut Self {
+        let name: DomainName = name.parse().expect("valid name");
+        self.add_default(name, RData::Txt(text.to_string()))
+    }
+
+    /// Convenience: add an `SRV` record plus the target's `A` record.
+    pub fn add_srv(&mut self, service: &str, port: u16, target: &str, addr: Ipv4Addr) -> &mut Self {
+        let service: DomainName = service.parse().expect("valid name");
+        let target_name: DomainName = target.parse().expect("valid name");
+        self.add_default(service, RData::Srv { priority: 5, weight: 0, port, target: target_name.clone() });
+        self.add_default(target_name, RData::A(addr))
+    }
+
+    /// Convenience: add a `NAPTR` record (eduroam/Radius dynamic discovery).
+    pub fn add_naptr(&mut self, service: &str, replacement: &str) -> &mut Self {
+        self.add_default(
+            self.origin.clone(),
+            RData::Naptr {
+                order: 100,
+                preference: 10,
+                flags: "s".into(),
+                service: service.to_string(),
+                regexp: String::new(),
+                replacement: replacement.parse().expect("valid name"),
+            },
+        )
+    }
+
+    /// Convenience: add an `IPSECKEY` record.
+    pub fn add_ipseckey(&mut self, name: &str, gateway: Ipv4Addr) -> &mut Self {
+        let name: DomainName = name.parse().expect("valid name");
+        self.add_default(name, RData::IpsecKey { precedence: 10, gateway, public_key: vec![0xAA; 32] })
+    }
+
+    /// Convenience: add a `CNAME` record.
+    pub fn add_cname(&mut self, name: &str, target: &str) -> &mut Self {
+        let name: DomainName = name.parse().expect("valid name");
+        self.add_default(name, RData::Cname(target.parse().expect("valid name")))
+    }
+
+    /// Number of records in the zone (excluding simulated RRSIGs).
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// All names that have records in this zone.
+    pub fn names(&self) -> impl Iterator<Item = &DomainName> {
+        self.records.keys()
+    }
+
+    /// Whether the query name belongs to this zone.
+    pub fn contains(&self, name: &DomainName) -> bool {
+        name.is_subdomain_of(&self.origin)
+    }
+
+    /// Looks up records for a query.
+    ///
+    /// `ANY` returns every record at the name (the response-inflation vector),
+    /// and a `CNAME` at the name is returned for any type except `CNAME`
+    /// itself, as per RFC 1034 resolution rules.
+    pub fn lookup(&self, name: &DomainName, qtype: RecordType) -> LookupResult {
+        if !self.contains(name) {
+            return LookupResult::OutOfZone;
+        }
+        let Some(records) = self.records.get(name) else {
+            return LookupResult::NxDomain;
+        };
+        let mut matched: Vec<ResourceRecord> = if qtype == RecordType::ANY {
+            records.clone()
+        } else {
+            records.iter().filter(|rr| rr.rtype() == qtype).cloned().collect()
+        };
+        if matched.is_empty() {
+            // CNAME fallback.
+            if let Some(cname) = records.iter().find(|rr| rr.rtype() == RecordType::CNAME) {
+                matched.push(cname.clone());
+            } else {
+                return LookupResult::NoData;
+            }
+        }
+        if self.signed {
+            let sigs: Vec<ResourceRecord> = matched
+                .iter()
+                .map(|rr| {
+                    ResourceRecord::new(
+                        rr.name.clone(),
+                        rr.ttl,
+                        RData::Rrsig { type_covered: rr.rtype(), signer: self.origin.clone(), valid: true },
+                    )
+                })
+                .collect();
+            matched.extend(sigs);
+        }
+        LookupResult::Records(matched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn victim_zone() -> Zone {
+        let mut z = Zone::new(n("vict.im"));
+        z.add_ns("ns1.vict.im", "123.0.0.53".parse().unwrap());
+        z.add_a("www.vict.im", "30.0.0.25".parse().unwrap());
+        z.add_mx(10, "mail.vict.im", "30.0.0.26".parse().unwrap());
+        z.add_txt("vict.im", "v=spf1 ip4:30.0.0.0/24 -all");
+        z.add_srv("_xmpp-server._tcp.vict.im", 5269, "xmpp.vict.im", "30.0.0.27".parse().unwrap());
+        z.add_naptr("aaa+auth:radius.tls.tcp", "_radiustls._tcp.vict.im");
+        z.add_ipseckey("vpn.vict.im", "30.0.0.99".parse().unwrap());
+        z.add_cname("alias.vict.im", "www.vict.im");
+        z
+    }
+
+    #[test]
+    fn lookup_by_type() {
+        let z = victim_zone();
+        match z.lookup(&n("www.vict.im"), RecordType::A) {
+            LookupResult::Records(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert_eq!(rrs[0].rdata.as_ipv4(), Some("30.0.0.25".parse().unwrap()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn any_returns_everything_at_apex() {
+        let z = victim_zone();
+        match z.lookup(&n("vict.im"), RecordType::ANY) {
+            LookupResult::Records(rrs) => {
+                // SOA, NS, MX, TXT, NAPTR at minimum.
+                assert!(rrs.len() >= 5, "got {}", rrs.len());
+                let types: Vec<RecordType> = rrs.iter().map(|r| r.rtype()).collect();
+                assert!(types.contains(&RecordType::SOA));
+                assert!(types.contains(&RecordType::MX));
+                assert!(types.contains(&RecordType::TXT));
+                assert!(types.contains(&RecordType::NAPTR));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_nodata_and_out_of_zone() {
+        let z = victim_zone();
+        assert_eq!(z.lookup(&n("missing.vict.im"), RecordType::A), LookupResult::NxDomain);
+        assert_eq!(z.lookup(&n("www.vict.im"), RecordType::TXT), LookupResult::NoData);
+        assert_eq!(z.lookup(&n("other.example"), RecordType::A), LookupResult::OutOfZone);
+    }
+
+    #[test]
+    fn cname_fallback() {
+        let z = victim_zone();
+        match z.lookup(&n("alias.vict.im"), RecordType::A) {
+            LookupResult::Records(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert_eq!(rrs[0].rtype(), RecordType::CNAME);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_zone_attaches_rrsigs() {
+        let mut z = Zone::new(n("secure.example")).sign();
+        z.add_a("www.secure.example", "192.0.2.1".parse().unwrap());
+        match z.lookup(&n("www.secure.example"), RecordType::A) {
+            LookupResult::Records(rrs) => {
+                assert_eq!(rrs.len(), 2);
+                assert!(rrs.iter().any(|r| r.rtype() == RecordType::RRSIG));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn srv_and_ipseckey_lookups() {
+        let z = victim_zone();
+        assert!(matches!(z.lookup(&n("_xmpp-server._tcp.vict.im"), RecordType::SRV), LookupResult::Records(_)));
+        assert!(matches!(z.lookup(&n("vpn.vict.im"), RecordType::IPSECKEY), LookupResult::Records(_)));
+    }
+
+    #[test]
+    fn record_count_and_names() {
+        let z = victim_zone();
+        assert!(z.record_count() >= 10);
+        assert!(z.names().any(|name| *name == n("mail.vict.im")));
+        assert!(z.contains(&n("deep.sub.domain.vict.im")));
+        assert!(!z.contains(&n("vict.com")));
+    }
+}

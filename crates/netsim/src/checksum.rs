@@ -1,0 +1,154 @@
+//! The Internet checksum (RFC 1071) used by IPv4, UDP and ICMP.
+//!
+//! The FragDNS methodology depends on the attacker's spoofed second fragment
+//! reassembling into a datagram whose **UDP checksum still verifies** at the
+//! victim resolver; the checksum arithmetic here is therefore implemented
+//! exactly (one's-complement sum over 16-bit words) so the attack code can
+//! compute the compensation words the same way a real exploit would.
+
+/// Running one's-complement sum used to compute RFC 1071 checksums over
+/// multiple buffers (e.g. a pseudo-header followed by a payload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a byte slice into the accumulator. Odd-length slices are padded
+    /// with a trailing zero byte, as required by RFC 1071.
+    pub fn add_bytes(&mut self, data: &[u8]) -> &mut Self {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let Some(&last) = chunks.remainder().first() {
+            self.sum += u32::from(u16::from_be_bytes([last, 0]));
+        }
+        self
+    }
+
+    /// Feeds a single big-endian 16-bit word.
+    pub fn add_u16(&mut self, word: u16) -> &mut Self {
+        self.sum += u32::from(word);
+        self
+    }
+
+    /// Feeds a 32-bit value as two 16-bit words (e.g. an IPv4 address).
+    pub fn add_u32(&mut self, value: u32) -> &mut Self {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16((value & 0xffff) as u16);
+        self
+    }
+
+    /// Finalises the checksum: folds carries and takes the one's complement.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// Returns the folded sum *without* complementing — useful for verifying
+    /// a buffer that already contains its checksum (result must be `0xffff`).
+    pub fn folded(self) -> u16 {
+        !self.finish()
+    }
+}
+
+/// Computes the RFC 1071 checksum of a single buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verifies a buffer whose checksum field is already filled in: the folded
+/// one's-complement sum of the whole buffer must be `0xffff`.
+pub fn verify(data: &[u8]) -> bool {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.folded() == 0xffff
+}
+
+/// Computes the UDP/TCP pseudo-header checksum contribution for IPv4.
+pub fn pseudo_header(src: std::net::Ipv4Addr, dst: std::net::Ipv4Addr, protocol: u8, length: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_u32(u32::from(src));
+    c.add_u32(u32::from(dst));
+    c.add_u16(u16::from(protocol));
+    c.add_u16(length);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Example from RFC 1071 section 3: bytes 00 01 f2 03 f4 f5 f6 f7
+        // have a sum of 0xddf2, so the checksum is !0xddf2 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_is_padded() {
+        let even = checksum(&[0x12, 0x34, 0x56, 0x00]);
+        let odd = checksum(&[0x12, 0x34, 0x56]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut data = vec![0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x12, 0x34];
+        // Place checksum in bytes 4..6.
+        let ck = checksum(&data);
+        data[4] = (ck >> 8) as u8;
+        data[5] = (ck & 0xff) as u8;
+        assert!(verify(&data));
+        data[7] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn zero_buffer_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+        assert_eq!(checksum(&[0, 0, 0, 0]), 0xffff);
+    }
+
+    #[test]
+    fn incremental_equals_single_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let single = checksum(data);
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..7]);
+        c.add_bytes(&data[7..]);
+        // Splitting at an odd offset is NOT equivalent under RFC 1071 (word
+        // alignment matters), so split at an even offset for this check.
+        let mut c2 = Checksum::new();
+        c2.add_bytes(&data[..8]);
+        c2.add_bytes(&data[8..]);
+        assert_eq!(c2.finish(), single);
+        // Odd split differs in general; just ensure it completes.
+        let _ = c.finish();
+    }
+
+    #[test]
+    fn pseudo_header_contribution() {
+        let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let mut c = pseudo_header(src, dst, 17, 12);
+        c.add_bytes(&[0u8; 12]);
+        // Deterministic value; recomputing must agree.
+        let mut c2 = pseudo_header(src, dst, 17, 12);
+        c2.add_bytes(&[0u8; 12]);
+        assert_eq!(c.finish(), c2.finish());
+    }
+}

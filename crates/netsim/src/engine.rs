@@ -1,0 +1,745 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns all simulated hosts ([`Node`] implementations), delivers
+//! IPv4 packets between them over [`Link`]s, enforces **egress filtering** of
+//! spoofed source addresses, honours **route overrides** (the data-plane
+//! effect of a successful BGP prefix hijack: traffic for a prefix is handed
+//! to the hijacker instead of the legitimate owner), performs router-side MTU
+//! handling (ICMP fragmentation-needed or in-transit fragmentation), records
+//! a packet [`Trace`] and keeps per-node [`TrafficStats`].
+//!
+//! Determinism: all randomness is drawn from a single seeded ChaCha20 RNG and
+//! ties between simultaneous events are broken by insertion order, so a given
+//! seed always reproduces the same packet interleaving.
+
+use crate::ipv4::{Ipv4Packet, Protocol};
+use crate::link::Link;
+use crate::prefix::Prefix;
+use crate::stats::TrafficStats;
+use crate::time::{Duration, SimTime};
+use crate::trace::{Trace, TraceVerdict};
+use crate::{frag, icmp::IcmpMessage};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Identifier of a node registered with a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Object-safe downcasting support, blanket-implemented for every node type.
+pub trait AsAny {
+    /// `&self` as `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// `&mut self` as `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A simulated host (or middlebox, or attacker machine).
+///
+/// Nodes react to delivered packets and to timers they scheduled earlier; all
+/// side effects (sending packets, scheduling more timers) go through the
+/// [`Ctx`] handed to each callback.
+pub trait Node: AsAny + 'static {
+    /// Called when a packet addressed (or routed) to this node is delivered.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet);
+
+    /// Called when a timer previously scheduled via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called once when the simulation starts (before any packet delivery),
+    /// allowing nodes to arm initial timers.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// Side-effect collector handed to [`Node`] callbacks.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    addrs: &'a [Ipv4Addr],
+    rng: &'a mut ChaCha20Rng,
+    outgoing: Vec<Ipv4Packet>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node's own identifier.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Addresses owned by this node.
+    pub fn addrs(&self) -> &[Ipv4Addr] {
+        self.addrs
+    }
+
+    /// The node's primary address.
+    pub fn primary_addr(&self) -> Ipv4Addr {
+        self.addrs.first().copied().unwrap_or(Ipv4Addr::UNSPECIFIED)
+    }
+
+    /// Queues a packet for transmission from this node.
+    ///
+    /// Spoofed source addresses are permitted here; whether they survive
+    /// depends on the node's egress-filtering setting in the engine.
+    pub fn send(&mut self, pkt: Ipv4Packet) {
+        self.outgoing.push(pkt);
+    }
+
+    /// Schedules a timer `delay` from now with an opaque token.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut ChaCha20Rng {
+        self.rng
+    }
+}
+
+/// A trivial node that answers ICMP echo requests and otherwise ignores
+/// traffic. Useful as a placeholder destination in examples and tests.
+#[derive(Debug, Default)]
+pub struct EchoNode {
+    /// Number of UDP datagrams this node has seen.
+    pub udp_seen: u64,
+    /// Number of echo requests answered.
+    pub pings_answered: u64,
+}
+
+impl Node for EchoNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+        match pkt.header.protocol {
+            Protocol::Udp => self.udp_seen += 1,
+            Protocol::Icmp => {
+                if let Ok(IcmpMessage::EchoRequest { id, seq, payload }) = IcmpMessage::decode(&pkt.payload) {
+                    self.pings_answered += 1;
+                    let reply = IcmpMessage::EchoReply { id, seq, payload }.into_packet(
+                        pkt.header.dst,
+                        pkt.header.src,
+                        ctx.rng().gen(),
+                        64,
+                    );
+                    ctx.send(reply);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A node that swallows every packet (a blackhole).
+#[derive(Debug, Default)]
+pub struct SinkNode {
+    /// Packets swallowed.
+    pub received: u64,
+}
+
+impl Node for SinkNode {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Ipv4Packet) {
+        self.received += 1;
+    }
+}
+
+struct NodeSlot {
+    name: String,
+    node: Box<dyn Node>,
+    addrs: Vec<Ipv4Addr>,
+    egress_filtering: bool,
+    stats: TrafficStats,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { to: NodeId, from_name: String, pkt: Ipv4Packet },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulation engine. See the [module documentation](self) for an overview.
+pub struct Simulator {
+    nodes: Vec<NodeSlot>,
+    addr_map: HashMap<Ipv4Addr, NodeId>,
+    route_overrides: Vec<(Prefix, NodeId)>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    default_link: Link,
+    events: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    rng: ChaCha20Rng,
+    trace: Trace,
+    started: bool,
+}
+
+impl Simulator {
+    /// Creates an empty simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            addr_map: HashMap::new(),
+            route_overrides: Vec::new(),
+            links: HashMap::new(),
+            default_link: Link::default(),
+            events: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: ChaCha20Rng::seed_from_u64(seed),
+            trace: Trace::new(),
+            started: false,
+        }
+    }
+
+    /// Registers a node owning the given addresses. Egress filtering is
+    /// disabled by default (the attacker model assumes a non-filtering
+    /// network; victims can enable it via [`Simulator::set_egress_filtering`]).
+    pub fn add_node(&mut self, name: &str, addrs: Vec<Ipv4Addr>, node: impl Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for &a in &addrs {
+            self.addr_map.insert(a, id);
+        }
+        self.nodes.push(NodeSlot {
+            name: name.to_string(),
+            node: Box::new(node),
+            addrs,
+            egress_filtering: false,
+            stats: TrafficStats::default(),
+        });
+        id
+    }
+
+    /// Enables or disables egress filtering (BCP 38) for a node: when enabled,
+    /// packets whose source address the node does not own are dropped.
+    pub fn set_egress_filtering(&mut self, id: NodeId, enabled: bool) {
+        self.nodes[id.0].egress_filtering = enabled;
+    }
+
+    /// Sets the default link used between nodes with no explicit link.
+    pub fn set_default_link(&mut self, link: Link) {
+        self.default_link = link;
+    }
+
+    /// Installs a (bidirectional) link between two nodes.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        self.links.insert((a, b), link);
+        self.links.insert((b, a), link);
+    }
+
+    /// Installs an asymmetric link from `a` to `b` only.
+    pub fn connect_directed(&mut self, a: NodeId, b: NodeId, link: Link) {
+        self.links.insert((a, b), link);
+    }
+
+    /// Installs a data-plane route override: traffic destined to `prefix` is
+    /// delivered to `node` regardless of address ownership. This is how a
+    /// successful BGP (sub-)prefix hijack manifests to the hosts. More
+    /// specific prefixes win; equal-length prefixes favour the most recently
+    /// installed override.
+    pub fn set_route_override(&mut self, prefix: Prefix, node: NodeId) {
+        self.route_overrides.push((prefix, node));
+    }
+
+    /// Removes all route overrides covering the given prefix exactly.
+    pub fn clear_route_override(&mut self, prefix: Prefix) {
+        self.route_overrides.retain(|(p, _)| *p != prefix);
+    }
+
+    /// Removes every route override (hijack withdrawn).
+    pub fn clear_all_route_overrides(&mut self) {
+        self.route_overrides.clear();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The name a node was registered with.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Traffic counters of a node.
+    pub fn stats(&self, id: NodeId) -> &TrafficStats {
+        &self.nodes[id.0].stats
+    }
+
+    /// The packet trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the packet trace (e.g. to disable or clear it).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Typed shared access to a node.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        // Go through `as_ref()` so the blanket `AsAny` impl resolves on the
+        // concrete node type rather than on the `Box<dyn Node>` wrapper.
+        self.nodes[id.0].node.as_ref().as_any().downcast_ref::<T>()
+    }
+
+    /// Typed exclusive access to a node.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0].node.as_mut().as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Which node currently receives traffic for `addr`, considering route
+    /// overrides first and address ownership second.
+    pub fn route_lookup(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        let mut best: Option<(u8, usize, NodeId)> = None;
+        for (idx, (prefix, node)) in self.route_overrides.iter().enumerate() {
+            if prefix.contains(addr) {
+                let candidate = (prefix.len, idx, *node);
+                if best.map_or(true, |b| (candidate.0, candidate.1) >= (b.0, b.1)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        if let Some((_, _, node)) = best {
+            return Some(node);
+        }
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// Schedules a timer for a node, from outside the node itself.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: Duration, token: u64) {
+        let time = self.now + delay;
+        self.push_event(time, EventKind::Timer { node, token });
+    }
+
+    /// Injects a packet as if `from` had sent it right now.
+    pub fn inject(&mut self, from: NodeId, pkt: Ipv4Packet) {
+        self.dispatch(from, pkt);
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Routes and schedules one packet sent by `from`.
+    fn dispatch(&mut self, from: NodeId, pkt: Ipv4Packet) {
+        let wire_len = pkt.wire_len();
+        let protocol = pkt.header.protocol;
+        let from_name = self.nodes[from.0].name.clone();
+        self.nodes[from.0].stats.record_sent(protocol, wire_len);
+
+        // Egress filtering of spoofed sources (BCP 38).
+        if self.nodes[from.0].egress_filtering && !self.nodes[from.0].addrs.contains(&pkt.header.src) {
+            self.nodes[from.0].stats.spoofed_filtered += 1;
+            self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::EgressFiltered);
+            return;
+        }
+
+        // Routing (route overrides model hijacked prefixes).
+        let Some(to) = self.route_lookup(pkt.header.dst) else {
+            self.nodes[from.0].stats.dropped_in_transit += 1;
+            self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::NoRoute);
+            return;
+        };
+        let to_name = self.nodes[to.0].name.clone();
+        let link = *self.links.get(&(from, to)).unwrap_or(&self.default_link);
+
+        // Random loss.
+        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+            self.nodes[from.0].stats.dropped_in_transit += 1;
+            self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::LinkLoss);
+            return;
+        }
+
+        // MTU handling by the "router" on the link.
+        if pkt.wire_len() > usize::from(link.mtu) {
+            if pkt.header.dont_fragment || !link.fragment_in_transit {
+                self.nodes[from.0].stats.dropped_in_transit += 1;
+                self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::MtuExceeded);
+                // Generate an ICMP fragmentation-needed back to the sender,
+                // originated "by the network" (source = destination address of
+                // the oversized packet, a common real-world pattern for
+                // unnumbered router interfaces).
+                let ptb = IcmpMessage::fragmentation_needed(&pkt, link.mtu).into_packet(
+                    pkt.header.dst,
+                    pkt.header.src,
+                    self.rng.gen(),
+                    64,
+                );
+                let time = self.now + link.latency;
+                self.push_event(time, EventKind::Deliver { to: from, from_name: "router".to_string(), pkt: ptb });
+                return;
+            }
+            // Fragment in transit.
+            for frag in frag::fragment_packet(&pkt, link.mtu) {
+                let time = self.now + link.latency;
+                self.push_event(time, EventKind::Deliver { to, from_name: from_name.clone(), pkt: frag });
+            }
+            return;
+        }
+
+        let time = self.now + link.latency;
+        self.push_event(time, EventKind::Deliver { to, from_name, pkt });
+    }
+
+    fn start_nodes(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            let id = NodeId(idx);
+            self.with_node_ctx(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs a node callback with a freshly built [`Ctx`], then dispatches the
+    /// side effects it produced.
+    fn with_node_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let (outgoing, timers) = {
+            let Simulator { nodes, rng, now, .. } = self;
+            let slot = &mut nodes[id.0];
+            let mut ctx = Ctx {
+                now: *now,
+                self_id: id,
+                addrs: &slot.addrs,
+                rng,
+                outgoing: Vec::new(),
+                timers: Vec::new(),
+            };
+            f(slot.node.as_mut(), &mut ctx);
+            (ctx.outgoing, ctx.timers)
+        };
+        for pkt in outgoing {
+            self.dispatch(id, pkt);
+        }
+        for (delay, token) in timers {
+            let time = self.now + delay;
+            self.push_event(time, EventKind::Timer { node: id, token });
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the event queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_nodes();
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        self.now = event.time;
+        match event.kind {
+            EventKind::Deliver { to, from_name, pkt } => {
+                let to_name = self.nodes[to.0].name.clone();
+                self.nodes[to.0].stats.record_received(pkt.header.protocol, pkt.wire_len());
+                self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::Delivered);
+                self.with_node_ctx(to, |node, ctx| node.on_packet(ctx, pkt));
+            }
+            EventKind::Timer { node, token } => {
+                self.with_node_ctx(node, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the event queue is exhausted or the clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_nodes();
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from the current clock.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::UdpDatagram;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+    fn udp(src: Ipv4Addr, dst: Ipv4Addr, len: usize) -> Ipv4Packet {
+        UdpDatagram::new(src, dst, 1111, 2222, vec![0u8; len]).into_packet(1, 64)
+    }
+
+    #[test]
+    fn delivers_between_nodes() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", vec![A], EchoNode::default());
+        let b = sim.add_node("b", vec![B], EchoNode::default());
+        sim.connect(a, b, Link::with_latency(Duration::from_millis(7)));
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(b).udp_received, 1);
+        assert_eq!(sim.stats(a).udp_sent, 1);
+        assert_eq!(sim.now(), SimTime::ZERO + Duration::from_millis(7));
+        assert_eq!(sim.node_ref::<EchoNode>(b).unwrap().udp_seen, 1);
+    }
+
+    #[test]
+    fn echo_node_answers_ping() {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node("a", vec![A], SinkNode::default());
+        let b = sim.add_node("b", vec![B], EchoNode::default());
+        sim.connect(a, b, Link::default());
+        let ping = IcmpMessage::EchoRequest { id: 1, seq: 1, payload: vec![] }.into_packet(A, B, 5, 64);
+        sim.inject(a, ping);
+        sim.run();
+        assert_eq!(sim.node_ref::<EchoNode>(b).unwrap().pings_answered, 1);
+        assert_eq!(sim.node_ref::<SinkNode>(a).unwrap().received, 1, "echo reply came back");
+        assert_eq!(sim.stats(a).icmp_received, 1);
+    }
+
+    #[test]
+    fn no_route_packets_are_dropped() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node("a", vec![A], EchoNode::default());
+        sim.inject(a, udp(A, "99.99.99.99".parse().unwrap(), 10));
+        sim.run();
+        assert_eq!(sim.stats(a).dropped_in_transit, 1);
+        assert_eq!(sim.trace().matching("UDP").len(), 1);
+    }
+
+    #[test]
+    fn egress_filtering_drops_spoofed_sources() {
+        let mut sim = Simulator::new(4);
+        let a = sim.add_node("attacker", vec![A], EchoNode::default());
+        let b = sim.add_node("victim", vec![B], EchoNode::default());
+        sim.connect(a, b, Link::default());
+        sim.set_egress_filtering(a, true);
+        // Spoofed packet (source C not owned by attacker) is filtered...
+        sim.inject(a, udp(C, B, 10));
+        // ...but a non-spoofed one passes.
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(a).spoofed_filtered, 1);
+        assert_eq!(sim.stats(b).udp_received, 1);
+    }
+
+    #[test]
+    fn spoofing_allowed_without_egress_filtering() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node("attacker", vec![A], EchoNode::default());
+        let b = sim.add_node("victim", vec![B], EchoNode::default());
+        sim.connect(a, b, Link::default());
+        sim.inject(a, udp(C, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(b).udp_received, 1);
+        assert_eq!(sim.stats(a).spoofed_filtered, 0);
+    }
+
+    #[test]
+    fn route_override_hijacks_traffic() {
+        let mut sim = Simulator::new(6);
+        let a = sim.add_node("client", vec![A], EchoNode::default());
+        let b = sim.add_node("victim-ns", vec![B], EchoNode::default());
+        let h = sim.add_node("hijacker", vec![C], EchoNode::default());
+        sim.connect(a, b, Link::default());
+        sim.connect(a, h, Link::default());
+        // Sub-prefix hijack of the /32 covering B.
+        sim.set_route_override(Prefix::host(B), h);
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(h).udp_received, 1, "traffic goes to the hijacker");
+        assert_eq!(sim.stats(b).udp_received, 0);
+        // Withdraw the hijack: traffic flows normally again.
+        sim.clear_route_override(Prefix::host(B));
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(b).udp_received, 1);
+    }
+
+    #[test]
+    fn more_specific_override_wins() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_node("a", vec![A], EchoNode::default());
+        let b = sim.add_node("b", vec![B], EchoNode::default());
+        let h1 = sim.add_node("h1", vec![Ipv4Addr::new(9, 0, 0, 1)], EchoNode::default());
+        let h2 = sim.add_node("h2", vec![Ipv4Addr::new(9, 0, 0, 2)], EchoNode::default());
+        let _ = b;
+        sim.set_route_override("10.0.0.0/8".parse().unwrap(), h1);
+        sim.set_route_override("10.0.0.0/24".parse().unwrap(), h2);
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(h2).udp_received, 1);
+        assert_eq!(sim.stats(h1).udp_received, 0);
+    }
+
+    #[test]
+    fn oversized_df_packet_triggers_icmp_ptb() {
+        let mut sim = Simulator::new(8);
+        let a = sim.add_node("a", vec![A], SinkNode::default());
+        let b = sim.add_node("b", vec![B], SinkNode::default());
+        sim.connect(a, b, Link::default().mtu(576));
+        let mut pkt = udp(A, B, 1000);
+        pkt.header.dont_fragment = true;
+        sim.inject(a, pkt);
+        sim.run();
+        // The oversized packet never reaches b; a receives an ICMP PTB.
+        assert_eq!(sim.stats(b).packets_received, 0);
+        assert_eq!(sim.stats(a).icmp_received, 1);
+        assert_eq!(sim.stats(a).dropped_in_transit, 1);
+    }
+
+    #[test]
+    fn oversized_packet_without_df_fragmented_in_transit() {
+        let mut sim = Simulator::new(9);
+        let a = sim.add_node("a", vec![A], SinkNode::default());
+        let b = sim.add_node("b", vec![B], SinkNode::default());
+        sim.connect(a, b, Link::default().mtu(576));
+        sim.inject(a, udp(A, B, 1400));
+        sim.run();
+        assert!(sim.stats(b).packets_received >= 3, "fragments delivered separately");
+    }
+
+    #[test]
+    fn lossy_link_drops_packets_deterministically() {
+        let mut sim = Simulator::new(10);
+        let a = sim.add_node("a", vec![A], SinkNode::default());
+        let b = sim.add_node("b", vec![B], SinkNode::default());
+        sim.connect(a, b, Link::default().loss(1.0));
+        sim.inject(a, udp(A, B, 10));
+        sim.run();
+        assert_eq!(sim.stats(b).packets_received, 0);
+        assert_eq!(sim.stats(a).dropped_in_transit, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Default)]
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Ipv4Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(11);
+        let n = sim.add_node("t", vec![A], TimerNode::default());
+        sim.schedule_timer(n, Duration::from_millis(20), 2);
+        sim.schedule_timer(n, Duration::from_millis(10), 1);
+        sim.schedule_timer(n, Duration::from_millis(30), 3);
+        sim.run();
+        assert_eq!(sim.node_ref::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn on_start_runs_before_first_delivery() {
+        struct Starter {
+            started_at: Option<SimTime>,
+        }
+        impl Node for Starter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.started_at = Some(ctx.now());
+                ctx.set_timer(Duration::from_millis(1), 99);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Ipv4Packet) {}
+        }
+        let mut sim = Simulator::new(12);
+        let n = sim.add_node("s", vec![A], Starter { started_at: None });
+        sim.run();
+        assert_eq!(sim.node_ref::<Starter>(n).unwrap().started_at, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(13);
+        let a = sim.add_node("a", vec![A], EchoNode::default());
+        let b = sim.add_node("b", vec![B], EchoNode::default());
+        sim.connect(a, b, Link::with_latency(Duration::from_secs(10)));
+        sim.inject(a, udp(A, B, 10));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats(b).udp_received, 0);
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(sim.stats(b).udp_received, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> Vec<String> {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node("a", vec![A], EchoNode::default());
+            let b = sim.add_node("b", vec![B], EchoNode::default());
+            sim.connect(a, b, Link::default().loss(0.5));
+            for i in 0..20 {
+                sim.inject(a, udp(A, B, 10 + i));
+            }
+            sim.run();
+            sim.trace().entries().iter().map(|e| e.to_string()).collect()
+        }
+        assert_eq!(run_once(42), run_once(42));
+        assert_ne!(run_once(42), run_once(43));
+    }
+}

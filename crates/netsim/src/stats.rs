@@ -1,0 +1,117 @@
+//! Per-node traffic accounting.
+//!
+//! Table 6 of the paper compares the three poisoning methodologies by the
+//! number of packets and bytes an attack requires ("Queries needed", "Total
+//! traffic"). Every packet the simulator delivers or drops is counted here so
+//! the comparative-analysis harness can report those columns directly from
+//! the simulation rather than from hand calculations.
+
+use crate::ipv4::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Counters kept per simulated node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Packets handed to the network by this node.
+    pub packets_sent: u64,
+    /// Bytes handed to the network by this node.
+    pub bytes_sent: u64,
+    /// Packets delivered to this node.
+    pub packets_received: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// UDP datagrams sent.
+    pub udp_sent: u64,
+    /// UDP datagrams received.
+    pub udp_received: u64,
+    /// ICMP messages sent.
+    pub icmp_sent: u64,
+    /// ICMP messages received.
+    pub icmp_received: u64,
+    /// Packets this node attempted to send with a spoofed source address
+    /// that were dropped by egress filtering.
+    pub spoofed_filtered: u64,
+    /// Packets dropped in transit (link loss, no route, MTU with DF).
+    pub dropped_in_transit: u64,
+}
+
+impl TrafficStats {
+    /// Records a sent packet of the given protocol and wire length.
+    pub fn record_sent(&mut self, protocol: Protocol, wire_len: usize) {
+        self.packets_sent += 1;
+        self.bytes_sent += wire_len as u64;
+        match protocol {
+            Protocol::Udp => self.udp_sent += 1,
+            Protocol::Icmp => self.icmp_sent += 1,
+            _ => {}
+        }
+    }
+
+    /// Records a received packet of the given protocol and wire length.
+    pub fn record_received(&mut self, protocol: Protocol, wire_len: usize) {
+        self.packets_received += 1;
+        self.bytes_received += wire_len as u64;
+        match protocol {
+            Protocol::Udp => self.udp_received += 1,
+            Protocol::Icmp => self.icmp_received += 1,
+            _ => {}
+        }
+    }
+
+    /// Adds another node's counters into this one (used to aggregate the
+    /// attacker's total traffic over repeated attack iterations).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.packets_sent += other.packets_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.packets_received += other.packets_received;
+        self.bytes_received += other.bytes_received;
+        self.udp_sent += other.udp_sent;
+        self.udp_received += other.udp_received;
+        self.icmp_sent += other.icmp_sent;
+        self.icmp_received += other.icmp_received;
+        self.spoofed_filtered += other.spoofed_filtered;
+        self.dropped_in_transit += other.dropped_in_transit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_protocol() {
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Udp, 100);
+        s.record_sent(Protocol::Icmp, 60);
+        s.record_received(Protocol::Udp, 500);
+        assert_eq!(s.packets_sent, 2);
+        assert_eq!(s.bytes_sent, 160);
+        assert_eq!(s.udp_sent, 1);
+        assert_eq!(s.icmp_sent, 1);
+        assert_eq!(s.udp_received, 1);
+        assert_eq!(s.packets_received, 1);
+        assert_eq!(s.bytes_received, 500);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats::default();
+        a.record_sent(Protocol::Udp, 10);
+        let mut b = TrafficStats::default();
+        b.record_sent(Protocol::Udp, 20);
+        b.spoofed_filtered = 3;
+        a.merge(&b);
+        assert_eq!(a.packets_sent, 2);
+        assert_eq!(a.bytes_sent, 30);
+        assert_eq!(a.spoofed_filtered, 3);
+    }
+
+    #[test]
+    fn other_protocols_counted_only_in_totals() {
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Tcp, 40);
+        assert_eq!(s.packets_sent, 1);
+        assert_eq!(s.udp_sent, 0);
+        assert_eq!(s.icmp_sent, 0);
+    }
+}

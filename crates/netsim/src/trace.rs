@@ -1,0 +1,218 @@
+//! Packet trace recording.
+//!
+//! Figures 1 and 2 of the paper are message-sequence diagrams of the SadDNS
+//! and FragDNS attacks. The trace recorder captures every packet the engine
+//! delivers (or drops) with its timestamp and a one-line summary so the
+//! example binaries can print those flows, and so tests can assert on the
+//! exact sequence of events an attack produced.
+
+use crate::ipv4::Ipv4Packet;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fate of a traced packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceVerdict {
+    /// The packet was delivered to its destination node.
+    Delivered,
+    /// The packet was dropped: no node owns the destination address.
+    NoRoute,
+    /// The packet was dropped by link loss.
+    LinkLoss,
+    /// The packet was dropped by egress filtering of a spoofed source.
+    EgressFiltered,
+    /// The packet exceeded the link MTU with DF set and was dropped
+    /// (an ICMP fragmentation-needed error was generated).
+    MtuExceeded,
+}
+
+impl fmt::Display for TraceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceVerdict::Delivered => "delivered",
+            TraceVerdict::NoRoute => "no-route",
+            TraceVerdict::LinkLoss => "link-loss",
+            TraceVerdict::EgressFiltered => "egress-filtered",
+            TraceVerdict::MtuExceeded => "mtu-exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded packet event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the packet was processed by the engine.
+    pub time: SimTime,
+    /// Name of the sending node.
+    pub from: String,
+    /// Name of the receiving node ("-" when undeliverable).
+    pub to: String,
+    /// One-line packet summary (protocol, addresses, length, fragment info).
+    pub summary: String,
+    /// Wire length in bytes.
+    pub wire_len: usize,
+    /// What happened to the packet.
+    pub verdict: TraceVerdict,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:>16} -> {:<16} [{}] {}", self.time, self.from, self.to, self.verdict, self.summary)
+    }
+}
+
+/// A bounded in-memory packet trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    /// Maximum number of retained entries (0 = unbounded). When the bound is
+    /// hit the oldest entries are discarded.
+    pub capacity: usize,
+    /// Whether recording is enabled. Large measurement campaigns disable the
+    /// trace to save memory.
+    pub enabled: bool,
+}
+
+impl Trace {
+    /// An enabled, unbounded trace.
+    pub fn new() -> Self {
+        Trace { entries: Vec::new(), capacity: 0, enabled: true }
+    }
+
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace { entries: Vec::new(), capacity: 0, enabled: false }
+    }
+
+    /// Records one entry (if enabled).
+    pub fn record(&mut self, entry: TraceEntry) {
+        if !self.enabled {
+            return;
+        }
+        if self.capacity > 0 && self.entries.len() >= self.capacity {
+            let overflow = self.entries.len() + 1 - self.capacity;
+            self.entries.drain(..overflow);
+        }
+        self.entries.push(entry);
+    }
+
+    /// Convenience: record a packet with names and verdict.
+    pub fn record_packet(&mut self, time: SimTime, from: &str, to: &str, pkt: &Ipv4Packet, verdict: TraceVerdict) {
+        if !self.enabled {
+            return;
+        }
+        self.record(TraceEntry {
+            time,
+            from: from.to_string(),
+            to: to.to_string(),
+            summary: pkt.summary(),
+            wire_len: pkt.wire_len(),
+            verdict,
+        });
+    }
+
+    /// All recorded entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all recorded entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the trace as a multi-line string (one line per packet),
+    /// suitable for printing a message-sequence view of an attack.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Entries whose summary contains `needle` — handy in tests
+    /// ("how many spoofed responses reached the resolver?").
+    pub fn matching(&self, needle: &str) -> Vec<&TraceEntry> {
+        self.entries.iter().filter(|e| e.summary.contains(needle)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::UdpDatagram;
+
+    fn entry(i: u64) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(i),
+            from: "a".into(),
+            to: "b".into(),
+            summary: format!("pkt {i}"),
+            wire_len: 100,
+            verdict: TraceVerdict::Delivered,
+        }
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Trace::new();
+        t.record(entry(1));
+        t.record(entry(2));
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("pkt 1"));
+        assert!(rendered.contains("delivered"));
+    }
+
+    #[test]
+    fn capacity_bounds_trace() {
+        let mut t = Trace::new();
+        t.capacity = 3;
+        for i in 0..10 {
+            t.record(entry(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.entries()[0].summary, "pkt 7");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(entry(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn record_packet_uses_summary() {
+        let mut t = Trace::new();
+        let pkt = UdpDatagram::new("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 1, 2, vec![])
+            .into_packet(1, 64);
+        t.record_packet(SimTime::ZERO, "x", "y", &pkt, TraceVerdict::NoRoute);
+        assert_eq!(t.len(), 1);
+        assert!(t.entries()[0].summary.contains("UDP"));
+        assert_eq!(t.matching("UDP").len(), 1);
+        assert_eq!(t.matching("ICMP").len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new();
+        t.record(entry(1));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! UDP header encoding/decoding and the [`UdpDatagram`] convenience type.
+//!
+//! DNS queries and responses in this workspace travel over UDP. The
+//! challenge-response defences of RFC 5452 live in the UDP source port (16
+//! bits of entropy) and the DNS transaction ID; SadDNS recovers the former
+//! via the ICMP side channel, while FragDNS sidesteps both because they are
+//! carried in the first fragment.
+
+use crate::checksum::{self, Checksum};
+use crate::ipv4::{Ipv4Header, Ipv4Packet, Protocol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Length of the UDP header in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port (the resolver's randomised ephemeral port for queries).
+    pub src_port: u16,
+    /// Destination port (53 for DNS servers).
+    pub dst_port: u16,
+    /// Length of UDP header plus payload, in bytes.
+    pub length: u16,
+    /// UDP checksum over the pseudo-header, header and payload.
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encodes the header to wire bytes.
+    pub fn encode(&self) -> [u8; UDP_HEADER_LEN] {
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a header from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, UdpError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(UdpError::Truncated);
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+}
+
+/// A full UDP datagram together with the IPv4 addresses needed for the
+/// pseudo-header checksum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpDatagram {
+    /// IPv4 source address.
+    pub src: Ipv4Addr,
+    /// IPv4 destination address.
+    pub dst: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Application payload (e.g. a DNS message).
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpDatagram { src, dst, src_port, dst_port, payload }
+    }
+
+    /// The UDP length field (header + payload).
+    pub fn udp_length(&self) -> u16 {
+        (UDP_HEADER_LEN + self.payload.len()) as u16
+    }
+
+    /// Computes the UDP checksum over pseudo-header, header and payload.
+    pub fn compute_checksum(&self) -> u16 {
+        let length = self.udp_length();
+        let mut c = checksum::pseudo_header(self.src, self.dst, Protocol::Udp.number(), length);
+        let header = UdpHeader {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            length,
+            checksum: 0,
+        };
+        c.add_bytes(&header.encode());
+        c.add_bytes(&self.payload);
+        let ck = c.finish();
+        // An all-zero checksum is transmitted as 0xffff (RFC 768).
+        if ck == 0 {
+            0xffff
+        } else {
+            ck
+        }
+    }
+
+    /// Serialises the UDP header + payload (the IPv4 payload bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let header = UdpHeader {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            length: self.udp_length(),
+            checksum: self.compute_checksum(),
+        };
+        let mut out = Vec::with_capacity(self.udp_length() as usize);
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Wraps the datagram in an IPv4 packet with the given identification and TTL.
+    pub fn into_packet(self, identification: u16, ttl: u8) -> Ipv4Packet {
+        let payload = self.encode();
+        let header = Ipv4Header::new(self.src, self.dst, Protocol::Udp, payload.len(), identification, ttl);
+        Ipv4Packet::new(header, payload)
+    }
+
+    /// Parses a UDP datagram out of an IPv4 packet, verifying the checksum.
+    ///
+    /// This is the validation step that a spoofed FragDNS fragment must
+    /// survive: after reassembly the attacker-modified payload is checksummed
+    /// against the pseudo-header of the *genuine* first fragment.
+    pub fn from_packet(pkt: &Ipv4Packet) -> Result<Self, UdpError> {
+        if pkt.header.protocol != Protocol::Udp {
+            return Err(UdpError::NotUdp);
+        }
+        if pkt.header.is_fragment() {
+            return Err(UdpError::IsFragment);
+        }
+        let header = UdpHeader::decode(&pkt.payload)?;
+        let declared = usize::from(header.length);
+        if declared < UDP_HEADER_LEN || declared > pkt.payload.len() {
+            return Err(UdpError::BadLength);
+        }
+        let payload = pkt.payload[UDP_HEADER_LEN..declared].to_vec();
+        let dgram = UdpDatagram {
+            src: pkt.header.src,
+            dst: pkt.header.dst,
+            src_port: header.src_port,
+            dst_port: header.dst_port,
+            payload,
+        };
+        // Verify checksum (a zero checksum means "not computed" and is accepted).
+        if header.checksum != 0 {
+            let mut c = checksum::pseudo_header(dgram.src, dgram.dst, Protocol::Udp.number(), header.length);
+            c.add_bytes(&pkt.payload[..declared]);
+            if c.folded() != 0xffff {
+                return Err(UdpError::BadChecksum);
+            }
+        }
+        Ok(dgram)
+    }
+}
+
+/// Computes the *partial* (non-complemented, folded) checksum contribution of
+/// a byte slice. FragDNS uses this to predict the contribution of the second
+/// fragment of the genuine response so that its spoofed replacement can carry
+/// compensating bytes and keep the overall UDP checksum valid.
+pub fn partial_sum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.folded()
+}
+
+/// Errors returned by the UDP codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdpError {
+    /// The buffer is shorter than a UDP header.
+    Truncated,
+    /// The IPv4 packet does not carry protocol 17.
+    NotUdp,
+    /// The packet is an unreassembled fragment.
+    IsFragment,
+    /// The UDP length field is inconsistent with the packet.
+    BadLength,
+    /// The UDP checksum does not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for UdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdpError::Truncated => write!(f, "truncated UDP header"),
+            UdpError::NotUdp => write!(f, "not a UDP packet"),
+            UdpError::IsFragment => write!(f, "packet is an IP fragment"),
+            UdpError::BadLength => write!(f, "bad UDP length"),
+            UdpError::BadChecksum => write!(f, "bad UDP checksum"),
+        }
+    }
+}
+
+impl std::error::Error for UdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgram(payload: &[u8]) -> UdpDatagram {
+        UdpDatagram::new(
+            "192.0.2.1".parse().unwrap(),
+            "198.51.100.53".parse().unwrap(),
+            34567,
+            53,
+            payload.to_vec(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_packet() {
+        let d = dgram(b"hello dns");
+        let pkt = d.clone().into_packet(42, 64);
+        let parsed = UdpDatagram::from_packet(&pkt).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn checksum_detects_payload_tampering() {
+        let d = dgram(b"authentic response");
+        let mut pkt = d.into_packet(42, 64);
+        // Tamper with one payload byte after the UDP header.
+        let idx = UDP_HEADER_LEN + 3;
+        pkt.payload[idx] ^= 0x55;
+        // The IP header is still fine, but UDP checksum validation must fail.
+        assert_eq!(UdpDatagram::from_packet(&pkt), Err(UdpError::BadChecksum));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let d = dgram(b"no checksum");
+        let mut pkt = d.clone().into_packet(1, 64);
+        // Zero out the UDP checksum field (bytes 6..8 of the UDP header).
+        pkt.payload[6] = 0;
+        pkt.payload[7] = 0;
+        let parsed = UdpDatagram::from_packet(&pkt).unwrap();
+        assert_eq!(parsed.payload, d.payload);
+    }
+
+    #[test]
+    fn fragment_rejected_until_reassembled() {
+        let d = dgram(&[0u8; 100]);
+        let mut pkt = d.into_packet(9, 64);
+        pkt.header.more_fragments = true;
+        assert_eq!(UdpDatagram::from_packet(&pkt), Err(UdpError::IsFragment));
+    }
+
+    #[test]
+    fn wrong_protocol_rejected() {
+        let d = dgram(b"x");
+        let mut pkt = d.into_packet(9, 64);
+        pkt.header.protocol = Protocol::Tcp;
+        assert_eq!(UdpDatagram::from_packet(&pkt), Err(UdpError::NotUdp));
+    }
+
+    #[test]
+    fn length_field_bounds_are_checked() {
+        let d = dgram(b"abcdef");
+        let mut pkt = d.into_packet(9, 64);
+        // Declare a longer UDP length than the actual payload.
+        let bogus = (pkt.payload.len() + 10) as u16;
+        pkt.payload[4..6].copy_from_slice(&bogus.to_be_bytes());
+        assert_eq!(UdpDatagram::from_packet(&pkt), Err(UdpError::BadLength));
+    }
+
+    #[test]
+    fn udp_header_roundtrip() {
+        let h = UdpHeader { src_port: 1194, dst_port: 500, length: 28, checksum: 0xbeef };
+        assert_eq!(UdpHeader::decode(&h.encode()).unwrap(), h);
+        assert!(UdpHeader::decode(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn partial_sum_is_additive_on_word_boundaries() {
+        let a = [0x12, 0x34, 0x56, 0x78];
+        let b = [0x9a, 0xbc];
+        let whole = partial_sum(&[&a[..], &b[..]].concat());
+        let mut c = Checksum::new();
+        c.add_u16(partial_sum(&a));
+        c.add_u16(partial_sum(&b));
+        assert_eq!(c.folded(), whole);
+    }
+}

@@ -1,0 +1,27 @@
+//! Cross-layer attacks against email: SPF/DMARC downgrade (spoofed mail gets
+//! accepted) and password-recovery account takeover (the reset link is
+//! delivered to the attacker) — Table 1 rows "SPF,DMARC" and "Password
+//! recovery".
+//!
+//! ```text
+//! cargo run --example email_downgrade
+//! ```
+
+use cross_layer_attacks::xlayer_core::prelude::*;
+
+fn main() {
+    println!("== SPF / DMARC downgrade ==");
+    let spf = spf_downgrade_scenario(7);
+    println!("verdict for the attacker's spoofed mail before the attack: {:?}", spf.before);
+    println!("verdict for the attacker's spoofed mail after the attack : {:?}", spf.after);
+    println!("spoofed mail accepted after the attack                   : {}", spf.spoofed_mail_accepted);
+    println!();
+
+    println!("== Password-recovery account takeover ==");
+    let takeover = password_recovery_scenario(8);
+    println!("MX/A records poisoned           : {}", takeover.dns_poisoned);
+    println!("recovery link delivery before   : {:?}", takeover.before);
+    println!("recovery link delivery after    : {:?}", takeover.after);
+    println!();
+    println!("result: the attacker receives the password-reset link and takes over the account.");
+}

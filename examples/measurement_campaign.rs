@@ -1,0 +1,43 @@
+//! Regenerates every table and figure of the paper's evaluation section in
+//! one run: the Table 1/2 taxonomies, the Table 3/4 vulnerability campaigns,
+//! the Table 5 ANY-caching experiment, the Table 6 comparative analysis, the
+//! Figure 3/4 distributions, the Figure 5 overlaps and the Section 6
+//! countermeasure ablation.
+//!
+//! ```text
+//! cargo run --release --example measurement_campaign
+//! ```
+
+use cross_layer_attacks::xlayer_core::prelude::*;
+
+fn main() {
+    let seed = 2021;
+    let cap = 20_000;
+
+    println!("{}", render_table1());
+    println!("{}", render_table2());
+
+    let t3 = run_table3(seed, cap);
+    println!("{}", render_table3(&t3));
+
+    let t4 = run_table4(seed, cap);
+    println!("{}", render_table4(&t4));
+
+    let t5 = run_table5(seed);
+    println!("{}", render_table5(&t5));
+
+    let t6 = run_table6(seed, 5_000, 1);
+    println!("{}", render_table6(&t6));
+
+    let fig3 = figure3_prefix_distributions(seed, cap);
+    println!("{}", render_cdfs("Figure 3 — announced prefix lengths (CDF)", &fig3));
+
+    let (edns, frag) = figure4_edns_vs_fragment(seed, cap);
+    println!("{}", render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag]));
+
+    println!("{}", render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap(seed, 5_000)));
+    println!("{}", render_venn("Figure 5b — vulnerable domains (overlap)", &figure5_domain_overlap(seed, 5_000)));
+
+    let ablation = run_ablation(&Defence::all(), seed);
+    println!("{}", render_ablation(&ablation));
+}

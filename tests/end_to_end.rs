@@ -1,0 +1,127 @@
+//! Workspace-level integration tests: every layer of the stack — simulator,
+//! DNS, BGP, attacks, applications and the evaluation harness — exercised
+//! together through the public API of the umbrella crate.
+
+use cross_layer_attacks::attacks::prelude::*;
+use cross_layer_attacks::bgp::prelude::*;
+use cross_layer_attacks::dns::prelude::*;
+use cross_layer_attacks::netsim::prelude::*;
+use cross_layer_attacks::xlayer_core::prelude::*;
+
+#[test]
+fn all_three_methodologies_poison_the_standard_victim() {
+    // HijackDNS
+    let (mut sim, env) = VictimEnvConfig::default().build();
+    let hijack = HijackDnsAttack::new(HijackDnsConfig::new(env.attacker_addr)).run(&mut sim, &env);
+    assert!(hijack.success);
+
+    // FragDNS
+    let (mut sim, env) = VictimEnvConfig::default().build();
+    let frag = FragDnsAttack::new(FragDnsConfig::new(env.attacker_addr)).run(&mut sim, &env);
+    assert!(frag.success);
+
+    // SadDNS (narrowed port space)
+    let mut cfg = VictimEnvConfig::default();
+    cfg.resolver.port_range = (40000, 40127);
+    cfg.resolver.query_timeout = Duration::from_secs(30);
+    cfg.resolver.max_retries = 0;
+    cfg.nameserver = cfg.nameserver.with_rrl(10);
+    let (mut sim, env) = cfg.build();
+    let mut sad_cfg = SadDnsConfig::new(env.attacker_addr);
+    sad_cfg.scan_range = (40000, 40127);
+    let sad = SadDnsAttack::new(sad_cfg).run(&mut sim, &env);
+    assert!(sad.success);
+
+    // Relative cost ordering (Table 6 shape): hijack ≪ frag ≪ saddns.
+    assert!(hijack.attacker_packets < frag.attacker_packets);
+    assert!(frag.attacker_packets < sad.attacker_packets);
+}
+
+#[test]
+fn poisoned_cache_affects_every_application_sharing_the_resolver() {
+    // Poison once (cross-application cache, Section 4.3.2), then observe the
+    // impact on several applications that share the resolver.
+    let (mut sim, env) = VictimEnvConfig::default().build();
+    let mut cfg = HijackDnsConfig::new(env.attacker_addr);
+    cfg.target_name = "mail.vict.im".parse().unwrap();
+    assert!(HijackDnsAttack::new(cfg).run(&mut sim, &env).success);
+
+    let resolved_mx = env.resolver(&sim).cache().cached_a(&"mail.vict.im".parse().unwrap(), sim.now());
+    let genuine_mx: std::net::Ipv4Addr = "30.0.0.26".parse().unwrap();
+
+    use cross_layer_attacks::apps::prelude::*;
+    // Email interception.
+    assert_eq!(deliver_mail(resolved_mx, genuine_mx, env.attacker_addr), MailDelivery::InterceptedByAttacker);
+    // Password recovery account takeover.
+    assert_eq!(password_recovery(resolved_mx, genuine_mx, env.attacker_addr), PasswordRecovery::AttackerReceivesLink);
+}
+
+#[test]
+fn dnssec_protects_signed_domains_end_to_end() {
+    let mut cfg = VictimEnvConfig::default();
+    cfg.zone_signed = true;
+    cfg.resolver = ResolverConfig::new(attacks::env::addrs::RESOLVER)
+        .with_delegation("vict.im", vec![attacks::env::addrs::NAMESERVER], true)
+        .with_dnssec_validation();
+    let (mut sim, env) = cfg.build();
+    let report = HijackDnsAttack::new(HijackDnsConfig::new(env.attacker_addr)).run(&mut sim, &env);
+    assert!(!report.success, "a validating resolver rejects the unsigned forgery");
+    // Genuine resolution still works.
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &"www.vict.im".parse().unwrap(), RecordType::A, 5);
+    sim.run();
+    assert_eq!(
+        env.resolver(&sim).cache().cached_a(&"www.vict.im".parse().unwrap(), sim.now()),
+        Some("30.0.0.80".parse().unwrap())
+    );
+}
+
+#[test]
+fn bgp_control_plane_and_data_plane_agree() {
+    // If the control-plane simulation says the attacker captures the
+    // resolver's AS, the data-plane hijack must deliver the resolver's query
+    // to the attacker; if ROV filters it, it must not.
+    let (topo, map) = AsTopology::small_test_topology();
+    let prefix: Prefix = "123.0.0.0/22".parse().unwrap();
+    let roas = vec![Roa::exact(prefix, AsId(map["stub1"].0))];
+    let rov: std::collections::HashMap<AsId, RovPolicy> = topo.ases().map(|a| (a, RovPolicy::Enforced)).collect();
+    let outcome = sub_prefix_hijack(
+        &topo,
+        Announcement { prefix, origin: map["stub1"] },
+        map["stub3"],
+        Some(map["stub4"]),
+        &rov,
+        &roas,
+    );
+    assert_eq!(outcome.target_captured, Some(false), "ROV filters the control-plane announcement");
+
+    let (mut sim, env) = VictimEnvConfig::default().build();
+    let mut cfg = HijackDnsConfig::new(env.attacker_addr);
+    cfg.rov_blocks = outcome.target_captured == Some(false);
+    let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
+    assert!(!report.success);
+}
+
+#[test]
+fn evaluation_harness_produces_all_tables() {
+    let t3 = run_table3(1, 2_000);
+    let t4 = run_table4(1, 2_000);
+    let t5 = run_table5(1);
+    assert_eq!(t3.len(), 9);
+    assert_eq!(t4.len(), 10);
+    assert_eq!(t5.len(), 5);
+    assert_eq!(t5.iter().filter(|r| r.vulnerable).count(), 3);
+    let fig3 = figure3_prefix_distributions(1, 2_000);
+    assert_eq!(fig3.len(), 3);
+    let overlap = figure5_resolver_overlap(1, 1_000);
+    assert!(overlap.hijack_total() > overlap.saddns_total());
+    assert!(!render_table1().is_empty());
+    assert!(!render_table2().is_empty());
+}
+
+#[test]
+fn countermeasures_change_attack_outcomes() {
+    let baseline = evaluate_cell(PoisonMethod::FragDns, Defence::None, 77);
+    let defended = evaluate_cell(PoisonMethod::FragDns, Defence::FragmentFiltering, 77);
+    assert!(baseline.attack_succeeded);
+    assert!(!defended.attack_succeeded);
+}

@@ -1,0 +1,147 @@
+//! Property-based tests over the wire codecs and core data-structure
+//! invariants of the workspace.
+
+use cross_layer_attacks::dns::prelude::*;
+use cross_layer_attacks::netsim::prelude::*;
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,12}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 1..5).prop_map(|labels| DomainName::from_labels(labels).expect("valid labels"))
+}
+
+fn arb_addr() -> impl Strategy<Value = std::net::Ipv4Addr> {
+    any::<u32>().prop_map(std::net::Ipv4Addr::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The internet checksum verifies for any payload once embedded in a UDP datagram.
+    #[test]
+    fn udp_datagram_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..600),
+                              src in arb_addr(), dst in arb_addr(),
+                              sport in 1u16..65535, dport in 1u16..65535,
+                              ipid in any::<u16>()) {
+        let dgram = UdpDatagram::new(src, dst, sport, dport, payload.clone());
+        let pkt = dgram.clone().into_packet(ipid, 64);
+        // IPv4 header roundtrip.
+        let decoded = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(&decoded.header, &pkt.header);
+        // UDP checksum verification succeeds and payload is preserved.
+        let parsed = UdpDatagram::from_packet(&decoded).unwrap();
+        prop_assert_eq!(parsed.payload, payload);
+        prop_assert_eq!(parsed.src_port, sport);
+    }
+
+    /// Tampering with any payload byte breaks the UDP checksum.
+    #[test]
+    fn udp_checksum_detects_single_byte_tampering(payload in proptest::collection::vec(any::<u8>(), 8..200),
+                                                  flip_index in 0usize..200, flip_bit in 0u8..8) {
+        let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let dgram = UdpDatagram::new(src, dst, 1000, 53, payload.clone());
+        let mut pkt = dgram.into_packet(7, 64);
+        let idx = 8 + (flip_index % payload.len());
+        pkt.payload[idx] ^= 1 << flip_bit;
+        prop_assert!(UdpDatagram::from_packet(&pkt).is_err());
+    }
+
+    /// Fragmentation + reassembly is the identity for any datagram and MTU.
+    #[test]
+    fn fragmentation_roundtrip(payload_len in 1usize..4000, mtu in 68u16..1500, ipid in any::<u16>()) {
+        let src: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let payload = vec![0xABu8; payload_len];
+        let pkt = UdpDatagram::new(src, dst, 1, 2, payload).into_packet(ipid, 64);
+        let frags = fragment_packet(&pkt, mtu);
+        // Fragments respect the MTU and tile the payload exactly.
+        for f in &frags {
+            prop_assert!(f.wire_len() <= usize::from(mtu) || frags.len() == 1);
+        }
+        let mut buf = ReassemblyBuffer::default();
+        let mut out = None;
+        for f in &frags {
+            if let netsim::frag::ReassemblyResult::Complete(p) = buf.push(f, SimTime::ZERO) {
+                out = Some(p);
+            }
+        }
+        let reassembled = out.expect("reassembly completes");
+        prop_assert_eq!(reassembled.payload, pkt.payload);
+    }
+
+    /// DNS name encoding round-trips and preserves case-insensitive equality.
+    #[test]
+    fn name_roundtrip(name in arb_name()) {
+        let mut buf = Vec::new();
+        name.encode(&mut buf, None);
+        let (decoded, consumed) = DomainName::decode(&buf, 0).unwrap();
+        prop_assert_eq!(&decoded, &name);
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded.wire_len(), buf.len());
+    }
+
+    /// Full DNS messages round-trip through the wire codec.
+    #[test]
+    fn message_roundtrip(name in arb_name(), id in any::<u16>(), ttl in 1u32..86_400,
+                         addrs in proptest::collection::vec(arb_addr(), 1..8),
+                         txt in "[ -~]{0,100}") {
+        let q = Message::query(id, name.clone(), RecordType::ANY);
+        let mut r = Message::response_for(&q);
+        for a in &addrs {
+            r.answers.push(ResourceRecord::new(name.clone(), ttl, RData::A(*a)));
+        }
+        r.answers.push(ResourceRecord::new(name.clone(), ttl, RData::Txt(txt.clone())));
+        r.authorities.push(ResourceRecord::new(name.clone(), ttl, RData::Ns(name.clone())));
+        let decoded = Message::decode(&r.encode()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    /// 0x20 case randomisation never changes which name is meant.
+    #[test]
+    fn x20_preserves_identity(name in arb_name(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(seed);
+        let cased = name.randomize_case(&mut rng);
+        prop_assert_eq!(&cased, &name);
+        prop_assert!(cased.is_subdomain_of(&name));
+    }
+
+    /// Cache lookups never return expired entries.
+    #[test]
+    fn cache_respects_ttl(ttl in 1u32..1000, elapsed in 0u64..2000) {
+        let mut cache = Cache::new();
+        let name: DomainName = "prop.vict.im".parse().unwrap();
+        let rr = ResourceRecord::new(name.clone(), ttl, RData::A("1.2.3.4".parse().unwrap()));
+        cache.insert_records(&[rr], SimTime::ZERO, false);
+        let now = SimTime::ZERO + Duration::from_secs(elapsed);
+        let hit = cache.lookup(&name, RecordType::A, now).is_some();
+        prop_assert_eq!(hit, elapsed < u64::from(ttl));
+    }
+
+    /// Prefix containment is consistent with covers() and sub-prefix splitting.
+    #[test]
+    fn prefix_invariants(addr in arb_addr(), len in 8u8..32) {
+        let p = Prefix::new(addr, len);
+        prop_assert!(p.contains(p.addr));
+        if let Some(sub) = p.first_subprefix() {
+            prop_assert!(p.covers(&sub));
+            prop_assert!(p.contains(sub.addr));
+            prop_assert_eq!(sub.len, len + 1);
+        }
+    }
+
+    /// The token-bucket ICMP limiter never allows more than `capacity` errors
+    /// in a single instant.
+    #[test]
+    fn icmp_limiter_caps_burst(capacity in 1u32..200, probes in 1usize..400) {
+        let mut limiter = IcmpRateLimiter::new(IcmpRateLimitPolicy::Global { capacity, per_second: capacity as f64 });
+        let dst: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let allowed = (0..probes).filter(|_| limiter.allow(dst, SimTime::ZERO)).count();
+        prop_assert!(allowed <= capacity as usize);
+        prop_assert_eq!(allowed, probes.min(capacity as usize));
+    }
+}
