@@ -26,7 +26,9 @@ pub mod taxonomy;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::exploit::*;
-    pub use crate::middlebox::{table2_middleboxes, CachingBehaviour, MiddleboxProfile, MiddleboxType, TriggerBehaviour};
+    pub use crate::middlebox::{
+        table2_middleboxes, CachingBehaviour, MiddleboxProfile, MiddleboxType, TriggerBehaviour,
+    };
     pub use crate::taxonomy::{
         table1_applications, ApplicationProfile, Category, DnsUse, Impact, QueryNameControl, TriggerMethod,
     };

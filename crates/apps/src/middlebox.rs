@@ -79,18 +79,90 @@ pub fn table2_middleboxes() -> Vec<MiddleboxProfile> {
     use MiddleboxType::*;
     use TriggerBehaviour::*;
     vec![
-        MiddleboxProfile { kind: Firewall, provider: "pfSense", trigger: Timer(Duration::from_secs(500)), caching: Fixed(Duration::from_secs(500)), alexa_100k_sites: 0 },
-        MiddleboxProfile { kind: Firewall, provider: "Sophos UTM", trigger: Timer(Duration::from_secs(240)), caching: Fixed(Duration::from_secs(240)), alexa_100k_sites: 0 },
-        MiddleboxProfile { kind: LoadBalancer, provider: "Kemp Technologies", trigger: Timer(Duration::from_secs(3600)), caching: Fixed(Duration::from_secs(3600)), alexa_100k_sites: 0 },
-        MiddleboxProfile { kind: LoadBalancer, provider: "F5 Networks", trigger: Timer(Duration::from_secs(3600)), caching: Fixed(Duration::from_secs(3600)), alexa_100k_sites: 0 },
-        MiddleboxProfile { kind: Cdn, provider: "Stackpath", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 79 },
-        MiddleboxProfile { kind: Cdn, provider: "Fastly", trigger: Timer(Duration::from_secs(60)), caching: HonoursTtl, alexa_100k_sites: 1_143 },
-        MiddleboxProfile { kind: Cdn, provider: "AWS", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 11_057 },
-        MiddleboxProfile { kind: Cdn, provider: "Cloudflare", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 17_393 },
-        MiddleboxProfile { kind: ManagedDnsAlias, provider: "DNSimple", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 248 },
-        MiddleboxProfile { kind: ManagedDnsAlias, provider: "DNS Made Easy", trigger: Timer(Duration::from_secs(2100)), caching: Fixed(Duration::from_secs(2100)), alexa_100k_sites: 1_192 },
-        MiddleboxProfile { kind: ManagedDnsAlias, provider: "Oracle Cloud", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 1_382 },
-        MiddleboxProfile { kind: ManagedDnsAlias, provider: "Cloudflare (ALIAS)", trigger: OnDemand, caching: HonoursTtl, alexa_100k_sites: 20_027 },
+        MiddleboxProfile {
+            kind: Firewall,
+            provider: "pfSense",
+            trigger: Timer(Duration::from_secs(500)),
+            caching: Fixed(Duration::from_secs(500)),
+            alexa_100k_sites: 0,
+        },
+        MiddleboxProfile {
+            kind: Firewall,
+            provider: "Sophos UTM",
+            trigger: Timer(Duration::from_secs(240)),
+            caching: Fixed(Duration::from_secs(240)),
+            alexa_100k_sites: 0,
+        },
+        MiddleboxProfile {
+            kind: LoadBalancer,
+            provider: "Kemp Technologies",
+            trigger: Timer(Duration::from_secs(3600)),
+            caching: Fixed(Duration::from_secs(3600)),
+            alexa_100k_sites: 0,
+        },
+        MiddleboxProfile {
+            kind: LoadBalancer,
+            provider: "F5 Networks",
+            trigger: Timer(Duration::from_secs(3600)),
+            caching: Fixed(Duration::from_secs(3600)),
+            alexa_100k_sites: 0,
+        },
+        MiddleboxProfile {
+            kind: Cdn,
+            provider: "Stackpath",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 79,
+        },
+        MiddleboxProfile {
+            kind: Cdn,
+            provider: "Fastly",
+            trigger: Timer(Duration::from_secs(60)),
+            caching: HonoursTtl,
+            alexa_100k_sites: 1_143,
+        },
+        MiddleboxProfile {
+            kind: Cdn,
+            provider: "AWS",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 11_057,
+        },
+        MiddleboxProfile {
+            kind: Cdn,
+            provider: "Cloudflare",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 17_393,
+        },
+        MiddleboxProfile {
+            kind: ManagedDnsAlias,
+            provider: "DNSimple",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 248,
+        },
+        MiddleboxProfile {
+            kind: ManagedDnsAlias,
+            provider: "DNS Made Easy",
+            trigger: Timer(Duration::from_secs(2100)),
+            caching: Fixed(Duration::from_secs(2100)),
+            alexa_100k_sites: 1_192,
+        },
+        MiddleboxProfile {
+            kind: ManagedDnsAlias,
+            provider: "Oracle Cloud",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 1_382,
+        },
+        MiddleboxProfile {
+            kind: ManagedDnsAlias,
+            provider: "Cloudflare (ALIAS)",
+            trigger: OnDemand,
+            caching: HonoursTtl,
+            alexa_100k_sites: 20_027,
+        },
     ]
 }
 

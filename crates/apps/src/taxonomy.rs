@@ -117,11 +117,13 @@ pub struct ApplicationProfile {
 
 /// Builds all twenty rows of Table 1.
 pub fn table1_applications() -> Vec<ApplicationProfile> {
+    use Category::{
+        Authentication as CatAuth, CryptoCurrency, Email, IntermediateDevices, OnlineChat, Pki, Sync, Tunnelling, Web,
+    };
     use Impact::*;
     use PoisonMethod::*;
     use QueryNameControl::*;
     use TriggerMethod::{Bounce, ConnectionDos, Direct, DirectOrBounce, OnDemand, WaitingOrTimer};
-    use Category::{Authentication as CatAuth, CryptoCurrency, Email, IntermediateDevices, OnlineChat, Pki, Sync, Tunnelling, Web};
     let all = vec![HijackDns, SadDns, FragDns];
     let hijack_only = vec![HijackDns];
     let hijack_sad = vec![HijackDns, SadDns];
@@ -430,8 +432,7 @@ mod tests {
     #[test]
     fn downgrade_rows_cover_security_mechanisms() {
         let apps = table1_applications();
-        let downgrades: Vec<&str> =
-            apps.iter().filter(|a| a.impact == Impact::Downgrade).map(|a| a.protocol).collect();
+        let downgrades: Vec<&str> = apps.iter().filter(|a| a.impact == Impact::Downgrade).map(|a| a.protocol).collect();
         assert!(downgrades.contains(&"SPF,DMARC"));
         assert!(downgrades.contains(&"RPKI"));
         assert!(downgrades.contains(&"OCSP"));

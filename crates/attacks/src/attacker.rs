@@ -169,11 +169,7 @@ impl Node for AttackerNode {
                                     resp.header.authoritative = true;
                                     resp.answers.push(ResourceRecord::new(q.name, 300, RData::A(self.malicious_a)));
                                     let pkts = self.stack.send_udp(
-                                        pkt.header.dst,
-                                        dgram.src,
-                                        53,
-                                        dgram.src_port,
-                                        resp.encode(),
+                                        UdpDatagram::new(pkt.header.dst, dgram.src, 53, dgram.src_port, resp.encode()),
                                         now,
                                         ctx.rng(),
                                     );

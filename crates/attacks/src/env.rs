@@ -137,7 +137,8 @@ impl VictimEnvConfig {
         let mut sim = Simulator::new(self.seed);
         let resolver_edns_size = self.resolver.edns_size;
         let resolver = sim.add_node("resolver", vec![addrs::RESOLVER], Resolver::new(self.resolver.clone()));
-        let nameserver = sim.add_node("ns", vec![addrs::NAMESERVER], Nameserver::new(self.nameserver.clone(), vec![zone]));
+        let nameserver =
+            sim.add_node("ns", vec![addrs::NAMESERVER], Nameserver::new(self.nameserver.clone(), vec![zone]));
         let attacker = sim.add_node("attacker", vec![addrs::ATTACKER], AttackerNode::new(addrs::ATTACKER));
         let client = sim.add_node("client", vec![addrs::CLIENT, addrs::SERVICE], SinkNode::default());
 
@@ -179,7 +180,14 @@ pub enum QueryTrigger {
 impl VictimEnv {
     /// Injects a query for `(name, qtype)` at the victim resolver using the
     /// given trigger path, and returns the TXID used by the triggering party.
-    pub fn trigger_query(&self, sim: &mut Simulator, trigger: QueryTrigger, name: &DomainName, qtype: RecordType, txid: u16) {
+    pub fn trigger_query(
+        &self,
+        sim: &mut Simulator,
+        trigger: QueryTrigger,
+        name: &DomainName,
+        qtype: RecordType,
+        txid: u16,
+    ) {
         let (from_node, from_addr, from_port) = match trigger {
             QueryTrigger::OpenResolver => (self.attacker, self.attacker_addr, 4444),
             QueryTrigger::InternalClient => (self.client, self.client_addr, 5353),
@@ -192,9 +200,7 @@ impl VictimEnv {
     /// Whether the resolver's cache currently maps `name` to the attacker's
     /// chosen address.
     pub fn poisoned(&self, sim: &Simulator, name: &DomainName, addr: Ipv4Addr) -> bool {
-        sim.node_ref::<Resolver>(self.resolver)
-            .map(|r| r.is_poisoned_with(name, addr, sim.now()))
-            .unwrap_or(false)
+        sim.node_ref::<Resolver>(self.resolver).map(|r| r.is_poisoned_with(name, addr, sim.now())).unwrap_or(false)
     }
 
     /// Convenience accessor for the resolver node.

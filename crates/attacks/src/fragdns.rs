@@ -78,7 +78,8 @@ impl FragDnsAttack {
         let cfg = &self.config;
         let before = env.attacker(sim).udp_observed.len();
         let q = Message::query(0x0BAD, cfg.target_name.clone(), cfg.qtype).with_edns(4096);
-        let pkt = UdpDatagram::new(env.attacker_addr, env.nameserver_addr, 4444, 53, q.encode()).into_packet(0x0BAD, 64);
+        let pkt =
+            UdpDatagram::new(env.attacker_addr, env.nameserver_addr, 4444, 53, q.encode()).into_packet(0x0BAD, 64);
         sim.inject(env.attacker, pkt);
         sim.run_for(Duration::from_millis(200));
         let attacker = env.attacker(sim);
@@ -91,15 +92,27 @@ impl FragDnsAttack {
     /// Sends the spoofed ICMP fragmentation-needed message to the nameserver,
     /// quoting a plausible response packet towards the resolver.
     fn shrink_path_mtu(&self, sim: &mut Simulator, env: &VictimEnv) {
-        let quoted = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, 34567, vec![0u8; 64]).into_packet(1, 64);
-        let ptb = IcmpMessage::fragmentation_needed(&quoted, self.config.forced_mtu)
-            .into_packet(env.resolver_addr, env.nameserver_addr, 2, 64);
+        let quoted =
+            UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, 34567, vec![0u8; 64]).into_packet(1, 64);
+        let ptb = IcmpMessage::fragmentation_needed(&quoted, self.config.forced_mtu).into_packet(
+            env.resolver_addr,
+            env.nameserver_addr,
+            2,
+            64,
+        );
         sim.inject(env.attacker, ptb);
         sim.run_for(Duration::from_millis(50));
     }
 
     /// Plants the crafted tail fragments for each candidate IP-ID.
-    fn plant_fragments(&self, sim: &mut Simulator, env: &VictimEnv, tail: &[u8], tail_offset: usize, ipids: &[u16]) -> u64 {
+    fn plant_fragments(
+        &self,
+        sim: &mut Simulator,
+        env: &VictimEnv,
+        tail: &[u8],
+        tail_offset: usize,
+        ipids: &[u16],
+    ) -> u64 {
         let cfg = &self.config;
         // Split the tail exactly the way the nameserver's stack will.
         let full_len = tail_offset + tail.len();
@@ -108,14 +121,8 @@ impl FragDnsAttack {
         for &ipid in ipids {
             for (start, end) in layout.iter().skip(1) {
                 let chunk = &tail[start - tail_offset..end - tail_offset];
-                let mut header = Ipv4Header::new(
-                    env.nameserver_addr,
-                    env.resolver_addr,
-                    Protocol::Udp,
-                    chunk.len(),
-                    ipid,
-                    64,
-                );
+                let mut header =
+                    Ipv4Header::new(env.nameserver_addr, env.resolver_addr, Protocol::Udp, chunk.len(), ipid, 64);
                 header.fragment_offset = (start / 8) as u16;
                 header.more_fragments = *end != full_len;
                 let pkt = Ipv4Packet::new(header, chunk.to_vec());
@@ -194,10 +201,7 @@ impl FragDnsAttack {
             report.queries_triggered += 1;
             sim.run_for(Duration::from_secs(1));
 
-            let poisoned_name = crafted
-                .redirected_names
-                .iter()
-                .find(|n| env.poisoned(sim, n, cfg.malicious_addr));
+            let poisoned_name = crafted.redirected_names.iter().find(|n| env.poisoned(sim, n, cfg.malicious_addr));
             if let Some(name) = poisoned_name {
                 report.success = true;
                 report.notes.push(format!("poisoned cached A record for {name}"));
@@ -232,10 +236,7 @@ mod tests {
         // fragment and now points at the attacker — the "application
         // agnostic" poisoning the paper highlights.
         let resolver = env.resolver(&sim);
-        assert_eq!(
-            resolver.cache().cached_a(&"ns1.vict.im".parse().unwrap(), sim.now()),
-            Some(addrs::ATTACKER)
-        );
+        assert_eq!(resolver.cache().cached_a(&"ns1.vict.im".parse().unwrap(), sim.now()), Some(addrs::ATTACKER));
         // Traffic: a handful of packets (predictable IPID), far fewer than SadDNS.
         assert!(report.attacker_packets < 200, "{} packets", report.attacker_packets);
         assert_eq!(report.queries_triggered, 1);
@@ -243,8 +244,10 @@ mod tests {
 
     #[test]
     fn random_ipid_defeats_small_candidate_set() {
-        let mut env_cfg = VictimEnvConfig::default();
-        env_cfg.nameserver = NameserverConfig::new(addrs::NAMESERVER).with_ipid(IpIdPolicy::Random);
+        let env_cfg = VictimEnvConfig {
+            nameserver: NameserverConfig::new(addrs::NAMESERVER).with_ipid(IpIdPolicy::Random),
+            ..Default::default()
+        };
         let (mut sim, env) = env_cfg.build();
         let mut cfg = FragDnsConfig::new(addrs::ATTACKER);
         cfg.ipid_candidates = 4;

@@ -147,10 +147,9 @@ impl HijackDnsAttack {
             sim.clear_route_override(hijacked_prefix);
             return report.fail(FailureReason::BudgetExhausted);
         };
-        report.notes.push(format!(
-            "intercepted query txid={:#06x} from port {}",
-            query_msg.header.id, query_dgram.src_port
-        ));
+        report
+            .notes
+            .push(format!("intercepted query txid={:#06x} from port {}", query_msg.header.id, query_dgram.src_port));
 
         // Craft the spoofed response: echo TXID, exact question (0x20-safe)
         // and ports; answer with the malicious address. The hijacker cannot
@@ -159,14 +158,9 @@ impl HijackDnsAttack {
         response.header.authoritative = true;
         let echoed_question = query_msg.question().cloned().expect("query has a question");
         response.answers.push(ResourceRecord::new(echoed_question.name.clone(), 3600, RData::A(cfg.malicious_addr)));
-        let spoofed = UdpDatagram::new(
-            env.nameserver_addr,
-            env.resolver_addr,
-            53,
-            query_dgram.src_port,
-            response.encode(),
-        )
-        .into_packet(0x6666, 64);
+        let spoofed =
+            UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, query_dgram.src_port, response.encode())
+                .into_packet(0x6666, 64);
         sim.inject(env.attacker, spoofed);
 
         // Withdraw the announcement (short-lived hijack) and let the dust settle.
@@ -261,11 +255,13 @@ mod tests {
         assert!(report.success, "seeing the query defeats 0x20");
 
         // DNSSEC + signed zone: the forged (unsigned) response is rejected.
-        let mut env_cfg = VictimEnvConfig::default();
-        env_cfg.zone_signed = true;
-        env_cfg.resolver = ResolverConfig::new(addrs::RESOLVER)
-            .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
-            .with_dnssec_validation();
+        let env_cfg = VictimEnvConfig {
+            zone_signed: true,
+            resolver: ResolverConfig::new(addrs::RESOLVER)
+                .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
+                .with_dnssec_validation(),
+            ..Default::default()
+        };
         let (mut sim, env) = env_cfg.build();
         let report = HijackDnsAttack::new(HijackDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
         assert!(!report.success);

@@ -238,9 +238,7 @@ mod tests {
         r.success = true;
         assert!((r.hitrate() - 0.2).abs() < 1e-12);
         let before = TrafficStats::default();
-        let mut after = TrafficStats::default();
-        after.packets_sent = 100;
-        after.bytes_sent = 9000;
+        let after = TrafficStats { packets_sent: 100, bytes_sent: 9000, ..Default::default() };
         r.record_traffic(&before, &after);
         assert_eq!(r.attacker_packets, 100);
         assert_eq!(r.attacker_bytes, 9000);

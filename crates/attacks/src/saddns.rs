@@ -105,7 +105,8 @@ impl SadDnsAttack {
             sent += 1;
         }
         // Verification probe from the attacker's own address to a closed port.
-        let verify = UdpDatagram::new(env.attacker_addr, env.resolver_addr, 4444, 7, vec![0u8; 8]).into_packet(3000, 64);
+        let verify =
+            UdpDatagram::new(env.attacker_addr, env.resolver_addr, 4444, 7, vec![0u8; 8]).into_packet(3000, 64);
         sim.inject(env.attacker, verify);
         sim.run_for(Duration::from_millis(50));
         let open_somewhere = env.attacker(sim).port_unreachable_since(t0);
@@ -116,7 +117,13 @@ impl SadDnsAttack {
 
     /// Locates the open ephemeral port via batched probing plus divide and
     /// conquer. Returns the port if found before `deadline`.
-    fn scan_for_port(&self, sim: &mut Simulator, env: &VictimEnv, deadline: SimTime, report: &mut AttackReport) -> Option<u16> {
+    fn scan_for_port(
+        &self,
+        sim: &mut Simulator,
+        env: &VictimEnv,
+        deadline: SimTime,
+        report: &mut AttackReport,
+    ) -> Option<u16> {
         let cfg = &self.config;
         let (lo, hi) = cfg.scan_range;
         let mut batch_start = lo as u32;
@@ -153,7 +160,8 @@ impl SadDnsAttack {
         for i in 0..cfg.mute_queries {
             let name = cfg.target_name.prepend(&format!("mute{i}")).unwrap_or_else(|_| cfg.target_name.clone());
             let q = Message::query(i as u16, name, RecordType::A);
-            let pkt = UdpDatagram::new(env.resolver_addr, env.nameserver_addr, 5300, 53, q.encode()).into_packet(i as u16, 64);
+            let pkt = UdpDatagram::new(env.resolver_addr, env.nameserver_addr, 5300, 53, q.encode())
+                .into_packet(i as u16, 64);
             sim.inject(env.attacker, pkt);
         }
         sim.run_for(Duration::from_millis(30));
@@ -167,9 +175,7 @@ impl SadDnsAttack {
             let mut response = Message::query(txid as u16, cfg.target_name.clone(), cfg.qtype);
             response.header.is_response = true;
             response.header.authoritative = true;
-            response
-                .answers
-                .push(ResourceRecord::new(cfg.target_name.clone(), 3600, RData::A(cfg.malicious_addr)));
+            response.answers.push(ResourceRecord::new(cfg.target_name.clone(), 3600, RData::A(cfg.malicious_addr)));
             let pkt = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, port, response.encode())
                 .into_packet(txid as u16, 64);
             sim.inject(env.attacker, pkt);
@@ -216,6 +222,10 @@ impl SadDnsAttack {
             sim.run_for(Duration::from_millis(30));
             // The window closes when the resolver gives up (all retries).
             let window_end = sim.now() + resolver_timeout.saturating_mul(u64::from(retries) + 1);
+            // Muting bounced a few rate-limited responses off closed resolver
+            // ports, draining the global ICMP bucket the oracle depends on.
+            // Pace like the real attack: let the budget refill before probing.
+            sim.run_for(cfg.batch_interval);
 
             // 3. Scan for the open ephemeral port.
             let Some(port) = self.scan_for_port(sim, env, window_end, &mut report) else {
@@ -264,10 +274,16 @@ mod tests {
     /// (documented scaling knob), its timeout is generous, and the nameserver
     /// rate-limits responses.
     fn saddns_env(zone_signed: bool, use_0x20: bool, global_icmp: bool) -> (Simulator, VictimEnv) {
-        let mut cfg = VictimEnvConfig::default();
-        cfg.zone_signed = zone_signed;
-        cfg.resolver = ResolverConfig::new(addrs::RESOLVER)
-            .with_delegation("vict.im", vec![addrs::NAMESERVER], zone_signed);
+        let mut cfg = VictimEnvConfig {
+            zone_signed,
+            resolver: ResolverConfig::new(addrs::RESOLVER).with_delegation(
+                "vict.im",
+                vec![addrs::NAMESERVER],
+                zone_signed,
+            ),
+            nameserver: NameserverConfig::new(addrs::NAMESERVER).with_rrl(10),
+            ..Default::default()
+        };
         cfg.resolver.port_range = (40000, 40255);
         cfg.resolver.query_timeout = Duration::from_secs(30);
         cfg.resolver.max_retries = 0;
@@ -277,7 +293,6 @@ mod tests {
         if !global_icmp {
             cfg.resolver.icmp_rate_limit = IcmpRateLimitPolicy::PerDestination { capacity: 50, per_second: 50.0 };
         }
-        cfg.nameserver = NameserverConfig::new(addrs::NAMESERVER).with_rrl(10);
         cfg.build()
     }
 

@@ -3,8 +3,8 @@
 //! the slow part, so the Criterion timing loop covers only the
 //! HijackDNS/FragDNS cells.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use attacks::outcome::PoisonMethod;
+use criterion::{criterion_group, criterion_main, Criterion};
 use xl_bench::{emit, BENCH_SEED};
 use xlayer_core::prelude::*;
 

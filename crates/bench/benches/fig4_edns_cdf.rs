@@ -7,10 +7,7 @@ use xlayer_core::prelude::*;
 
 fn bench(c: &mut Criterion) {
     let (edns, frag) = figure4_edns_vs_fragment(BENCH_SEED, BENCH_SAMPLE_CAP);
-    emit(&render_cdfs(
-        "Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)",
-        &[edns, frag],
-    ));
+    emit(&render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag]));
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     group.bench_function("edns_vs_fragment_cdf", |b| b.iter(|| figure4_edns_vs_fragment(BENCH_SEED, 2_000)));

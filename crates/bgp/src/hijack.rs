@@ -102,7 +102,11 @@ pub fn sub_prefix_hijack(
     roas: &[Roa],
 ) -> HijackOutcome {
     if !subprefix_hijackable(victim_announcement.prefix) {
-        return HijackOutcome { captured_fraction: 0.0, captured_ases: Vec::new(), target_captured: target.map(|_| false) };
+        return HijackOutcome {
+            captured_fraction: 0.0,
+            captured_ases: Vec::new(),
+            target_captured: target.map(|_| false),
+        };
     }
     let sub = Prefix::new(victim_announcement.prefix.addr, MAX_ACCEPTED_PREFIX_LEN);
     let attacker_validity = validate(sub, attacker, roas);
@@ -203,7 +207,8 @@ mod tests {
     #[test]
     fn same_prefix_hijack_splits_the_internet() {
         let (topo, map) = AsTopology::small_test_topology();
-        let outcome = same_prefix_hijack(&topo, p("30.0.0.0/22"), map["stub1"], map["stub3"], None, &HashMap::new(), &[]);
+        let outcome =
+            same_prefix_hijack(&topo, p("30.0.0.0/22"), map["stub1"], map["stub3"], None, &HashMap::new(), &[]);
         // Some ASes go to the attacker, some stay with the victim.
         assert!(outcome.captured_fraction > 0.0);
         assert!(outcome.captured_fraction < 1.0);
@@ -218,15 +223,8 @@ mod tests {
         let (topo, map) = AsTopology::small_test_topology();
         let roas = vec![Roa::exact(p("30.0.0.0/22"), AsId(map["stub1"].0))];
         let rov: HashMap<AsId, RovPolicy> = topo.ases().map(|a| (a, RovPolicy::Enforced)).collect();
-        let outcome = same_prefix_hijack(
-            &topo,
-            p("30.0.0.0/22"),
-            map["stub1"],
-            map["stub3"],
-            Some(map["stub4"]),
-            &rov,
-            &roas,
-        );
+        let outcome =
+            same_prefix_hijack(&topo, p("30.0.0.0/22"), map["stub1"], map["stub3"], Some(map["stub4"]), &rov, &roas);
         assert_eq!(outcome.captured_fraction, 0.0);
     }
 

@@ -70,7 +70,7 @@ pub fn routes_to_origin(topo: &AsTopology, origin: AsId) -> HashMap<AsId, RouteI
             // neighbour learns this route as a customer route.
             if rel == Relationship::Provider {
                 let candidate = RouteInfo { class: RouteClass::Customer, path_len: current_len + 1, next_hop: current };
-                let is_better = best.get(&neighbor).map_or(true, |existing| candidate.better_than(existing));
+                let is_better = best.get(&neighbor).is_none_or(|existing| candidate.better_than(existing));
                 if is_better {
                     best.insert(neighbor, candidate);
                     queue.push_back(neighbor);
@@ -90,7 +90,7 @@ pub fn routes_to_origin(topo: &AsTopology, origin: AsId) -> HashMap<AsId, RouteI
         for &(neighbor, rel) in topo.neighbors(holder) {
             if rel == Relationship::Peer {
                 let candidate = RouteInfo { class: RouteClass::Peer, path_len: len + 1, next_hop: holder };
-                let is_better = best.get(&neighbor).map_or(true, |existing| candidate.better_than(existing));
+                let is_better = best.get(&neighbor).is_none_or(|existing| candidate.better_than(existing));
                 if is_better {
                     best.insert(neighbor, candidate);
                 }
@@ -111,7 +111,7 @@ pub fn routes_to_origin(topo: &AsTopology, origin: AsId) -> HashMap<AsId, RouteI
             // A Customer neighbour learns this route as a provider route.
             if rel == Relationship::Customer {
                 let candidate = RouteInfo { class: RouteClass::Provider, path_len: current_len + 1, next_hop: current };
-                let is_better = best.get(&neighbor).map_or(true, |existing| candidate.better_than(existing));
+                let is_better = best.get(&neighbor).is_none_or(|existing| candidate.better_than(existing));
                 if is_better {
                     best.insert(neighbor, candidate);
                     queue.push_back(neighbor);

@@ -33,12 +33,6 @@ pub struct Rib {
     routes: HashMap<Prefix, Vec<RibEntry>>,
 }
 
-impl Default for RovPolicy {
-    fn default() -> Self {
-        RovPolicy::NotEnforced
-    }
-}
-
 impl Rib {
     /// An empty RIB with the given ROV policy.
     pub fn new(rov: RovPolicy) -> Self {

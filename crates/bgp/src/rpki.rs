@@ -144,9 +144,10 @@ impl RelyingParty {
 }
 
 /// A router's route-origin-validation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RovPolicy {
     /// The AS does not perform ROV at all (the common case in the Internet).
+    #[default]
     NotEnforced,
     /// The AS drops `Invalid` announcements and accepts `Valid`/`NotFound`
     /// (standard ROV, RFC 6811/7115).

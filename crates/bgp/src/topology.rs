@@ -185,10 +185,12 @@ impl AsTopology {
                 }
             }
         }
-        // Sparse peering among transits.
+        // Sparse peering among transits. Skip pairs that already have a
+        // provider-customer edge: a second, conflicting adjacency would make
+        // the relationship between the pair ambiguous.
         for (i, &a) in transit_ids.iter().enumerate() {
             for &b in &transit_ids[i + 1..] {
-                if rng.gen::<f64>() < 0.05 {
+                if rng.gen::<f64>() < 0.05 && !topo.neighbors(a).iter().any(|&(n, _)| n == b) {
                     topo.add_peering(a, b);
                 }
             }

@@ -74,8 +74,7 @@ pub fn saddns_effectiveness(runs: u64, seed: u64) -> SadDnsEffectiveness {
     let mut agg = AttackAggregate::default();
     let scan_ports = 256u32;
     for i in 0..runs {
-        let mut env_cfg = VictimEnvConfig::default();
-        env_cfg.seed = seed + i;
+        let mut env_cfg = VictimEnvConfig { seed: seed + i, ..Default::default() };
         env_cfg.resolver.port_range = (40000, 40000 + scan_ports as u16 - 1);
         env_cfg.resolver.query_timeout = Duration::from_secs(30);
         env_cfg.resolver.max_retries = 0;
@@ -130,7 +129,8 @@ pub fn run_table6(seed: u64, sample_cap: u64, saddns_runs: u64) -> ComparisonRep
 
     // Analytic components identical to the paper's reasoning.
     let frag_random_hitrate = 64.0 / 65_536.0; // 64-entry defrag cache vs 16-bit IPID
-    let frag_global_hitrate: f64 = if frag_report.success { 0.2_f64.max(1.0 / frag_report.queries_triggered as f64) } else { 0.2 };
+    let frag_global_hitrate: f64 =
+        if frag_report.success { 0.2_f64.max(1.0 / frag_report.queries_triggered as f64) } else { 0.2 };
     let saddns_hitrate = if sad.success_rate > 0.0 {
         // One success per (iterations / success) triggered queries, scaled by
         // the port-space narrowing.

@@ -26,8 +26,7 @@ pub struct AnyCachingResult {
 
 /// Runs the Table 5 experiment for one implementation profile.
 pub fn evaluate_implementation(imp: dns::profiles::ResolverImplementation, seed: u64) -> AnyCachingResult {
-    let mut env_cfg = VictimEnvConfig::default();
-    env_cfg.seed = seed;
+    let mut env_cfg = VictimEnvConfig { seed, ..Default::default() };
     env_cfg.resolver.any_caching = imp.any_caching();
     env_cfg.resolver.edns_size = imp.default_edns_size().max(1232);
     let (mut sim, env) = env_cfg.build();
@@ -53,15 +52,13 @@ pub fn evaluate_implementation(imp: dns::profiles::ResolverImplementation, seed:
 
 /// Runs the full Table 5 campaign.
 pub fn run_table5(seed: u64) -> Vec<AnyCachingResult> {
-    dns::profiles::ResolverImplementation::all()
-        .into_iter()
-        .map(|imp| evaluate_implementation(imp, seed))
-        .collect()
+    dns::profiles::ResolverImplementation::all().into_iter().map(|imp| evaluate_implementation(imp, seed)).collect()
 }
 
 /// Renders the Table 5 reproduction.
 pub fn render_table5(rows: &[AnyCachingResult]) -> String {
-    let mut t = TextTable::new("Table 5 — ANY caching results of popular resolvers", &["Implementation", "Vulnerable", "Note"]);
+    let mut t =
+        TextTable::new("Table 5 — ANY caching results of popular resolvers", &["Implementation", "Vulnerable", "Note"]);
     for r in rows {
         t.row([r.implementation.clone(), if r.vulnerable { "yes".into() } else { "no".to_string() }, r.note.clone()]);
     }

@@ -62,8 +62,7 @@ pub struct AblationCell {
 }
 
 fn env_with_defence(defence: Defence, seed: u64, for_saddns: bool) -> (netsim::engine::Simulator, VictimEnv) {
-    let mut cfg = VictimEnvConfig::default();
-    cfg.seed = seed;
+    let mut cfg = VictimEnvConfig { seed, ..Default::default() };
     if for_saddns {
         cfg.resolver.port_range = (40000, 40127);
         cfg.resolver.query_timeout = Duration::from_secs(30);
@@ -76,10 +75,8 @@ fn env_with_defence(defence: Defence, seed: u64, for_saddns: bool) -> (netsim::e
         Defence::Dnssec => {
             cfg.zone_signed = true;
             cfg.resolver.delegations.clear();
-            cfg.resolver = cfg
-                .resolver
-                .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
-                .with_dnssec_validation();
+            cfg.resolver =
+                cfg.resolver.with_delegation("vict.im", vec![addrs::NAMESERVER], true).with_dnssec_validation();
         }
         Defence::FragmentFiltering => cfg.resolver.accept_fragments = false,
         Defence::PerDestinationIcmpLimit => {
@@ -154,7 +151,12 @@ pub fn render_ablation(cells: &[AblationCell]) -> String {
                 .map(|c| if c.attack_succeeded { "succeeds" } else { "BLOCKED" })
                 .unwrap_or("-")
         };
-        t.row([format!("{d:?}"), get(PoisonMethod::HijackDns).into(), get(PoisonMethod::SadDns).into(), get(PoisonMethod::FragDns).into()]);
+        t.row([
+            format!("{d:?}"),
+            get(PoisonMethod::HijackDns).into(),
+            get(PoisonMethod::SadDns).into(),
+            get(PoisonMethod::FragDns).into(),
+        ]);
     }
     t.render()
 }

@@ -157,14 +157,12 @@ pub fn spf_downgrade_scenario(seed: u64) -> SpfDowngradeOutcome {
     // Before: the receiving mail server looks up the SPF policy normally.
     env.trigger_query(&mut sim, QueryTrigger::InternalClient, &name, RecordType::TXT, 1);
     sim.run();
-    let policy_before = env
-        .resolver(&sim)
-        .cache()
-        .peek(&name, RecordType::TXT, sim.now())
-        .and_then(|e| e.records.iter().find_map(|r| match &r.rdata {
+    let policy_before = env.resolver(&sim).cache().peek(&name, RecordType::TXT, sim.now()).and_then(|e| {
+        e.records.iter().find_map(|r| match &r.rdata {
             RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
             _ => None,
-        }));
+        })
+    });
     let before = evaluate_spf(policy_before.as_deref(), env.attacker_addr);
 
     // Attack: hijack the nameserver's prefix, intercept the TXT re-query for
@@ -196,14 +194,12 @@ pub fn spf_downgrade_scenario(seed: u64) -> SpfDowngradeOutcome {
         sim.inject(env.attacker, spoofed);
     }
     sim.run_for(Duration::from_secs(1));
-    let policy_after = env
-        .resolver(&sim)
-        .cache()
-        .peek(&name, RecordType::TXT, sim.now())
-        .and_then(|e| e.records.iter().find_map(|r| match &r.rdata {
+    let policy_after = env.resolver(&sim).cache().peek(&name, RecordType::TXT, sim.now()).and_then(|e| {
+        e.records.iter().find_map(|r| match &r.rdata {
             RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
             _ => None,
-        }));
+        })
+    });
     let after = evaluate_spf(policy_after.as_deref(), env.attacker_addr);
     SpfDowngradeOutcome { before, after, spoofed_mail_accepted: after != SpfVerdict::Fail }
 }

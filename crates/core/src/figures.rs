@@ -20,10 +20,7 @@ impl Cdf {
     /// Builds a CDF of `values` evaluated at the given thresholds.
     pub fn at_thresholds(label: &str, values: &[u32], thresholds: &[u32]) -> Cdf {
         let n = values.len().max(1) as f64;
-        let points = thresholds
-            .iter()
-            .map(|&t| (t, values.iter().filter(|&&v| v <= t).count() as f64 / n))
-            .collect();
+        let points = thresholds.iter().map(|&t| (t, values.iter().filter(|&&v| v <= t).count() as f64 / n)).collect();
         Cdf { label: label.to_string(), points }
     }
 
@@ -43,9 +40,21 @@ pub fn figure3_prefix_distributions(seed: u64, sample_cap: u64) -> Vec<Cdf> {
     let domain_specs = population::table4_datasets();
     let alexa_ns = population::generate_domains(&domain_specs[1], sample_cap, seed);
     vec![
-        Cdf::at_thresholds("Resolvers: Open resolver", &open.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
-        Cdf::at_thresholds("Resolvers: Adnet", &adnet.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
-        Cdf::at_thresholds("Nameservers: Alexa", &alexa_ns.iter().map(|d| u32::from(d.announced_prefix_len)).collect::<Vec<_>>(), &thresholds),
+        Cdf::at_thresholds(
+            "Resolvers: Open resolver",
+            &open.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(),
+            &thresholds,
+        ),
+        Cdf::at_thresholds(
+            "Resolvers: Adnet",
+            &adnet.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(),
+            &thresholds,
+        ),
+        Cdf::at_thresholds(
+            "Nameservers: Alexa",
+            &alexa_ns.iter().map(|d| u32::from(d.announced_prefix_len)).collect::<Vec<_>>(),
+            &thresholds,
+        ),
     ]
 }
 
@@ -87,7 +96,13 @@ pub struct VennCounts {
 impl VennCounts {
     /// Total elements vulnerable to at least one method.
     pub fn total_vulnerable(&self) -> u64 {
-        self.only_hijack + self.only_saddns + self.only_frag + self.hijack_saddns + self.hijack_frag + self.saddns_frag + self.all_three
+        self.only_hijack
+            + self.only_saddns
+            + self.only_frag
+            + self.hijack_saddns
+            + self.hijack_frag
+            + self.saddns_frag
+            + self.all_three
     }
 
     /// Elements vulnerable to HijackDNS (any combination).

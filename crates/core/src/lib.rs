@@ -38,8 +38,8 @@ pub mod vulnscan;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::analysis::{run_table6, render_table6, saddns_effectiveness, ComparisonReport, MethodComparison};
-    pub use crate::anycache::{run_table5, render_table5, AnyCachingResult};
+    pub use crate::analysis::{render_table6, run_table6, saddns_effectiveness, ComparisonReport, MethodComparison};
+    pub use crate::anycache::{render_table5, run_table5, AnyCachingResult};
     pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
     pub use crate::crosslayer::{
         password_recovery_scenario, rpki_downgrade_scenario, spf_downgrade_scenario, AccountTakeoverOutcome,

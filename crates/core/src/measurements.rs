@@ -66,10 +66,7 @@ fn fraction<T>(pop: &[T], pred: impl Fn(&T) -> bool) -> f64 {
 
 /// Runs the Table 3 campaign over all nine resolver datasets.
 pub fn run_table3(seed: u64, sample_cap: u64) -> Vec<ResolverDatasetResult> {
-    population::table3_datasets()
-        .iter()
-        .map(|spec| classify_resolver_dataset(spec, seed, sample_cap))
-        .collect()
+    population::table3_datasets().iter().map(|spec| classify_resolver_dataset(spec, seed, sample_cap)).collect()
 }
 
 /// Classifies one resolver dataset.
@@ -88,10 +85,7 @@ pub fn classify_resolver_dataset(spec: &DatasetSpec, seed: u64, sample_cap: u64)
 
 /// Runs the Table 4 campaign over all ten domain datasets.
 pub fn run_table4(seed: u64, sample_cap: u64) -> Vec<DomainDatasetResult> {
-    population::table4_datasets()
-        .iter()
-        .map(|spec| classify_domain_dataset(spec, seed, sample_cap))
-        .collect()
+    population::table4_datasets().iter().map(|spec| classify_domain_dataset(spec, seed, sample_cap)).collect()
 }
 
 /// Classifies one domain dataset.

@@ -14,8 +14,8 @@
 
 use dns::profiles::ResolverImplementation;
 use rand::Rng;
-use rand_chacha::ChaCha20Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
 
 /// Security-relevant properties of one recursive resolver back-end.
@@ -93,31 +93,202 @@ impl DatasetSpec {
 /// paper's measurements.
 pub fn table3_datasets() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "Local university", protocols: "Radius", reported_size: 1, p_subprefix_hijackable: 1.00, p_saddns: 0.00, p_frag: 1.00, p_global_ipid: 0.0, p_dnssec: 0.3 },
-        DatasetSpec { name: "Popular services (PW-recovery)", protocols: "PW-recovery", reported_size: 29, p_subprefix_hijackable: 0.93, p_saddns: 0.16, p_frag: 0.90, p_global_ipid: 0.0, p_dnssec: 0.3 },
-        DatasetSpec { name: "Popular CAs", protocols: "DV", reported_size: 5, p_subprefix_hijackable: 0.75, p_saddns: 0.00, p_frag: 0.00, p_global_ipid: 0.0, p_dnssec: 0.6 },
-        DatasetSpec { name: "Popular CDNs", protocols: "CDN", reported_size: 4, p_subprefix_hijackable: 1.00, p_saddns: 0.00, p_frag: 0.25, p_global_ipid: 0.0, p_dnssec: 0.3 },
-        DatasetSpec { name: "Alexa 1M SRV", protocols: "XMPP", reported_size: 476, p_subprefix_hijackable: 0.73, p_saddns: 0.01, p_frag: 0.57, p_global_ipid: 0.0, p_dnssec: 0.2 },
-        DatasetSpec { name: "Alexa 1M MX", protocols: "SMTP/SPF/DMARC/DKIM", reported_size: 61_036, p_subprefix_hijackable: 0.79, p_saddns: 0.09, p_frag: 0.56, p_global_ipid: 0.0, p_dnssec: 0.2 },
-        DatasetSpec { name: "Ad-net study", protocols: "HTTP/DANE/OCSP", reported_size: 5_847, p_subprefix_hijackable: 0.70, p_saddns: 0.11, p_frag: 0.91, p_global_ipid: 0.0, p_dnssec: 0.286 },
-        DatasetSpec { name: "Open resolvers", protocols: "All", reported_size: 1_583_045, p_subprefix_hijackable: 0.74, p_saddns: 0.12, p_frag: 0.31, p_global_ipid: 0.0, p_dnssec: 0.2 },
-        DatasetSpec { name: "Cache test (pool.ntp.org)", protocols: "NTP", reported_size: 448_521, p_subprefix_hijackable: 0.79, p_saddns: 0.09, p_frag: 0.32, p_global_ipid: 0.0, p_dnssec: 0.2 },
+        DatasetSpec {
+            name: "Local university",
+            protocols: "Radius",
+            reported_size: 1,
+            p_subprefix_hijackable: 1.00,
+            p_saddns: 0.00,
+            p_frag: 1.00,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.3,
+        },
+        DatasetSpec {
+            name: "Popular services (PW-recovery)",
+            protocols: "PW-recovery",
+            reported_size: 29,
+            p_subprefix_hijackable: 0.93,
+            p_saddns: 0.16,
+            p_frag: 0.90,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.3,
+        },
+        DatasetSpec {
+            name: "Popular CAs",
+            protocols: "DV",
+            reported_size: 5,
+            p_subprefix_hijackable: 0.75,
+            p_saddns: 0.00,
+            p_frag: 0.00,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.6,
+        },
+        DatasetSpec {
+            name: "Popular CDNs",
+            protocols: "CDN",
+            reported_size: 4,
+            p_subprefix_hijackable: 1.00,
+            p_saddns: 0.00,
+            p_frag: 0.25,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.3,
+        },
+        DatasetSpec {
+            name: "Alexa 1M SRV",
+            protocols: "XMPP",
+            reported_size: 476,
+            p_subprefix_hijackable: 0.73,
+            p_saddns: 0.01,
+            p_frag: 0.57,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.2,
+        },
+        DatasetSpec {
+            name: "Alexa 1M MX",
+            protocols: "SMTP/SPF/DMARC/DKIM",
+            reported_size: 61_036,
+            p_subprefix_hijackable: 0.79,
+            p_saddns: 0.09,
+            p_frag: 0.56,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.2,
+        },
+        DatasetSpec {
+            name: "Ad-net study",
+            protocols: "HTTP/DANE/OCSP",
+            reported_size: 5_847,
+            p_subprefix_hijackable: 0.70,
+            p_saddns: 0.11,
+            p_frag: 0.91,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.286,
+        },
+        DatasetSpec {
+            name: "Open resolvers",
+            protocols: "All",
+            reported_size: 1_583_045,
+            p_subprefix_hijackable: 0.74,
+            p_saddns: 0.12,
+            p_frag: 0.31,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.2,
+        },
+        DatasetSpec {
+            name: "Cache test (pool.ntp.org)",
+            protocols: "NTP",
+            reported_size: 448_521,
+            p_subprefix_hijackable: 0.79,
+            p_saddns: 0.09,
+            p_frag: 0.32,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.2,
+        },
     ]
 }
 
 /// The ten domain datasets of Table 4 with marginals calibrated to the paper.
 pub fn table4_datasets() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "Eduroam list", protocols: "Radius", reported_size: 1_152, p_subprefix_hijackable: 0.96, p_saddns: 0.11, p_frag: 0.44, p_global_ipid: 0.18 / 0.44, p_dnssec: 0.10 },
-        DatasetSpec { name: "Alexa 1M", protocols: "HTTP/DANE/DV", reported_size: 877_071, p_subprefix_hijackable: 0.53, p_saddns: 0.12, p_frag: 0.04, p_global_ipid: 0.25, p_dnssec: 0.02 },
-        DatasetSpec { name: "Alexa 1M MX", protocols: "SMTP/SPF/DKIM/DMARC", reported_size: 63_726, p_subprefix_hijackable: 0.44, p_saddns: 0.06, p_frag: 0.07, p_global_ipid: 0.14, p_dnssec: 0.03 },
-        DatasetSpec { name: "Alexa 1M SRV", protocols: "XMPP", reported_size: 2_025, p_subprefix_hijackable: 0.44, p_saddns: 0.04, p_frag: 0.29, p_global_ipid: 0.17, p_dnssec: 0.07 },
-        DatasetSpec { name: "RIR whois", protocols: "PW-recovery", reported_size: 58_742, p_subprefix_hijackable: 0.59, p_saddns: 0.09, p_frag: 0.14, p_global_ipid: 0.29, p_dnssec: 0.04 },
-        DatasetSpec { name: "Registrar whois", protocols: "PW-recovery", reported_size: 4_628, p_subprefix_hijackable: 0.51, p_saddns: 0.10, p_frag: 0.23, p_global_ipid: 0.22, p_dnssec: 0.06 },
-        DatasetSpec { name: "Well-known NTP", protocols: "NTP", reported_size: 9, p_subprefix_hijackable: 0.25, p_saddns: 0.00, p_frag: 0.25, p_global_ipid: 1.0, p_dnssec: 0.25 },
-        DatasetSpec { name: "Well-known crypto-currency", protocols: "Bitcoin", reported_size: 32, p_subprefix_hijackable: 0.28, p_saddns: 0.17, p_frag: 0.21, p_global_ipid: 0.14, p_dnssec: 0.21 },
-        DatasetSpec { name: "Well-known RPKI", protocols: "RPKI", reported_size: 8, p_subprefix_hijackable: 0.14, p_saddns: 0.00, p_frag: 0.00, p_global_ipid: 0.0, p_dnssec: 0.67 },
-        DatasetSpec { name: "Cert. scan", protocols: "IKE/OpenVPN", reported_size: 307, p_subprefix_hijackable: 0.51, p_saddns: 0.11, p_frag: 0.05, p_global_ipid: 0.20, p_dnssec: 0.07 },
+        DatasetSpec {
+            name: "Eduroam list",
+            protocols: "Radius",
+            reported_size: 1_152,
+            p_subprefix_hijackable: 0.96,
+            p_saddns: 0.11,
+            p_frag: 0.44,
+            p_global_ipid: 0.18 / 0.44,
+            p_dnssec: 0.10,
+        },
+        DatasetSpec {
+            name: "Alexa 1M",
+            protocols: "HTTP/DANE/DV",
+            reported_size: 877_071,
+            p_subprefix_hijackable: 0.53,
+            p_saddns: 0.12,
+            p_frag: 0.04,
+            p_global_ipid: 0.25,
+            p_dnssec: 0.02,
+        },
+        DatasetSpec {
+            name: "Alexa 1M MX",
+            protocols: "SMTP/SPF/DKIM/DMARC",
+            reported_size: 63_726,
+            p_subprefix_hijackable: 0.44,
+            p_saddns: 0.06,
+            p_frag: 0.07,
+            p_global_ipid: 0.14,
+            p_dnssec: 0.03,
+        },
+        DatasetSpec {
+            name: "Alexa 1M SRV",
+            protocols: "XMPP",
+            reported_size: 2_025,
+            p_subprefix_hijackable: 0.44,
+            p_saddns: 0.04,
+            p_frag: 0.29,
+            p_global_ipid: 0.17,
+            p_dnssec: 0.07,
+        },
+        DatasetSpec {
+            name: "RIR whois",
+            protocols: "PW-recovery",
+            reported_size: 58_742,
+            p_subprefix_hijackable: 0.59,
+            p_saddns: 0.09,
+            p_frag: 0.14,
+            p_global_ipid: 0.29,
+            p_dnssec: 0.04,
+        },
+        DatasetSpec {
+            name: "Registrar whois",
+            protocols: "PW-recovery",
+            reported_size: 4_628,
+            p_subprefix_hijackable: 0.51,
+            p_saddns: 0.10,
+            p_frag: 0.23,
+            p_global_ipid: 0.22,
+            p_dnssec: 0.06,
+        },
+        DatasetSpec {
+            name: "Well-known NTP",
+            protocols: "NTP",
+            reported_size: 9,
+            p_subprefix_hijackable: 0.25,
+            p_saddns: 0.00,
+            p_frag: 0.25,
+            p_global_ipid: 1.0,
+            p_dnssec: 0.25,
+        },
+        DatasetSpec {
+            name: "Well-known crypto-currency",
+            protocols: "Bitcoin",
+            reported_size: 32,
+            p_subprefix_hijackable: 0.28,
+            p_saddns: 0.17,
+            p_frag: 0.21,
+            p_global_ipid: 0.14,
+            p_dnssec: 0.21,
+        },
+        DatasetSpec {
+            name: "Well-known RPKI",
+            protocols: "RPKI",
+            reported_size: 8,
+            p_subprefix_hijackable: 0.14,
+            p_saddns: 0.00,
+            p_frag: 0.00,
+            p_global_ipid: 0.0,
+            p_dnssec: 0.67,
+        },
+        DatasetSpec {
+            name: "Cert. scan",
+            protocols: "IKE/OpenVPN",
+            reported_size: 307,
+            p_subprefix_hijackable: 0.51,
+            p_saddns: 0.11,
+            p_frag: 0.05,
+            p_global_ipid: 0.20,
+            p_dnssec: 0.07,
+        },
     ]
 }
 
@@ -126,8 +297,21 @@ pub fn table4_datasets() -> Vec<DatasetSpec> {
 fn draw_prefix_len<R: Rng>(rng: &mut R, hijackable: bool) -> u8 {
     if hijackable {
         // Skew towards the middle of the distribution in Figure 3.
-        let weights: [(u8, u32); 13] =
-            [(11, 1), (12, 2), (13, 2), (14, 3), (15, 4), (16, 8), (17, 6), (18, 7), (19, 10), (20, 12), (21, 12), (22, 16), (23, 10)];
+        let weights: [(u8, u32); 13] = [
+            (11, 1),
+            (12, 2),
+            (13, 2),
+            (14, 3),
+            (15, 4),
+            (16, 8),
+            (17, 6),
+            (18, 7),
+            (19, 10),
+            (20, 12),
+            (21, 12),
+            (22, 16),
+            (23, 10),
+        ];
         let total: u32 = weights.iter().map(|(_, w)| w).sum();
         let mut pick = rng.gen_range(0..total);
         for (len, w) in weights {
@@ -149,7 +333,7 @@ pub fn draw_edns_size<R: Rng>(rng: &mut R) -> u16 {
     if p < 0.40 {
         512
     } else if p < 0.50 {
-        *[1232u16, 1400, 1452, 2048].get(rng.gen_range(0..4)).unwrap_or(&1232)
+        *[1232u16, 1400, 1452, 2048].get(rng.gen_range(0..4usize)).unwrap_or(&1232)
     } else {
         4096
     }

@@ -15,7 +15,11 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with a title and headers.
     pub fn new(title: &str, headers: &[&str]) -> Self {
-        TextTable { title: title.to_string(), headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row.

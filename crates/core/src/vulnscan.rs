@@ -93,15 +93,15 @@ pub fn probe_icmp_global_limit(profile: &ResolverProfile, seed: u64) -> bool {
 /// checks whether the answer was ingested (the paper uses a CNAME re-query;
 /// here we inspect the cache, which is observationally equivalent).
 pub fn probe_fragment_acceptance(profile: &ResolverProfile, seed: u64) -> bool {
-    let mut env_cfg = VictimEnvConfig::default();
-    env_cfg.seed = seed;
+    let mut env_cfg = VictimEnvConfig { seed, ..Default::default() };
     env_cfg.resolver.accept_fragments = profile.accepts_fragments;
     env_cfg.resolver.edns_size = profile.edns_size.max(1500);
     env_cfg.nameserver.pad_responses_to = Some(1400);
     let (mut sim, env) = env_cfg.build();
     // Lower the nameserver's path MTU so its padded responses fragment.
     let quoted = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, 1, vec![0u8; 64]).into_packet(1, 64);
-    let ptb = IcmpMessage::fragmentation_needed(&quoted, 548).into_packet(env.resolver_addr, env.nameserver_addr, 1, 64);
+    let ptb =
+        IcmpMessage::fragmentation_needed(&quoted, 548).into_packet(env.resolver_addr, env.nameserver_addr, 1, 64);
     sim.inject(env.attacker, ptb);
     sim.run_for(Duration::from_millis(50));
     env.trigger_query(
@@ -148,13 +148,16 @@ pub fn probe_nameserver_fragmentation(profile: &DomainProfile, seed: u64) -> Opt
     if !profile.fragments_any {
         return None;
     }
-    let mut env_cfg = VictimEnvConfig::default();
-    env_cfg.seed = seed;
+    let mut env_cfg = VictimEnvConfig { seed, ..Default::default() };
     env_cfg.nameserver.min_accepted_mtu = profile.min_fragment_size;
     let (mut sim, env) = env_cfg.build();
     let quoted = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, 1, vec![0u8; 64]).into_packet(1, 64);
-    let ptb = IcmpMessage::fragmentation_needed(&quoted, profile.min_fragment_size)
-        .into_packet(env.resolver_addr, env.nameserver_addr, 1, 64);
+    let ptb = IcmpMessage::fragmentation_needed(&quoted, profile.min_fragment_size).into_packet(
+        env.resolver_addr,
+        env.nameserver_addr,
+        1,
+        64,
+    );
     sim.inject(env.attacker, ptb);
     sim.run_for(Duration::from_millis(50));
     env.trigger_query(

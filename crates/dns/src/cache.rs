@@ -131,8 +131,7 @@ impl Cache {
     /// Convenience used everywhere in the attack evaluations: the first `A`
     /// address cached for `name`, if any.
     pub fn cached_a(&self, name: &DomainName, now: SimTime) -> Option<Ipv4Addr> {
-        self.peek(name, RecordType::A, now)
-            .and_then(|e| e.records.iter().find_map(|r| r.rdata.as_ipv4()))
+        self.peek(name, RecordType::A, now).and_then(|e| e.records.iter().find_map(|r| r.rdata.as_ipv4()))
     }
 
     /// Whether the cache currently maps `name`'s `A` record to `addr` — the
@@ -246,10 +245,7 @@ mod tests {
     fn different_types_are_distinct() {
         let mut c = Cache::new();
         c.insert_records(
-            &[
-                a("vict.im", 300, "30.0.0.25"),
-                ResourceRecord::new(n("vict.im"), 300, RData::Txt("v=spf1 -all".into())),
-            ],
+            &[a("vict.im", 300, "30.0.0.25"), ResourceRecord::new(n("vict.im"), 300, RData::Txt("v=spf1 -all".into()))],
             SimTime::ZERO,
             false,
         );
@@ -262,7 +258,11 @@ mod tests {
     #[test]
     fn rrsig_files_under_covered_type() {
         let mut c = Cache::new();
-        let rrsig = ResourceRecord::new(n("vict.im"), 300, RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true });
+        let rrsig = ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true },
+        );
         c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig], SimTime::ZERO, false);
         let set = c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).unwrap();
         assert_eq!(set.len(), 2, "A record and its RRSIG cached together");

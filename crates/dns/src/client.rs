@@ -93,7 +93,8 @@ impl StubClient {
         self.next_txid = self.next_txid.wrapping_add(1);
         let msg = Message::query(txid, q.name.clone(), q.qtype);
         let now = ctx.now();
-        let pkts = self.stack.send_udp(self.addr, self.resolver, 5353, 53, msg.encode(), now, ctx.rng());
+        let pkts =
+            self.stack.send_udp(UdpDatagram::new(self.addr, self.resolver, 5353, 53, msg.encode()), now, ctx.rng());
         for p in pkts {
             ctx.send(p);
         }

@@ -311,7 +311,11 @@ mod tests {
         let mut r = Message::response_for(&q);
         r.header.authoritative = true;
         r.answers.push(ResourceRecord::new(n("vict.im"), 300, RData::A(Ipv4Addr::new(30, 0, 0, 25))));
-        r.answers.push(ResourceRecord::new(n("vict.im"), 300, RData::Mx { preference: 10, exchange: n("mail.vict.im") }));
+        r.answers.push(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Mx { preference: 10, exchange: n("mail.vict.im") },
+        ));
         r.authorities.push(ResourceRecord::new(n("vict.im"), 300, RData::Ns(n("ns1.vict.im"))));
         r.additionals.push(ResourceRecord::new(n("ns1.vict.im"), 300, RData::A(Ipv4Addr::new(123, 0, 0, 53))));
         let decoded = Message::decode(&r.encode()).unwrap();

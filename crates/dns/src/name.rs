@@ -93,11 +93,7 @@ impl DomainName {
         if ancestor.labels.len() > self.labels.len() {
             return false;
         }
-        self.labels
-            .iter()
-            .rev()
-            .zip(ancestor.labels.iter().rev())
-            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        self.labels.iter().rev().zip(ancestor.labels.iter().rev()).all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 
     /// The parent name (one label removed), or `None` at the root.
@@ -148,11 +144,7 @@ impl DomainName {
 
     /// The number of 0x20 entropy bits this name provides (one per ASCII letter).
     pub fn entropy_0x20_bits(&self) -> u32 {
-        self.labels
-            .iter()
-            .flat_map(|l| l.chars())
-            .filter(|c| c.is_ascii_alphabetic())
-            .count() as u32
+        self.labels.iter().flat_map(|l| l.chars()).filter(|c| c.is_ascii_alphabetic()).count() as u32
     }
 
     /// Returns a lowercased copy (canonical form).
@@ -438,7 +430,7 @@ mod tests {
 
     #[test]
     fn ordering_is_case_insensitive() {
-        let mut names = vec![n("b.example"), n("A.example"), n("c.example")];
+        let mut names = [n("b.example"), n("A.example"), n("c.example")];
         names.sort();
         assert_eq!(names[0], n("a.example"));
     }

@@ -257,7 +257,11 @@ impl Nameserver {
 
         let payload = response.encode();
         let now = ctx.now();
-        let packets = self.stack.send_udp(self.config.addr, dgram.src, 53, dgram.src_port, payload, now, ctx.rng());
+        let packets = self.stack.send_udp(
+            UdpDatagram::new(self.config.addr, dgram.src, 53, dgram.src_port, payload),
+            now,
+            ctx.rng(),
+        );
         if packets.len() > 1 {
             self.stats.responses_fragmented += 1;
         }
@@ -370,7 +374,8 @@ mod tests {
 
     #[test]
     fn serves_queries_over_the_network() {
-        let (sim, ns, res) = ask(server(NameserverConfig::new(NS_ADDR)), vec![query_packet("vict.im", RecordType::A, 42, 4096)]);
+        let (sim, ns, res) =
+            ask(server(NameserverConfig::new(NS_ADDR)), vec![query_packet("vict.im", RecordType::A, 42, 4096)]);
         assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().stats.queries_received, 1);
         assert_eq!(sim.node_ref::<Nameserver>(ns).unwrap().stats.responses_sent, 1);
         assert_eq!(sim.stats(res).udp_received, 1);
@@ -478,7 +483,9 @@ mod tests {
             .trace()
             .entries()
             .iter()
-            .filter(|e| e.verdict == netsim::trace::TraceVerdict::Delivered && e.to == "resolver" && e.summary.contains("UDP"))
+            .filter(|e| {
+                e.verdict == netsim::trace::TraceVerdict::Delivered && e.to == "resolver" && e.summary.contains("UDP")
+            })
             .filter_map(|e| {
                 // We cannot recover the IPID from the summary; instead assert
                 // via the server's counter.

@@ -567,7 +567,11 @@ mod tests {
 
     #[test]
     fn aaaa_and_unknown_roundtrip() {
-        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Aaaa([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])));
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Aaaa([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+        ));
     }
 
     #[test]

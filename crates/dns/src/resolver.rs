@@ -280,11 +280,7 @@ impl Resolver {
     }
 
     fn delegation_for(&self, name: &DomainName) -> Option<&Delegation> {
-        self.config
-            .delegations
-            .iter()
-            .filter(|d| name.is_subdomain_of(&d.zone))
-            .max_by_key(|d| d.zone.label_count())
+        self.config.delegations.iter().filter(|d| name.is_subdomain_of(&d.zone)).max_by_key(|d| d.zone.label_count())
     }
 
     /// Starts (or restarts) an upstream query. Returns `false` when no
@@ -296,11 +292,7 @@ impl Resolver {
             .with_edns(self.config.edns_size);
         let payload = query.encode();
         let packets = self.stack.send_udp(
-            self.config.addr,
-            entry.nameserver,
-            entry.port,
-            53,
-            payload,
+            UdpDatagram::new(self.config.addr, entry.nameserver, entry.port, 53, payload),
             now,
             ctx.rng(),
         );
@@ -333,7 +325,8 @@ impl Resolver {
         };
         let txid: u16 = ctx.rng().gen();
         let port = self.allocate_port(ctx.rng());
-        let wire_name = if self.config.use_0x20 { question.name.randomize_case(ctx.rng()) } else { question.name.clone() };
+        let wire_name =
+            if self.config.use_0x20 { question.name.randomize_case(ctx.rng()) } else { question.name.clone() };
         let wire_question = Question { name: wire_name, qtype: question.qtype };
         let token = self.next_token;
         self.next_token += 1;
@@ -385,7 +378,11 @@ impl Resolver {
         }
         let payload = response.encode();
         let now = ctx.now();
-        let packets = self.stack.send_udp(self.config.addr, client.addr, 53, client.port, payload, now, ctx.rng());
+        let packets = self.stack.send_udp(
+            UdpDatagram::new(self.config.addr, client.addr, 53, client.port, payload),
+            now,
+            ctx.rng(),
+        );
         for pkt in packets {
             ctx.send(pkt);
         }
@@ -398,7 +395,11 @@ impl Resolver {
         response.header.rcode = rcode;
         let payload = response.encode();
         let now = ctx.now();
-        let packets = self.stack.send_udp(self.config.addr, client.addr, 53, client.port, payload, now, ctx.rng());
+        let packets = self.stack.send_udp(
+            UdpDatagram::new(self.config.addr, client.addr, 53, client.port, payload),
+            now,
+            ctx.rng(),
+        );
         for pkt in packets {
             ctx.send(pkt);
         }
@@ -676,7 +677,8 @@ mod tests {
     #[test]
     fn servfail_when_nameserver_unreachable() {
         // Delegation points at an address that no node owns.
-        let cfg = ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec!["9.9.9.9".parse().unwrap()], false);
+        let cfg =
+            ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec!["9.9.9.9".parse().unwrap()], false);
         let mut s = setup(cfg, victim_zone());
         s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 5));
         s.sim.run();
@@ -734,7 +736,11 @@ mod tests {
         sim.inject(attacker, pkt);
         sim.run_until(sim.now() + Duration::from_millis(10));
         assert_eq!(sim.node_ref::<Resolver>(resolver).unwrap().stats.rejected_txid, 1);
-        assert!(!sim.node_ref::<Resolver>(resolver).unwrap().is_poisoned_with(&n("www.vict.im"), ATTACKER_ADDR, sim.now()));
+        assert!(!sim.node_ref::<Resolver>(resolver).unwrap().is_poisoned_with(
+            &n("www.vict.im"),
+            ATTACKER_ADDR,
+            sim.now()
+        ));
 
         // Correct TXID and port: accepted, cache poisoned.
         let mut forged = Message::query(txid, n("www.vict.im"), RecordType::A);
@@ -828,9 +834,8 @@ mod tests {
 
     #[test]
     fn signed_zone_with_validation_accepts_genuine_signed_answer() {
-        let cfg = ResolverConfig::new(RESOLVER_ADDR)
-            .with_delegation("vict.im", vec![NS_ADDR], true)
-            .with_dnssec_validation();
+        let cfg =
+            ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec![NS_ADDR], true).with_dnssec_validation();
         let mut s = setup(cfg, victim_zone().sign());
         s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 1));
         s.sim.run();
@@ -878,12 +883,14 @@ mod tests {
     fn forwarder_mode_sends_to_upstream() {
         // Forwarder -> upstream recursive resolver -> authoritative NS.
         let upstream_cfg = resolver_config();
-        let fwd_cfg = ResolverConfig { upstream: Some(RESOLVER_ADDR), ..ResolverConfig::new("30.0.0.2".parse().unwrap()) };
+        let fwd_cfg =
+            ResolverConfig { upstream: Some(RESOLVER_ADDR), ..ResolverConfig::new("30.0.0.2".parse().unwrap()) };
         let mut sim = Simulator::new(12);
         let upstream = sim.add_node("upstream", vec![RESOLVER_ADDR], Resolver::new(upstream_cfg));
         let fwd_addr: Ipv4Addr = "30.0.0.2".parse().unwrap();
         let fwd = sim.add_node("forwarder", vec![fwd_addr], Resolver::new(fwd_cfg));
-        let ns = sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
+        let ns =
+            sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
         let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
         sim.connect(upstream, ns, Link::default());
         sim.connect(fwd, upstream, Link::default());
@@ -905,7 +912,8 @@ mod tests {
         // lost, the resolver retries with a new port/TXID and eventually wins.
         let mut sim = Simulator::new(33);
         let resolver = sim.add_node("resolver", vec![RESOLVER_ADDR], Resolver::new(resolver_config()));
-        let ns = sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
+        let ns =
+            sim.add_node("ns", vec![NS_ADDR], Nameserver::new(NameserverConfig::new(NS_ADDR), vec![victim_zone()]));
         let client = sim.add_node("client", vec![CLIENT_ADDR], SinkNode::default());
         sim.connect(resolver, ns, Link::default().loss(0.6));
         sim.connect(resolver, client, Link::default());

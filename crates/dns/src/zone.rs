@@ -46,7 +46,7 @@ impl Zone {
         let soa = RData::Soa {
             mname: origin.prepend("ns1").unwrap_or_else(|_| origin.clone()),
             rname: origin.prepend("hostmaster").unwrap_or_else(|_| origin.clone()),
-            serial: 2021_08_23,
+            serial: 20210823,
             refresh: 7200,
             retry: 900,
             expire: 1_209_600,

@@ -141,6 +141,49 @@ mod tests {
     }
 
     #[test]
+    fn ipv4_header_known_vector() {
+        // Classic textbook IPv4 header (20 bytes, checksum field zeroed):
+        // 4500 0073 0000 4000 4011 ---- c0a8 0001 c0a8 00c7 → 0xb861.
+        let header = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+            0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&header), 0xb861);
+        let mut with_ck = header;
+        with_ck[10] = 0xb8;
+        with_ck[11] = 0x61;
+        assert!(verify(&with_ck));
+    }
+
+    #[test]
+    fn hand_computed_odd_length_vector() {
+        // Words 0x0102 and 0x0300 (last byte zero-padded) sum to 0x0402,
+        // so the checksum is !0x0402 = 0xfbfd.
+        assert_eq!(checksum(&[0x01, 0x02, 0x03]), 0xfbfd);
+    }
+
+    #[test]
+    fn carry_folding_vector() {
+        // 0xffff + 0x0001 overflows 16 bits: the carry folds back in,
+        // giving a sum of 0x0001 and a checksum of 0xfffe.
+        assert_eq!(checksum(&[0xff, 0xff, 0x00, 0x01]), 0xfffe);
+    }
+
+    #[test]
+    fn udp_pseudo_header_known_vector() {
+        // UDP datagram 192.0.2.1:1000 -> 198.51.100.2:53 carrying "abcd"
+        // (UDP length 12). Folding pseudo-header, UDP header (checksum
+        // field zero) and payload by hand gives a sum of 0xb544, so the
+        // transmitted checksum is !0xb544 = 0x4abb.
+        let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let mut c = pseudo_header(src, dst, 17, 12);
+        c.add_u16(1000).add_u16(53).add_u16(12).add_u16(0);
+        c.add_bytes(b"abcd");
+        assert_eq!(c.finish(), 0x4abb);
+    }
+
+    #[test]
     fn pseudo_header_contribution() {
         let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
         let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();

@@ -340,7 +340,7 @@ impl Simulator {
         for (idx, (prefix, node)) in self.route_overrides.iter().enumerate() {
             if prefix.contains(addr) {
                 let candidate = (prefix.len, idx, *node);
-                if best.map_or(true, |b| (candidate.0, candidate.1) >= (b.0, b.1)) {
+                if best.is_none_or(|b| (candidate.0, candidate.1) >= (b.0, b.1)) {
                     best = Some(candidate);
                 }
             }
@@ -446,14 +446,8 @@ impl Simulator {
         let (outgoing, timers) = {
             let Simulator { nodes, rng, now, .. } = self;
             let slot = &mut nodes[id.0];
-            let mut ctx = Ctx {
-                now: *now,
-                self_id: id,
-                addrs: &slot.addrs,
-                rng,
-                outgoing: Vec::new(),
-                timers: Vec::new(),
-            };
+            let mut ctx =
+                Ctx { now: *now, self_id: id, addrs: &slot.addrs, rng, outgoing: Vec::new(), timers: Vec::new() };
             f(slot.node.as_mut(), &mut ctx);
             (ctx.outgoing, ctx.timers)
         };

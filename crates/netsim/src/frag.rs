@@ -343,6 +343,44 @@ mod tests {
     }
 
     #[test]
+    fn fragmentation_reassembly_roundtrip_sweep() {
+        // Exhaustive-ish round-trip over payload sizes spanning the
+        // interesting boundaries (sub-MTU, exactly one fragment payload,
+        // one byte over, multi-fragment) and the MTUs the attacks force.
+        let mtus = [68u16, 548, 576, 1500];
+        let sizes = [1usize, 7, 8, 9, 100, 520, 548, 1472, 1473, 2999];
+        for &mtu in &mtus {
+            for &size in &sizes {
+                let pkt = big_udp_packet(size, 42);
+                let frags = fragment_packet(&pkt, mtu);
+                if frags.len() > 1 {
+                    for f in &frags {
+                        assert!(f.wire_len() <= usize::from(mtu), "mtu={mtu} size={size}");
+                    }
+                }
+                // Fragment offsets are 8-aligned and tile the payload exactly.
+                let mut expected_offset = 0usize;
+                for f in &frags {
+                    assert_eq!(usize::from(f.header.fragment_offset) * 8, expected_offset, "mtu={mtu} size={size}");
+                    expected_offset += f.payload.len();
+                }
+                assert_eq!(expected_offset, pkt.payload.len(), "mtu={mtu} size={size}");
+                // Reassembly in reverse arrival order is still the identity.
+                let mut buf = ReassemblyBuffer::default();
+                let mut out = None;
+                for f in frags.iter().rev() {
+                    if let ReassemblyResult::Complete(p) = buf.push(f, SimTime::ZERO) {
+                        out = Some(p);
+                    }
+                }
+                let reassembled = out.expect("reassembly completes");
+                assert_eq!(reassembled.payload, pkt.payload, "mtu={mtu} size={size}");
+                assert_eq!(reassembled.header.total_length, pkt.header.total_length, "mtu={mtu} size={size}");
+            }
+        }
+    }
+
+    #[test]
     fn small_packet_not_fragmented() {
         let pkt = big_udp_packet(100, 2);
         let frags = fragment_packet(&pkt, 1500);

@@ -78,10 +78,7 @@ pub enum IcmpMessage {
 impl IcmpMessage {
     /// Builds a port-unreachable error quoting the given offending packet.
     pub fn port_unreachable(offending: &Ipv4Packet) -> Self {
-        IcmpMessage::DestinationUnreachable {
-            kind: Unreachable::Port,
-            original: quote(offending),
-        }
+        IcmpMessage::DestinationUnreachable { kind: Unreachable::Port, original: quote(offending) }
     }
 
     /// Builds a fragmentation-needed error advertising `mtu`, quoting the
@@ -151,9 +148,7 @@ impl IcmpMessage {
                     0 => Unreachable::Network,
                     1 => Unreachable::Host,
                     3 => Unreachable::Port,
-                    4 => Unreachable::FragmentationNeeded {
-                        mtu: u16::from_be_bytes([buf[6], buf[7]]),
-                    },
+                    4 => Unreachable::FragmentationNeeded { mtu: u16::from_be_bytes([buf[6], buf[7]]) },
                     other => return Err(IcmpError::UnknownCode(ty, other)),
                 };
                 Ok(IcmpMessage::DestinationUnreachable { kind, original: buf[8..].to_vec() })
@@ -255,14 +250,8 @@ mod tests {
     use crate::udp::UdpDatagram;
 
     fn sample_udp_packet() -> Ipv4Packet {
-        UdpDatagram::new(
-            "192.0.2.1".parse().unwrap(),
-            "203.0.113.7".parse().unwrap(),
-            40000,
-            53,
-            b"query".to_vec(),
-        )
-        .into_packet(7, 64)
+        UdpDatagram::new("192.0.2.1".parse().unwrap(), "203.0.113.7".parse().unwrap(), 40000, 53, b"query".to_vec())
+            .into_packet(7, 64)
     }
 
     #[test]

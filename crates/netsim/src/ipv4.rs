@@ -93,7 +93,14 @@ pub struct Ipv4Header {
 
 impl Ipv4Header {
     /// Creates a non-fragmented header for a payload of the given length.
-    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload_len: usize, identification: u16, ttl: u8) -> Self {
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: Protocol,
+        payload_len: usize,
+        identification: u16,
+        ttl: u8,
+    ) -> Self {
         Ipv4Header {
             identification,
             dont_fragment: false,
@@ -213,10 +220,7 @@ impl Ipv4Packet {
         let header = Ipv4Header::decode(buf)?;
         let total = usize::from(header.total_length).max(IPV4_HEADER_LEN);
         let end = total.min(buf.len());
-        Ok(Ipv4Packet {
-            header,
-            payload: buf[IPV4_HEADER_LEN..end].to_vec(),
-        })
+        Ok(Ipv4Packet { header, payload: buf[IPV4_HEADER_LEN..end].to_vec() })
     }
 
     /// A compact human-readable summary used by the trace recorder.
@@ -231,14 +235,7 @@ impl Ipv4Packet {
         } else {
             String::new()
         };
-        format!(
-            "{} {} -> {} len={}{}",
-            self.header.protocol,
-            self.header.src,
-            self.header.dst,
-            self.wire_len(),
-            frag
-        )
+        format!("{} {} -> {} len={}{}", self.header.protocol, self.header.src, self.header.dst, self.wire_len(), frag)
     }
 }
 
@@ -270,14 +267,7 @@ mod tests {
     use super::*;
 
     fn sample_header() -> Ipv4Header {
-        Ipv4Header::new(
-            "192.0.2.1".parse().unwrap(),
-            "198.51.100.53".parse().unwrap(),
-            Protocol::Udp,
-            100,
-            0x1234,
-            64,
-        )
+        Ipv4Header::new("192.0.2.1".parse().unwrap(), "198.51.100.53".parse().unwrap(), Protocol::Udp, 100, 0x1234, 64)
     }
 
     #[test]

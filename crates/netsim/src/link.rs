@@ -52,12 +52,7 @@ impl Link {
 
 impl Default for Link {
     fn default() -> Self {
-        Link {
-            latency: Duration::from_millis(10),
-            mtu: DEFAULT_MTU,
-            loss: 0.0,
-            fragment_in_transit: true,
-        }
+        Link { latency: Duration::from_millis(10), mtu: DEFAULT_MTU, loss: 0.0, fragment_in_transit: true }
     }
 }
 

@@ -124,11 +124,9 @@ impl IcmpRateLimiter {
             IcmpRateLimitPolicy::Silent => false,
             IcmpRateLimitPolicy::Unlimited => true,
             IcmpRateLimitPolicy::Global { .. } => self.global.as_mut().expect("global bucket").try_take(now),
-            IcmpRateLimitPolicy::PerDestination { capacity, per_second } => self
-                .per_dest
-                .entry(dst)
-                .or_insert_with(|| TokenBucket::new(capacity, per_second))
-                .try_take(now),
+            IcmpRateLimitPolicy::PerDestination { capacity, per_second } => {
+                self.per_dest.entry(dst).or_insert_with(|| TokenBucket::new(capacity, per_second)).try_take(now)
+            }
         };
         if ok {
             self.allowed += 1;
@@ -205,6 +203,38 @@ mod tests {
         assert!(b.try_take(t(2000)));
         assert!(b.try_take(t(2000)));
         assert!(!b.try_take(t(2000)));
+    }
+
+    #[test]
+    fn token_accounting_is_exact_at_linux_rate() {
+        // The Linux-default bucket: 50 tokens, 50/s (one per 20 ms).
+        let mut b = TokenBucket::new(50, 50.0);
+        for i in 0..50 {
+            assert!(b.try_take(t(0)), "token {i} should be available");
+        }
+        assert!(!b.try_take(t(0)), "bucket must be empty after 50 takes");
+        // 20 ms refills exactly one token — not two.
+        assert!(b.try_take(t(20)));
+        assert!(!b.try_take(t(20)));
+        // A long idle period refills to capacity, never beyond it.
+        assert_eq!(b.available(t(10_000)), 50);
+        for _ in 0..50 {
+            assert!(b.try_take(t(10_000)));
+        }
+        assert!(!b.try_take(t(10_000)));
+    }
+
+    #[test]
+    fn fractional_refill_accumulates() {
+        // 2.5 tokens/s: 200 ms yields half a token (not spendable), another
+        // 200 ms completes it.
+        let mut b = TokenBucket::new(10, 2.5);
+        for _ in 0..10 {
+            assert!(b.try_take(t(0)));
+        }
+        assert!(!b.try_take(t(200)));
+        assert!(b.try_take(t(400)));
+        assert!(!b.try_take(t(400)));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! hosts in the higher-level crates all embed a `UdpStack` and feed packets
 //! through [`UdpStack::handle_packet`].
 
+use crate::frag::fragment_packet;
 use crate::frag::{ReassemblyBuffer, ReassemblyConfig, ReassemblyResult};
 use crate::icmp::{IcmpMessage, Unreachable};
 use crate::ipv4::{Ipv4Packet, Protocol, DEFAULT_MTU, MIN_IPV4_MTU};
@@ -16,7 +17,6 @@ use crate::pmtud::PathMtuCache;
 use crate::ratelimit::{IcmpRateLimitPolicy, IcmpRateLimiter};
 use crate::time::SimTime;
 use crate::udp::UdpDatagram;
-use crate::frag::fragment_packet;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -251,20 +251,12 @@ impl UdpStack {
         self.global_ipid
     }
 
-    /// Builds (and, if the path MTU towards `dst` requires it, fragments) a
-    /// UDP datagram originating from this host.
-    pub fn send_udp<R: Rng>(
-        &mut self,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        src_port: u16,
-        dst_port: u16,
-        payload: Vec<u8>,
-        now: SimTime,
-        rng: &mut R,
-    ) -> Vec<Ipv4Packet> {
+    /// Builds (and, if the path MTU towards the destination requires it,
+    /// fragments) a UDP datagram originating from this host.
+    pub fn send_udp<R: Rng>(&mut self, dgram: UdpDatagram, now: SimTime, rng: &mut R) -> Vec<Ipv4Packet> {
+        let dst = dgram.dst;
         let ipid = self.next_ipid(dst, rng);
-        let pkt = UdpDatagram::new(src, dst, src_port, dst_port, payload).into_packet(ipid, self.config.ttl);
+        let pkt = dgram.into_packet(ipid, self.config.ttl);
         let mtu = if self.config.pmtud_enabled { self.pmtu.mtu_for(dst, now) } else { DEFAULT_MTU };
         if pkt.wire_len() > usize::from(mtu) {
             fragment_packet(&pkt, mtu)
@@ -330,7 +322,11 @@ impl UdpStack {
                         );
                         out.replies.push(reply);
                     }
-                    out.events.push(StackEvent::ClosedPort { from: dgram.src, port: dgram.dst_port, icmp_sent: allowed });
+                    out.events.push(StackEvent::ClosedPort {
+                        from: dgram.src,
+                        port: dgram.dst_port,
+                        icmp_sent: allowed,
+                    });
                 }
             }
             Err(_) => out.events.push(StackEvent::Dropped("udp checksum/format error")),
@@ -451,14 +447,14 @@ mod tests {
         let mut s = stack();
         let mut r = rng();
         // Host sends a large response; initially unfragmented (1500 MTU).
-        let pkts = s.send_udp(HOST, PEER, 53, 3333, vec![0u8; 1300], SimTime::ZERO, &mut r);
+        let pkts = s.send_udp(UdpDatagram::new(HOST, PEER, 53, 3333, vec![0u8; 1300]), SimTime::ZERO, &mut r);
         assert_eq!(pkts.len(), 1);
         // Attacker spoofs an ICMP frag-needed quoting that packet with MTU 68.
         let ptb = IcmpMessage::fragmentation_needed(&pkts[0], 68).into_packet(PEER, HOST, 9, 64);
         let out = s.handle_packet(&ptb, SimTime::ZERO, &mut r);
         assert!(out.events.iter().any(|e| matches!(e, StackEvent::PmtuUpdate { mtu: 68, .. })));
         // The next large response is now fragmented down to the minimum MTU.
-        let pkts2 = s.send_udp(HOST, PEER, 53, 3333, vec![0u8; 1300], SimTime::ZERO, &mut r);
+        let pkts2 = s.send_udp(UdpDatagram::new(HOST, PEER, 53, 3333, vec![0u8; 1300]), SimTime::ZERO, &mut r);
         assert!(pkts2.len() > 1);
         assert!(pkts2.iter().all(|p| p.wire_len() <= 68));
     }
@@ -468,31 +464,34 @@ mod tests {
         let cfg = StackConfig { min_accepted_mtu: 1280, ..Default::default() };
         let mut s = UdpStack::new(vec![HOST], cfg);
         let mut r = rng();
-        let pkts = s.send_udp(HOST, PEER, 53, 3333, vec![0u8; 1300], SimTime::ZERO, &mut r);
+        let pkts = s.send_udp(UdpDatagram::new(HOST, PEER, 53, 3333, vec![0u8; 1300]), SimTime::ZERO, &mut r);
         let ptb = IcmpMessage::fragmentation_needed(&pkts[0], 68).into_packet(PEER, HOST, 9, 64);
         let out = s.handle_packet(&ptb, SimTime::ZERO, &mut r);
         assert!(!out.events.iter().any(|e| matches!(e, StackEvent::PmtuUpdate { .. })));
-        let pkts2 = s.send_udp(HOST, PEER, 53, 3333, vec![0u8; 1300], SimTime::ZERO, &mut r);
+        let pkts2 = s.send_udp(UdpDatagram::new(HOST, PEER, 53, 3333, vec![0u8; 1300]), SimTime::ZERO, &mut r);
         assert_eq!(pkts2.len(), 1);
     }
 
     #[test]
     fn ipid_policies_behave_as_documented() {
         let mut r = rng();
-        let mut global = UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::GlobalCounter, ..Default::default() });
+        let mut global =
+            UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::GlobalCounter, ..Default::default() });
         let a: Ipv4Addr = "1.1.1.1".parse().unwrap();
         let b: Ipv4Addr = "2.2.2.2".parse().unwrap();
         let id1 = global.next_ipid(a, &mut r);
         let id2 = global.next_ipid(b, &mut r);
         assert_eq!(id2, id1.wrapping_add(1), "global counter shared across destinations");
 
-        let mut per_dest = UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::PerDestination, ..Default::default() });
+        let mut per_dest =
+            UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::PerDestination, ..Default::default() });
         let a1 = per_dest.next_ipid(a, &mut r);
         let _b1 = per_dest.next_ipid(b, &mut r);
         let a2 = per_dest.next_ipid(a, &mut r);
         assert_eq!(a2, a1.wrapping_add(1));
 
-        let mut random = UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::Random, ..Default::default() });
+        let mut random =
+            UdpStack::new(vec![HOST], StackConfig { ipid_policy: IpIdPolicy::Random, ..Default::default() });
         let vals: Vec<u16> = (0..8).map(|_| random.next_ipid(a, &mut r)).collect();
         let increments = vals.windows(2).filter(|w| w[1] == w[0].wrapping_add(1)).count();
         assert!(increments < 7, "random IPIDs must not look like a counter");
@@ -538,10 +537,10 @@ mod tests {
         let probe = UdpDatagram::new(HOST, PEER, 40000, 53, b"q".to_vec()).into_packet(3, 64);
         let err = IcmpMessage::port_unreachable(&probe).into_packet(PEER, HOST, 4, 64);
         let out = s.handle_packet(&err, SimTime::ZERO, &mut rng());
-        assert!(out
-            .events
-            .iter()
-            .any(|e| matches!(e, StackEvent::IcmpError { kind: Unreachable::Port, quoted_ports: Some((40000, 53)), .. })));
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            StackEvent::IcmpError { kind: Unreachable::Port, quoted_ports: Some((40000, 53)), .. }
+        )));
     }
 
     #[test]

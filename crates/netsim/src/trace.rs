@@ -199,8 +199,8 @@ mod tests {
     #[test]
     fn record_packet_uses_summary() {
         let mut t = Trace::new();
-        let pkt = UdpDatagram::new("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 1, 2, vec![])
-            .into_packet(1, 64);
+        let pkt =
+            UdpDatagram::new("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 1, 2, vec![]).into_packet(1, 64);
         t.record_packet(SimTime::ZERO, "x", "y", &pkt, TraceVerdict::NoRoute);
         assert_eq!(t.len(), 1);
         assert!(t.entries()[0].summary.contains("UDP"));

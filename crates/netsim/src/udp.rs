@@ -84,12 +84,7 @@ impl UdpDatagram {
     pub fn compute_checksum(&self) -> u16 {
         let length = self.udp_length();
         let mut c = checksum::pseudo_header(self.src, self.dst, Protocol::Udp.number(), length);
-        let header = UdpHeader {
-            src_port: self.src_port,
-            dst_port: self.dst_port,
-            length,
-            checksum: 0,
-        };
+        let header = UdpHeader { src_port: self.src_port, dst_port: self.dst_port, length, checksum: 0 };
         c.add_bytes(&header.encode());
         c.add_bytes(&self.payload);
         let ck = c.finish();
@@ -203,13 +198,7 @@ mod tests {
     use super::*;
 
     fn dgram(payload: &[u8]) -> UdpDatagram {
-        UdpDatagram::new(
-            "192.0.2.1".parse().unwrap(),
-            "198.51.100.53".parse().unwrap(),
-            34567,
-            53,
-            payload.to_vec(),
-        )
+        UdpDatagram::new("192.0.2.1".parse().unwrap(), "198.51.100.53".parse().unwrap(), 34567, 53, payload.to_vec())
     }
 
     #[test]

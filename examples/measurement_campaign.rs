@@ -33,7 +33,10 @@ fn main() {
     println!("{}", render_cdfs("Figure 3 — announced prefix lengths (CDF)", &fig3));
 
     let (edns, frag) = figure4_edns_vs_fragment(seed, cap);
-    println!("{}", render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag]));
+    println!(
+        "{}",
+        render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag])
+    );
 
     println!("{}", render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap(seed, 5_000)));
     println!("{}", render_venn("Figure 5b — vulnerable domains (overlap)", &figure5_domain_overlap(seed, 5_000)));

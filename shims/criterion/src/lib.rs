@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`, covering what the `bench` crate's ten
+//! targets use: `Criterion::benchmark_group`, `BenchmarkGroup::sample_size`
+//! / `bench_function` / `finish`, `Bencher::iter`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then up to `sample_size` timed iterations capped by a wall
+//! clock budget, and prints mean/min per iteration. No HTML reports, no
+//! statistical analysis, no CLI flags (arguments such as `--bench` that
+//! Cargo passes are ignored).
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Total time budget per benchmark function.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies. `std::hint::black_box` is the stable, non-`unsafe` route.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hands the benchmark body to the harness via [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `body`, running one warm-up iteration then up to
+    /// `sample_size` timed iterations within the time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    println!("{label:<40} mean {mean:>12.3?}   min {min:>12.3?}   ({} iters)", samples.len());
+}
+
+/// Group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        body(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 { 100 } else { self.sample_size };
+        BenchmarkGroup { name: name.to_string(), sample_size, _criterion: self }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: 100 };
+        body(&mut bencher);
+        report(id, &bencher.samples);
+        self
+    }
+
+    /// Upstream parses CLI options here; the shim ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_body_and_caps_samples() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 1 warm-up + up to 10 timed iterations.
+        assert!((2..=11).contains(&runs), "runs={runs}");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+        assert_eq!(black_box(String::from("x")), "x");
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: the workspace only ever writes
+//! `#[derive(Serialize, Deserialize)]` and never calls the traits, so the
+//! derives expand to nothing. `attributes(serde)` keeps any `#[serde(...)]`
+//! field/container attributes parseable.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -5,7 +5,6 @@
 
 use cross_layer_attacks::apps::prelude::*;
 use cross_layer_attacks::attacks::prelude::*;
-use cross_layer_attacks::dns::prelude::*;
 use cross_layer_attacks::netsim::prelude::*;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -13,8 +12,7 @@ use std::net::Ipv4Addr;
 /// Poisons `target` in a fresh standard environment using HijackDNS and
 /// returns (simulator, environment, resolved address after poisoning).
 fn poison(target: &str, seed: u64) -> (Simulator, VictimEnv, Option<Ipv4Addr>) {
-    let mut cfg = VictimEnvConfig::default();
-    cfg.seed = seed;
+    let cfg = VictimEnvConfig { seed, ..Default::default() };
     let (mut sim, env) = cfg.build();
     let mut attack_cfg = HijackDnsConfig::new(env.attacker_addr);
     attack_cfg.target_name = target.parse().unwrap();
@@ -53,7 +51,10 @@ fn radius_roaming_users_are_denied_network_access() {
     // The NAPTR/SRV chain ultimately resolves the home server's address; with
     // a poisoned answer RadSec certificate validation fails: DoS.
     let genuine_home: Ipv4Addr = "30.0.0.27".parse().unwrap();
-    assert_eq!(radius_discovery(resolved.or(Some("6.6.6.6".parse().unwrap())), genuine_home), RadiusAuth::DeniedNoNetwork);
+    assert_eq!(
+        radius_discovery(resolved.or(Some("6.6.6.6".parse().unwrap())), genuine_home),
+        RadiusAuth::DeniedNoNetwork
+    );
 }
 
 #[test]

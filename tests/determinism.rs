@@ -1,0 +1,98 @@
+//! Deterministic-seed regression tests: two runs of each poisoning
+//! methodology against identically-configured victim environments must
+//! produce byte-for-byte identical [`AttackReport`]s — packet counts,
+//! success, duration, iteration counts and notes. The paper's tables are
+//! regenerated from exactly these simulations, so any nondeterminism here
+//! silently invalidates every downstream number.
+
+use cross_layer_attacks::attacks::prelude::*;
+use cross_layer_attacks::dns::prelude::*;
+use cross_layer_attacks::netsim::prelude::*;
+
+/// The standard victim environment of `VictimEnvConfig::default()`, pinned
+/// to a seed.
+fn standard_env(seed: u64) -> (Simulator, VictimEnv) {
+    VictimEnvConfig { seed, ..Default::default() }.build()
+}
+
+/// The SadDNS-friendly environment used throughout the attack tests: a
+/// 256-port ephemeral range (documented scaling knob), a generous timeout
+/// and a rate-limited nameserver so muting works.
+fn saddns_env(seed: u64) -> (Simulator, VictimEnv) {
+    let mut cfg = VictimEnvConfig {
+        seed,
+        nameserver: NameserverConfig::new(addrs::NAMESERVER).with_rrl(10),
+        ..Default::default()
+    };
+    cfg.resolver.port_range = (40000, 40255);
+    cfg.resolver.query_timeout = Duration::from_secs(30);
+    cfg.resolver.max_retries = 0;
+    cfg.build()
+}
+
+fn run_hijackdns(seed: u64) -> AttackReport {
+    let (mut sim, env) = standard_env(seed);
+    HijackDnsAttack::new(HijackDnsConfig::new(env.attacker_addr)).run(&mut sim, &env)
+}
+
+fn run_saddns(seed: u64) -> AttackReport {
+    let (mut sim, env) = saddns_env(seed);
+    let mut cfg = SadDnsConfig::new(env.attacker_addr);
+    cfg.scan_range = (40000, 40255);
+    cfg.max_iterations = 2;
+    SadDnsAttack::new(cfg).run(&mut sim, &env)
+}
+
+fn run_fragdns(seed: u64) -> AttackReport {
+    let (mut sim, env) = standard_env(seed);
+    FragDnsAttack::new(FragDnsConfig::new(env.attacker_addr)).run(&mut sim, &env)
+}
+
+#[test]
+fn hijackdns_reports_are_identical_across_runs() {
+    let a = run_hijackdns(2021);
+    let b = run_hijackdns(2021);
+    assert!(a.success, "HijackDNS must succeed in the standard environment: {:?}", a.notes);
+    assert_eq!(a, b, "same seed + same config must reproduce the exact report");
+}
+
+#[test]
+fn saddns_reports_are_identical_across_runs() {
+    let a = run_saddns(2021);
+    let b = run_saddns(2021);
+    assert!(a.success, "SadDNS must succeed in the tuned environment: {:?}", a.notes);
+    assert_eq!(a, b, "same seed + same config must reproduce the exact report");
+    assert!(a.attacker_packets > 0);
+    assert!(a.duration > Duration::ZERO);
+}
+
+#[test]
+fn fragdns_reports_are_identical_across_runs() {
+    let a = run_fragdns(2021);
+    let b = run_fragdns(2021);
+    assert!(a.success, "FragDNS must succeed in the standard environment: {:?}", a.notes);
+    assert_eq!(a, b, "same seed + same config must reproduce the exact report");
+}
+
+#[test]
+fn environment_build_is_deterministic() {
+    // The environment builder itself (addresses, zone contents, resolver
+    // state) must not depend on anything but the config.
+    let (sim_a, env_a) = standard_env(7);
+    let (sim_b, env_b) = standard_env(7);
+    assert_eq!(env_a.resolver_addr, env_b.resolver_addr);
+    assert_eq!(env_a.nameserver_addr, env_b.nameserver_addr);
+    assert_eq!(env_a.attacker_addr, env_b.attacker_addr);
+    assert_eq!(sim_a.now(), sim_b.now());
+}
+
+#[test]
+fn different_seeds_still_converge_on_success() {
+    // Determinism must not come from ignoring the seed: distinct seeds may
+    // take different paths (port draws, IPID draws) yet the methodology
+    // still succeeds in its reference environment.
+    for seed in [1u64, 2, 3] {
+        assert!(run_hijackdns(seed).success, "HijackDNS failed for seed {seed}");
+        assert!(run_fragdns(seed).success, "FragDNS failed for seed {seed}");
+    }
+}

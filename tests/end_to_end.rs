@@ -58,11 +58,13 @@ fn poisoned_cache_affects_every_application_sharing_the_resolver() {
 
 #[test]
 fn dnssec_protects_signed_domains_end_to_end() {
-    let mut cfg = VictimEnvConfig::default();
-    cfg.zone_signed = true;
-    cfg.resolver = ResolverConfig::new(attacks::env::addrs::RESOLVER)
-        .with_delegation("vict.im", vec![attacks::env::addrs::NAMESERVER], true)
-        .with_dnssec_validation();
+    let cfg = VictimEnvConfig {
+        zone_signed: true,
+        resolver: ResolverConfig::new(attacks::env::addrs::RESOLVER)
+            .with_delegation("vict.im", vec![attacks::env::addrs::NAMESERVER], true)
+            .with_dnssec_validation(),
+        ..Default::default()
+    };
     let (mut sim, env) = cfg.build();
     let report = HijackDnsAttack::new(HijackDnsConfig::new(env.attacker_addr)).run(&mut sim, &env);
     assert!(!report.success, "a validating resolver rejects the unsigned forgery");

@@ -10,7 +10,8 @@ fn arb_label() -> impl Strategy<Value = String> {
 }
 
 fn arb_name() -> impl Strategy<Value = DomainName> {
-    proptest::collection::vec(arb_label(), 1..5).prop_map(|labels| DomainName::from_labels(labels).expect("valid labels"))
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DomainName::from_labels(labels).expect("valid labels"))
 }
 
 fn arb_addr() -> impl Strategy<Value = std::net::Ipv4Addr> {
