@@ -43,7 +43,7 @@ pub mod prelude {
     pub use crate::fragdns::{FragDnsAttack, FragDnsConfig};
     pub use crate::hijackdns::{HijackDnsAttack, HijackDnsConfig, HijackKind};
     pub use crate::outcome::{AttackAggregate, AttackReport, FailureReason, PoisonMethod, Stealth};
-    pub use crate::saddns::{SadDnsAttack, SadDnsConfig};
+    pub use crate::saddns::{SadDnsAttack, SadDnsConfig, CLOSED_PORT_PROBE_BASE, ICMP_PROBE_BATCH};
 }
 
 pub use prelude::*;

@@ -24,6 +24,20 @@ use dns::prelude::*;
 use netsim::prelude::*;
 use std::net::Ipv4Addr;
 
+/// Probes per scan batch — Linux's default **global** ICMP error budget of
+/// 50 tokens per second (Section 3.2). One batch of spoofed probes drains
+/// the budget exactly, which is what makes the verification probe a 1-bit
+/// oracle. Shared with the vulnerability scanner's ICMP global-limit probe
+/// (`xlayer-core::vulnscan`).
+pub const ICMP_PROBE_BATCH: u16 = 50;
+
+/// Base of a port window assumed **closed** on the victim resolver.
+/// Resolvers in this workspace draw ephemeral ports from ranges well above
+/// it, so probes aimed here always burn an ICMP token without hitting an
+/// open socket — used by the scanner's 50-probe window and by tests needing
+/// a guaranteed-closed batch.
+pub const CLOSED_PORT_PROBE_BASE: u16 = 10_000;
+
 /// Configuration for a SadDNS attack run.
 #[derive(Debug, Clone)]
 pub struct SadDnsConfig {
@@ -60,7 +74,7 @@ impl SadDnsConfig {
             qtype: RecordType::A,
             trigger: QueryTrigger::OpenResolver,
             scan_range: (32768, 60999),
-            batch_size: 50,
+            batch_size: ICMP_PROBE_BATCH,
             mute_queries: 2000,
             batch_interval: Duration::from_millis(1100),
             max_iterations: 3,
@@ -360,7 +374,7 @@ mod tests {
         let containing: Vec<u16> = (open_port.saturating_sub(10)..open_port.saturating_sub(10) + 50).collect();
         assert!(attack.probe_set(&mut sim, &env, &containing));
         // A batch of closed ports reports false.
-        let closed: Vec<u16> = (10000..10050).collect();
+        let closed: Vec<u16> = (CLOSED_PORT_PROBE_BASE..CLOSED_PORT_PROBE_BASE + ICMP_PROBE_BATCH).collect();
         assert!(!attack.probe_set(&mut sim, &env, &closed));
     }
 }

@@ -1,0 +1,76 @@
+//! Measures the sharded campaign engine's throughput: the Table 3 + Table 4
+//! classification campaigns at a production-scale sample cap, swept over
+//! worker counts. The sweep asserts the engine's determinism contract (every
+//! worker count produces identical tables) and prints the measured speedup,
+//! so the parallel claim is measured, not asserted.
+//!
+//! On multi-core hardware `workers=4` is expected to show a ≥2× speedup
+//! over `workers=1`; on a single-core container the sweep honestly reports
+//! ≈1× (the printed "available" count shows why).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use xl_bench::BENCH_SEED;
+use xlayer_core::prelude::*;
+
+/// Production-scale cap: the Table 3 datasets alone classify ~470 K
+/// profiles at this setting.
+const THROUGHPUT_CAP: u64 = 200_000;
+
+fn run_both_tables(cfg: &CampaignConfig) -> (Vec<ResolverDatasetResult>, Vec<DomainDatasetResult>) {
+    (run_table3_with(cfg), run_table4_with(cfg))
+}
+
+/// Times one worker count, taking the minimum of `RUNS` passes so one-time
+/// costs (page faults, allocator growth) don't skew any point of the sweep —
+/// in particular the workers=1 reference the speedups are computed against.
+fn time_workers(workers: usize) -> (Duration, (Vec<ResolverDatasetResult>, Vec<DomainDatasetResult>)) {
+    const RUNS: usize = 3;
+    let cfg = CampaignConfig::new(BENCH_SEED, THROUGHPUT_CAP).with_workers(workers);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let run = run_both_tables(&cfg);
+        best = best.min(t0.elapsed());
+        out = Some(run);
+    }
+    (best, out.expect("at least one run"))
+}
+
+fn bench(c: &mut Criterion) {
+    let total_profiles: u64 = table3_datasets()
+        .iter()
+        .map(|s| s.sample_size(THROUGHPUT_CAP) as u64)
+        .chain(table4_datasets().iter().map(|s| s.sample_size(THROUGHPUT_CAP) as u64))
+        .sum();
+    println!(
+        "campaign_throughput: Table 3 + Table 4 at cap={THROUGHPUT_CAP} ({total_profiles} profiles), \
+         {} hardware threads available",
+        available_workers()
+    );
+
+    let (t1, reference) = time_workers(1);
+    println!("  workers=1   {t1:>10.3?}   (reference)");
+    for workers in [2usize, 4, 8] {
+        let (t, out) = time_workers(workers);
+        assert_eq!(out, reference, "worker count must never change a table cell");
+        println!(
+            "  workers={workers:<3} {t:>10.3?}   speedup {:.2}x   [output identical]",
+            t1.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.bench_function("table3+4_cap200k_workers1", |b| {
+        b.iter(|| run_both_tables(&CampaignConfig::new(BENCH_SEED, THROUGHPUT_CAP)))
+    });
+    group.bench_function("table3+4_cap200k_workers4", |b| {
+        b.iter(|| run_both_tables(&CampaignConfig::new(BENCH_SEED, THROUGHPUT_CAP).with_workers(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

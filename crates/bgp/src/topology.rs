@@ -15,7 +15,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An autonomous system number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,11 +55,15 @@ pub enum Relationship {
 /// The AS-level topology graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AsTopology {
-    tiers: HashMap<AsId, AsTier>,
+    // BTreeMaps, not HashMaps: iteration order (e.g. `ases()`) must be a
+    // pure function of the contents, or two same-seed topologies would feed
+    // differently-ordered AS lists into downstream sampling and silently
+    // break the workspace-wide bit-identical-replay guarantee.
+    tiers: BTreeMap<AsId, AsTier>,
     /// adjacency: for each AS, its neighbours and the relationship *of the
     /// neighbour to this AS* (e.g. `Customer` means "that neighbour is my
     /// customer").
-    neighbors: HashMap<AsId, Vec<(AsId, Relationship)>>,
+    neighbors: BTreeMap<AsId, Vec<(AsId, Relationship)>>,
 }
 
 impl AsTopology {

@@ -14,6 +14,7 @@
 //!   (1/2¹⁶ TXID guess once the port is known; 64-entry defragmentation cache
 //!   against a 2¹⁶ IPID space ⇒ ≈ 0.1 % hit rate and ≈ 65 K packets).
 
+use crate::campaign::CampaignConfig;
 use crate::measurements;
 use crate::report::{pct, TextTable};
 use attacks::prelude::*;
@@ -106,9 +107,30 @@ pub fn saddns_effectiveness(runs: u64, seed: u64) -> SadDnsEffectiveness {
 /// columns; `saddns_runs` controls how many full SadDNS simulations back the
 /// effectiveness numbers (use 1 for quick runs, more for tighter averages).
 pub fn run_table6(seed: u64, sample_cap: u64, saddns_runs: u64) -> ComparisonReport {
+    run_table6_with(&CampaignConfig::new(seed, sample_cap), saddns_runs)
+}
+
+/// Builds the full comparison table with the applicability campaigns running
+/// on the sharded engine. The attack simulations backing the effectiveness
+/// columns are inherently sequential (one simulator per run) and take the
+/// master seed directly; everything population-scale honours `cfg.workers`.
+pub fn run_table6_with(cfg: &CampaignConfig, saddns_runs: u64) -> ComparisonReport {
+    let t3 = measurements::run_table3_with(cfg);
+    let t4 = measurements::run_table4_with(cfg);
+    run_table6_from(&t3, &t4, cfg.seed, saddns_runs)
+}
+
+/// Builds the comparison table from **precomputed** Table 3/4 campaign rows,
+/// so callers that already ran the campaigns (the full-evaluation example,
+/// pipelines chaining tables) don't classify the same ~1 M profiles twice.
+/// `seed` drives the attack simulations backing the effectiveness columns.
+pub fn run_table6_from(
+    t3: &[measurements::ResolverDatasetResult],
+    t4: &[measurements::DomainDatasetResult],
+    seed: u64,
+    saddns_runs: u64,
+) -> ComparisonReport {
     // Applicability from the measurement campaigns (ad-net resolvers, Alexa 1M domains).
-    let t3 = measurements::run_table3(seed, sample_cap);
-    let t4 = measurements::run_table4(seed, sample_cap);
     let adnet = t3.iter().find(|r| r.dataset.contains("Ad-net")).expect("ad-net dataset");
     let alexa = t4.iter().find(|r| r.dataset == "Alexa 1M").expect("alexa dataset");
 

@@ -1,0 +1,334 @@
+//! The sharded measurement-campaign engine.
+//!
+//! The paper's headline numbers come from Internet-scale campaigns over
+//! millions of resolvers and domains. This module turns the evaluation
+//! pipeline into a scalable backbone by partitioning a population of `N`
+//! elements into deterministic fixed-size shards, deriving every shard's RNG
+//! stream purely from `(seed, salt, shard_id)`, fanning the shards out across
+//! a hand-rolled `std::thread` + `mpsc` worker pool, and merging the
+//! per-shard partial tallies with an order-independent reducer.
+//!
+//! The determinism contract: **the output is a function of the seed alone,
+//! never of the worker count or of scheduling**. Profile `i` always lives in
+//! shard `i / SHARD_SIZE` and is always the `(i % SHARD_SIZE)`-th draw from
+//! that shard's ChaCha20 stream, so `workers = 1` and `workers = 32` produce
+//! byte-identical tables and figures (locked in by `tests/determinism.rs`
+//! and the golden snapshots under `tests/golden/`).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of elements per shard. Fixed (never derived from the worker
+/// count!) so the shard boundaries — and therefore every per-shard RNG
+/// stream — are invariant under the degree of parallelism.
+pub const SHARD_SIZE: usize = 4096;
+
+/// Configuration shared by every sharded campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed; all shard streams are derived from it.
+    pub seed: u64,
+    /// Cap on the generated sample size per dataset.
+    pub sample_cap: u64,
+    /// Worker threads the shards are fanned out across. Affects wall-clock
+    /// time only, never results.
+    pub workers: usize,
+}
+
+impl CampaignConfig {
+    /// A single-threaded configuration (the reference execution).
+    pub fn new(seed: u64, sample_cap: u64) -> Self {
+        CampaignConfig { seed, sample_cap, workers: 1 }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// A configuration using every available hardware thread.
+    pub fn max_parallel(seed: u64, sample_cap: u64) -> Self {
+        Self::new(seed, sample_cap).with_workers(available_workers())
+    }
+}
+
+/// The number of hardware threads available to the process.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Number of shards covering a population of `n` elements.
+pub fn shard_count(n: usize) -> usize {
+    n.div_ceil(SHARD_SIZE)
+}
+
+/// The half-open index range `[shard * SHARD_SIZE, ...)` of one shard.
+/// Every index in `0..n` is covered by exactly one shard (see the
+/// partitioner properties in `tests/campaign_props.rs`).
+pub fn shard_range(n: usize, shard: usize) -> Range<usize> {
+    let start = shard * SHARD_SIZE;
+    start.min(n)..((shard + 1) * SHARD_SIZE).min(n)
+}
+
+/// All shard ranges of a population, in ascending index order.
+pub fn shard_ranges(n: usize) -> Vec<Range<usize>> {
+    (0..shard_count(n)).map(|s| shard_range(n, s)).collect()
+}
+
+/// SplitMix64 finaliser: a bijective mixer with good avalanche behaviour.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a shard's ChaCha20 stream purely from `(seed, salt, shard_id)`.
+///
+/// `salt` separates independent campaigns (datasets, metrics) running under
+/// the same master seed; `shard_id` separates the shards of one campaign.
+/// Because the derivation never involves worker identity or scheduling, the
+/// classification of profile `i` is a pure function of the seed.
+pub fn shard_rng(seed: u64, salt: u64, shard_id: u64) -> ChaCha20Rng {
+    let mut state = mix64(seed ^ 0x243f_6a88_85a3_08d3);
+    state = mix64(state ^ salt);
+    state = mix64(state ^ shard_id);
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_exact_mut(8) {
+        state = mix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        chunk.copy_from_slice(&state.to_le_bytes());
+    }
+    ChaCha20Rng::from_seed(key)
+}
+
+/// An order-independent partial result folded per shard and merged across
+/// shards. `merge` must be commutative and associative (property-tested in
+/// `tests/campaign_props.rs`) so the reduction is independent of completion
+/// order.
+pub trait Tally: Send {
+    /// The per-element profile this tally observes.
+    type Profile;
+
+    /// Folds one profile into the tally.
+    fn observe(&mut self, profile: &Self::Profile);
+
+    /// Merges another shard's partial tally into this one.
+    fn merge(&mut self, other: Self);
+}
+
+/// A sharded measurement campaign: how to draw one profile from a shard's
+/// RNG stream and which tally to fold it into. Implementations exist for the
+/// Table 3/4 classification campaigns, the Figure 3/4 CDF scans and the
+/// Figure 5 overlap counts; anything that samples a population fits.
+pub trait Campaign: Sync {
+    /// The per-element profile.
+    type Profile;
+    /// The partial result folded per shard.
+    type Tally: Tally<Profile = Self::Profile>;
+
+    /// Stream salt separating this campaign's RNG streams from every other
+    /// campaign run under the same master seed.
+    fn salt(&self) -> u64;
+
+    /// Draws one profile from the shard stream.
+    fn draw(&self, rng: &mut ChaCha20Rng) -> Self::Profile;
+
+    /// Creates an empty tally for one shard.
+    fn new_tally(&self) -> Self::Tally;
+}
+
+/// Runs `job` for every shard id in `0..shards` across `workers` threads and
+/// returns the results **in shard order**, regardless of which worker
+/// finished which shard when. This is the pool primitive everything else is
+/// built on: workers pull shard ids from a shared atomic cursor and ship
+/// `(shard_id, result)` pairs back over an `mpsc` channel.
+pub fn run_shards<T, F>(shards: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if shards == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, shards);
+    if workers == 1 {
+        return (0..shards).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let job = &job;
+            scope.spawn(move || loop {
+                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                if shard >= shards || tx.send((shard, job(shard))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (shard, result) in rx {
+            slots[shard] = Some(result);
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every shard produces exactly one result")).collect()
+}
+
+/// Runs a campaign over a population of `n` elements: shards the index
+/// space, draws and observes every element shard-locally, and merges the
+/// per-shard tallies in ascending shard order.
+pub fn run_campaign<C: Campaign>(campaign: &C, n: usize, cfg: &CampaignConfig) -> C::Tally {
+    let parts = run_shards(shard_count(n), cfg.workers, |shard| {
+        let mut rng = shard_rng(cfg.seed, campaign.salt(), shard as u64);
+        let mut tally = campaign.new_tally();
+        for _ in shard_range(n, shard) {
+            let profile = campaign.draw(&mut rng);
+            tally.observe(&profile);
+        }
+        tally
+    });
+    let mut acc = campaign.new_tally();
+    for part in parts {
+        acc.merge(part);
+    }
+    acc
+}
+
+/// Generates a population of `n` profiles on the sharded engine, preserving
+/// index order. The profile at index `i` is identical for every worker
+/// count — it is the `(i % SHARD_SIZE)`-th draw of shard `i / SHARD_SIZE`.
+pub fn generate_population<P, F>(n: usize, seed: u64, salt: u64, workers: usize, draw: F) -> Vec<P>
+where
+    P: Send,
+    F: Fn(&mut ChaCha20Rng) -> P + Sync,
+{
+    let parts = run_shards(shard_count(n), workers, |shard| {
+        let mut rng = shard_rng(seed, salt, shard as u64);
+        shard_range(n, shard).map(|_| draw(&mut rng)).collect::<Vec<P>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// A mergeable histogram over `u32` values — the partial tally behind the
+/// Figure 3/4 CDF scans. Merging adds per-value counts, so it is commutative
+/// and associative by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Count per observed value.
+    pub counts: BTreeMap<u32, u64>,
+    /// Total number of observations.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn add(&mut self, value: u32) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: Histogram) {
+        for (value, count) in other.counts {
+            *self.counts.entry(value).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
+    /// The empirical CDF at `threshold`: fraction of observations `≤ t`
+    /// (0 when the histogram is empty, matching `Cdf::at_thresholds`).
+    pub fn cdf_at(&self, threshold: u32) -> f64 {
+        let below: u64 = self.counts.range(..=threshold).map(|(_, c)| c).sum();
+        below as f64 / self.total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn shard_ranges_tile_the_index_space() {
+        for n in [0usize, 1, SHARD_SIZE - 1, SHARD_SIZE, SHARD_SIZE + 1, 3 * SHARD_SIZE + 17] {
+            let ranges = shard_ranges(n);
+            assert_eq!(ranges.len(), shard_count(n));
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "shards are contiguous and non-overlapping");
+                assert!(r.end > r.start, "no empty shard");
+                assert!(r.end - r.start <= SHARD_SIZE);
+                next = r.end;
+            }
+            assert_eq!(next, n, "every index covered exactly once");
+        }
+    }
+
+    #[test]
+    fn shard_rng_streams_are_pure_and_distinct() {
+        let draw8 = |seed, salt, shard| {
+            let mut rng = shard_rng(seed, salt, shard);
+            (0..8).map(|_| rng.gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw8(1, 2, 3), draw8(1, 2, 3), "pure function of (seed, salt, shard)");
+        assert_ne!(draw8(1, 2, 3), draw8(1, 2, 4), "shards get distinct streams");
+        assert_ne!(draw8(1, 2, 3), draw8(1, 3, 3), "salts get distinct streams");
+        assert_ne!(draw8(1, 2, 3), draw8(2, 2, 3), "seeds get distinct streams");
+    }
+
+    #[test]
+    fn run_shards_preserves_shard_order_at_any_worker_count() {
+        let expected: Vec<usize> = (0..23).map(|s| s * s).collect();
+        for workers in [1usize, 2, 3, 8, 32] {
+            assert_eq!(run_shards(23, workers, |s| s * s), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_shards_handles_empty_and_single() {
+        assert_eq!(run_shards(0, 4, |s| s), Vec::<usize>::new());
+        assert_eq!(run_shards(1, 4, |s| s + 1), vec![1]);
+    }
+
+    #[test]
+    fn generate_population_is_worker_invariant() {
+        let draw = |rng: &mut ChaCha20Rng| rng.gen::<u32>();
+        let reference = generate_population(3 * SHARD_SIZE + 100, 7, 9, 1, draw);
+        assert_eq!(reference.len(), 3 * SHARD_SIZE + 100);
+        for workers in [2usize, 5, 16] {
+            assert_eq!(generate_population(3 * SHARD_SIZE + 100, 7, 9, workers, draw), reference);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::default();
+        a.add(5);
+        a.add(5);
+        a.add(9);
+        let mut b = Histogram::default();
+        b.add(9);
+        b.add(1);
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.total, 5);
+        assert!((ab.cdf_at(5) - 0.6).abs() < 1e-12);
+        assert!((ab.cdf_at(1) - 0.2).abs() < 1e-12);
+        assert!((Histogram::default().cdf_at(10)).abs() < 1e-12, "empty histogram CDF is 0");
+    }
+}

@@ -1,10 +1,17 @@
 //! The paper's figures: announced-prefix CDFs (Figure 3), EDNS-size vs.
 //! minimum-fragment-size CDFs (Figure 4) and the overlap of vulnerable
 //! populations (Figure 5).
+//!
+//! The CDF scans and overlap counts run on the sharded campaign engine
+//! ([`crate::campaign`]): each shard folds its profiles into a mergeable
+//! [`Histogram`] / Venn tally, so no population is ever materialised and the
+//! scans parallelise while staying byte-identical at any worker count.
 
-use crate::population::{self, DomainProfile, ResolverProfile};
+use crate::campaign::{run_campaign, Campaign, CampaignConfig, Histogram, Tally};
+use crate::population::{self, DatasetSpec, DomainProfile, ResolverProfile};
 use crate::report::TextTable;
 use crate::vulnscan;
+use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
 
 /// A cumulative distribution: `(x, fraction ≤ x)` points.
@@ -24,53 +31,181 @@ impl Cdf {
         Cdf { label: label.to_string(), points }
     }
 
+    /// Builds a CDF from a campaign histogram evaluated at the thresholds.
+    pub fn from_histogram(label: &str, hist: &Histogram, thresholds: &[u32]) -> Cdf {
+        Cdf { label: label.to_string(), points: thresholds.iter().map(|&t| (t, hist.cdf_at(t))).collect() }
+    }
+
     /// The fraction at a given threshold (0 if the threshold is absent).
     pub fn at(&self, x: u32) -> f64 {
         self.points.iter().find(|(t, _)| *t == x).map(|(_, f)| *f).unwrap_or(0.0)
     }
 }
 
+/// Which scalar a resolver CDF scan extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolverMetric {
+    /// Announced BGP prefix length (Figure 3).
+    PrefixLen,
+    /// Advertised EDNS UDP payload size (Figure 4).
+    EdnsSize,
+}
+
+/// Histogram tally over one resolver metric.
+#[derive(Debug, Clone)]
+pub struct ResolverHist {
+    metric: ResolverMetric,
+    /// The accumulated histogram.
+    pub hist: Histogram,
+}
+
+impl Tally for ResolverHist {
+    type Profile = ResolverProfile;
+
+    fn observe(&mut self, r: &ResolverProfile) {
+        match self.metric {
+            ResolverMetric::PrefixLen => self.hist.add(u32::from(r.announced_prefix_len)),
+            ResolverMetric::EdnsSize => self.hist.add(u32::from(r.edns_size)),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.hist.merge(other.hist);
+    }
+}
+
+/// A Figure 3/4 CDF scan over one resolver dataset.
+pub struct ResolverScan<'a> {
+    /// Dataset whose population is scanned.
+    pub spec: &'a DatasetSpec,
+    /// Metric extracted per resolver.
+    pub metric: ResolverMetric,
+}
+
+impl Campaign for ResolverScan<'_> {
+    type Profile = ResolverProfile;
+    type Tally = ResolverHist;
+
+    fn salt(&self) -> u64 {
+        self.spec.resolver_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> ResolverProfile {
+        population::draw_resolver(self.spec, rng)
+    }
+
+    fn new_tally(&self) -> ResolverHist {
+        ResolverHist { metric: self.metric, hist: Histogram::default() }
+    }
+}
+
+/// Which scalar a domain CDF scan extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainMetric {
+    /// Announced BGP prefix length of the nameservers (Figure 3).
+    PrefixLen,
+    /// Minimum fragment size — observed only for fragmenting nameservers
+    /// (Figure 4).
+    MinFragmentSize,
+}
+
+/// Histogram tally over one domain metric.
+#[derive(Debug, Clone)]
+pub struct DomainHist {
+    metric: DomainMetric,
+    /// The accumulated histogram.
+    pub hist: Histogram,
+}
+
+impl Tally for DomainHist {
+    type Profile = DomainProfile;
+
+    fn observe(&mut self, d: &DomainProfile) {
+        match self.metric {
+            DomainMetric::PrefixLen => self.hist.add(u32::from(d.announced_prefix_len)),
+            DomainMetric::MinFragmentSize => {
+                if d.fragments_any {
+                    self.hist.add(u32::from(d.min_fragment_size));
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.hist.merge(other.hist);
+    }
+}
+
+/// A Figure 3/4 CDF scan over one domain dataset.
+pub struct DomainScan<'a> {
+    /// Dataset whose population is scanned.
+    pub spec: &'a DatasetSpec,
+    /// Metric extracted per domain.
+    pub metric: DomainMetric,
+}
+
+impl Campaign for DomainScan<'_> {
+    type Profile = DomainProfile;
+    type Tally = DomainHist;
+
+    fn salt(&self) -> u64 {
+        self.spec.domain_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> DomainProfile {
+        population::draw_domain(self.spec, rng)
+    }
+
+    fn new_tally(&self) -> DomainHist {
+        DomainHist { metric: self.metric, hist: Histogram::default() }
+    }
+}
+
+fn scan_resolvers(spec: &DatasetSpec, metric: ResolverMetric, cfg: &CampaignConfig) -> Histogram {
+    run_campaign(&ResolverScan { spec, metric }, spec.sample_size(cfg.sample_cap), cfg).hist
+}
+
+fn scan_domains(spec: &DatasetSpec, metric: DomainMetric, cfg: &CampaignConfig) -> Histogram {
+    run_campaign(&DomainScan { spec, metric }, spec.sample_size(cfg.sample_cap), cfg).hist
+}
+
 /// Figure 3: distribution of announced prefix lengths (/11 … /24) for open
 /// resolvers, ad-net resolvers and Alexa nameservers.
 pub fn figure3_prefix_distributions(seed: u64, sample_cap: u64) -> Vec<Cdf> {
+    figure3_prefix_distributions_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Figure 3 on the sharded engine: three parallel histogram scans.
+pub fn figure3_prefix_distributions_with(cfg: &CampaignConfig) -> Vec<Cdf> {
     let thresholds: Vec<u32> = (11..=24).collect();
     let specs = population::table3_datasets();
-    let open = population::generate_resolvers(&specs[7], sample_cap, seed);
-    let adnet = population::generate_resolvers(&specs[6], sample_cap, seed);
     let domain_specs = population::table4_datasets();
-    let alexa_ns = population::generate_domains(&domain_specs[1], sample_cap, seed);
+    let open = scan_resolvers(&specs[7], ResolverMetric::PrefixLen, cfg);
+    let adnet = scan_resolvers(&specs[6], ResolverMetric::PrefixLen, cfg);
+    let alexa_ns = scan_domains(&domain_specs[1], DomainMetric::PrefixLen, cfg);
     vec![
-        Cdf::at_thresholds(
-            "Resolvers: Open resolver",
-            &open.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(),
-            &thresholds,
-        ),
-        Cdf::at_thresholds(
-            "Resolvers: Adnet",
-            &adnet.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(),
-            &thresholds,
-        ),
-        Cdf::at_thresholds(
-            "Nameservers: Alexa",
-            &alexa_ns.iter().map(|d| u32::from(d.announced_prefix_len)).collect::<Vec<_>>(),
-            &thresholds,
-        ),
+        Cdf::from_histogram("Resolvers: Open resolver", &open, &thresholds),
+        Cdf::from_histogram("Resolvers: Adnet", &adnet, &thresholds),
+        Cdf::from_histogram("Nameservers: Alexa", &alexa_ns, &thresholds),
     ]
 }
 
 /// Figure 4: CDF of resolver EDNS UDP sizes vs. CDF of the minimum fragment
 /// size emitted by (fragmenting) Alexa nameservers.
 pub fn figure4_edns_vs_fragment(seed: u64, sample_cap: u64) -> (Cdf, Cdf) {
+    figure4_edns_vs_fragment_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Figure 4 on the sharded engine.
+pub fn figure4_edns_vs_fragment_with(cfg: &CampaignConfig) -> (Cdf, Cdf) {
     let thresholds = [68u32, 292, 512, 548, 1232, 1500, 2048, 3072, 4096];
     let specs = population::table3_datasets();
-    let open = population::generate_resolvers(&specs[7], sample_cap, seed);
-    let edns: Vec<u32> = open.iter().map(|r| u32::from(r.edns_size)).collect();
     let domain_specs = population::table4_datasets();
-    let alexa: Vec<DomainProfile> = population::generate_domains(&domain_specs[1], sample_cap, seed);
-    let min_frag: Vec<u32> = alexa.iter().filter(|d| d.fragments_any).map(|d| u32::from(d.min_fragment_size)).collect();
+    let edns = scan_resolvers(&specs[7], ResolverMetric::EdnsSize, cfg);
+    let min_frag = scan_domains(&domain_specs[1], DomainMetric::MinFragmentSize, cfg);
     (
-        Cdf::at_thresholds("EDNS size of resolvers", &edns, &thresholds),
-        Cdf::at_thresholds("Minimum fragment size of nameservers", &min_frag, &thresholds),
+        Cdf::from_histogram("EDNS size of resolvers", &edns, &thresholds),
+        Cdf::from_histogram("Minimum fragment size of nameservers", &min_frag, &thresholds),
     )
 }
 
@@ -120,7 +255,8 @@ impl VennCounts {
         self.only_frag + self.hijack_frag + self.saddns_frag + self.all_three
     }
 
-    fn add(&mut self, hijack: bool, saddns: bool, frag: bool) {
+    /// Classifies one element into its overlap region.
+    pub fn add(&mut self, hijack: bool, saddns: bool, frag: bool) {
         match (hijack, saddns, frag) {
             (true, false, false) => self.only_hijack += 1,
             (false, true, false) => self.only_saddns += 1,
@@ -132,36 +268,124 @@ impl VennCounts {
             (false, false, false) => {}
         }
     }
+
+    /// Merges another region count into this one (commutative/associative —
+    /// the campaign reducer for Figure 5).
+    pub fn merge(&mut self, o: Self) {
+        self.only_hijack += o.only_hijack;
+        self.only_saddns += o.only_saddns;
+        self.only_frag += o.only_frag;
+        self.hijack_saddns += o.hijack_saddns;
+        self.hijack_frag += o.hijack_frag;
+        self.saddns_frag += o.saddns_frag;
+        self.all_three += o.all_three;
+    }
+}
+
+/// Venn tally over resolver profiles.
+#[derive(Debug, Clone, Default)]
+pub struct ResolverVennTally(pub VennCounts);
+
+impl Tally for ResolverVennTally {
+    type Profile = ResolverProfile;
+
+    fn observe(&mut self, r: &ResolverProfile) {
+        self.0.add(
+            vulnscan::resolver_hijackable(r),
+            vulnscan::resolver_saddns_vulnerable(r),
+            vulnscan::resolver_frag_vulnerable(r),
+        );
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+}
+
+/// Venn tally over domain profiles.
+#[derive(Debug, Clone, Default)]
+pub struct DomainVennTally(pub VennCounts);
+
+impl Tally for DomainVennTally {
+    type Profile = DomainProfile;
+
+    fn observe(&mut self, d: &DomainProfile) {
+        self.0.add(
+            vulnscan::domain_hijackable(d),
+            vulnscan::domain_saddns_vulnerable(d),
+            vulnscan::domain_frag_any_vulnerable(d),
+        );
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+}
+
+/// The Figure 5a overlap campaign over one resolver dataset.
+pub struct ResolverOverlap<'a>(pub &'a DatasetSpec);
+
+impl Campaign for ResolverOverlap<'_> {
+    type Profile = ResolverProfile;
+    type Tally = ResolverVennTally;
+
+    fn salt(&self) -> u64 {
+        self.0.resolver_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> ResolverProfile {
+        population::draw_resolver(self.0, rng)
+    }
+
+    fn new_tally(&self) -> ResolverVennTally {
+        ResolverVennTally::default()
+    }
+}
+
+/// The Figure 5b overlap campaign over one domain dataset.
+pub struct DomainOverlap<'a>(pub &'a DatasetSpec);
+
+impl Campaign for DomainOverlap<'_> {
+    type Profile = DomainProfile;
+    type Tally = DomainVennTally;
+
+    fn salt(&self) -> u64 {
+        self.0.domain_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> DomainProfile {
+        population::draw_domain(self.0, rng)
+    }
+
+    fn new_tally(&self) -> DomainVennTally {
+        DomainVennTally::default()
+    }
 }
 
 /// Figure 5a: overlap over all resolver datasets.
 pub fn figure5_resolver_overlap(seed: u64, sample_cap: u64) -> VennCounts {
+    figure5_resolver_overlap_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Figure 5a on the sharded engine.
+pub fn figure5_resolver_overlap_with(cfg: &CampaignConfig) -> VennCounts {
     let mut counts = VennCounts::default();
     for spec in population::table3_datasets() {
-        let pop: Vec<ResolverProfile> = population::generate_resolvers(&spec, sample_cap, seed);
-        for r in &pop {
-            counts.add(
-                vulnscan::resolver_hijackable(r),
-                vulnscan::resolver_saddns_vulnerable(r),
-                vulnscan::resolver_frag_vulnerable(r),
-            );
-        }
+        counts.merge(run_campaign(&ResolverOverlap(&spec), spec.sample_size(cfg.sample_cap), cfg).0);
     }
     counts
 }
 
 /// Figure 5b: overlap over all domain datasets.
 pub fn figure5_domain_overlap(seed: u64, sample_cap: u64) -> VennCounts {
+    figure5_domain_overlap_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Figure 5b on the sharded engine.
+pub fn figure5_domain_overlap_with(cfg: &CampaignConfig) -> VennCounts {
     let mut counts = VennCounts::default();
     for spec in population::table4_datasets() {
-        let pop: Vec<DomainProfile> = population::generate_domains(&spec, sample_cap, seed);
-        for d in &pop {
-            counts.add(
-                vulnscan::domain_hijackable(d),
-                vulnscan::domain_saddns_vulnerable(d),
-                vulnscan::domain_frag_any_vulnerable(d),
-            );
-        }
+        counts.merge(run_campaign(&DomainOverlap(&spec), spec.sample_size(cfg.sample_cap), cfg).0);
     }
     counts
 }
@@ -249,5 +473,36 @@ mod tests {
         let v = figure5_resolver_overlap(11, 1_000);
         let s = render_venn("Figure 5a", &v);
         assert!(s.contains("All three"));
+    }
+
+    #[test]
+    fn histogram_scans_match_materialised_populations() {
+        // The tally-based CDFs must equal the CDFs computed from the full
+        // generated population (same streams, same shards).
+        let cfg = CampaignConfig::new(11, 6_000);
+        let specs = population::table3_datasets();
+        let pop = population::generate_resolvers_with(&specs[7], &cfg);
+        let thresholds: Vec<u32> = (11..=24).collect();
+        let from_pop = Cdf::at_thresholds(
+            "Resolvers: Open resolver",
+            &pop.iter().map(|r| u32::from(r.announced_prefix_len)).collect::<Vec<_>>(),
+            &thresholds,
+        );
+        let from_scan = Cdf::from_histogram(
+            "Resolvers: Open resolver",
+            &scan_resolvers(&specs[7], ResolverMetric::PrefixLen, &cfg),
+            &thresholds,
+        );
+        assert_eq!(from_pop, from_scan);
+    }
+
+    #[test]
+    fn figures_are_worker_invariant() {
+        let base = CampaignConfig::new(11, 5_000);
+        let par = base.clone().with_workers(4);
+        assert_eq!(figure3_prefix_distributions_with(&base), figure3_prefix_distributions_with(&par));
+        assert_eq!(figure4_edns_vs_fragment_with(&base), figure4_edns_vs_fragment_with(&par));
+        assert_eq!(figure5_resolver_overlap_with(&base), figure5_resolver_overlap_with(&par));
+        assert_eq!(figure5_domain_overlap_with(&base), figure5_domain_overlap_with(&par));
     }
 }

@@ -5,6 +5,10 @@
 //! (`attacks`) and the application models (`apps`) into reproducible
 //! experiments:
 //!
+//! * [`campaign`] — the sharded parallel campaign engine: deterministic
+//!   shard partitioning, per-shard `(seed, shard_id)`-derived RNG streams, a
+//!   `std::thread` + `mpsc` worker pool and order-independent tally merging
+//!   (results are invariant under the worker count);
 //! * [`population`] — synthetic Internet populations calibrated to the
 //!   paper's measured marginals (the substitution for Censys / ad-network /
 //!   Alexa datasets, documented in `DESIGN.md`);
@@ -27,6 +31,7 @@
 
 pub mod analysis;
 pub mod anycache;
+pub mod campaign;
 pub mod countermeasures;
 pub mod crosslayer;
 pub mod figures;
@@ -38,24 +43,33 @@ pub mod vulnscan;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::analysis::{render_table6, run_table6, saddns_effectiveness, ComparisonReport, MethodComparison};
+    pub use crate::analysis::{
+        render_table6, run_table6, run_table6_from, run_table6_with, saddns_effectiveness, ComparisonReport,
+        MethodComparison,
+    };
     pub use crate::anycache::{render_table5, run_table5, AnyCachingResult};
+    pub use crate::campaign::{
+        available_workers, generate_population, run_campaign, run_shards, shard_count, shard_range, shard_ranges,
+        shard_rng, Campaign, CampaignConfig, Histogram, Tally, SHARD_SIZE,
+    };
     pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
     pub use crate::crosslayer::{
         password_recovery_scenario, rpki_downgrade_scenario, spf_downgrade_scenario, AccountTakeoverOutcome,
         RpkiDowngradeOutcome, SpfDowngradeOutcome,
     };
     pub use crate::figures::{
-        figure3_prefix_distributions, figure4_edns_vs_fragment, figure5_domain_overlap, figure5_resolver_overlap,
-        render_cdfs, render_venn, Cdf, VennCounts,
+        figure3_prefix_distributions, figure3_prefix_distributions_with, figure4_edns_vs_fragment,
+        figure4_edns_vs_fragment_with, figure5_domain_overlap, figure5_domain_overlap_with, figure5_resolver_overlap,
+        figure5_resolver_overlap_with, render_cdfs, render_venn, Cdf, VennCounts,
     };
     pub use crate::measurements::{
-        render_table3, render_table4, run_table3, run_table4, DomainDatasetResult, ResolverDatasetResult,
-        DEFAULT_SAMPLE_CAP,
+        classify_dataset, render_table3, render_table4, run_table3, run_table3_with, run_table4, run_table4_with,
+        DatasetCampaign, DomainCampaign, DomainClassCounts, DomainDatasetResult, ResolverCampaign, ResolverClassCounts,
+        ResolverDatasetResult, DEFAULT_SAMPLE_CAP,
     };
     pub use crate::population::{
-        generate_domains, generate_resolvers, table3_datasets, table4_datasets, DatasetSpec, DomainProfile,
-        ResolverProfile,
+        draw_domain, draw_resolver, generate_domains, generate_domains_with, generate_resolvers,
+        generate_resolvers_with, table3_datasets, table4_datasets, DatasetSpec, DomainProfile, ResolverProfile,
     };
     pub use crate::report::{pct, TextTable};
     pub use crate::taxonomy::{render_table1, render_table2};

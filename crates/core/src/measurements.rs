@@ -1,14 +1,20 @@
 //! The Internet-measurement campaigns: vulnerable resolvers (Table 3) and
-//! vulnerable domains (Table 4).
+//! vulnerable domains (Table 4), running on the sharded campaign engine
+//! ([`crate::campaign`]).
 //!
 //! Each campaign generates the synthetic population for every dataset (see
 //! [`crate::population`]), classifies every element with the vulnerability
 //! scanners and reports the per-dataset percentages — the same aggregation
-//! the paper performs over its live measurements.
+//! the paper performs over its live measurements. Classification happens
+//! shard-locally into mergeable class counters, so the campaigns scale
+//! across worker threads while staying byte-identical to the sequential
+//! reference run.
 
+use crate::campaign::{self, Campaign, CampaignConfig, Tally};
 use crate::population::{self, DatasetSpec, DomainProfile, ResolverProfile};
 use crate::report::{pct, TextTable};
 use crate::vulnscan;
+use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
 
 /// One row of the Table 3 reproduction.
@@ -57,50 +63,212 @@ pub struct DomainDatasetResult {
 /// retaining tight confidence intervals).
 pub const DEFAULT_SAMPLE_CAP: u64 = 20_000;
 
-fn fraction<T>(pop: &[T], pred: impl Fn(&T) -> bool) -> f64 {
-    if pop.is_empty() {
-        return 0.0;
+/// Per-shard classification counts of one resolver dataset — the mergeable
+/// tally behind Table 3.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolverClassCounts {
+    /// Elements observed.
+    pub n: u64,
+    /// Elements vulnerable to BGP sub-prefix hijack.
+    pub hijack: u64,
+    /// Elements vulnerable to SadDNS.
+    pub saddns: u64,
+    /// Elements accepting fragmented responses.
+    pub frag: u64,
+}
+
+impl Tally for ResolverClassCounts {
+    type Profile = ResolverProfile;
+
+    fn observe(&mut self, r: &ResolverProfile) {
+        self.n += 1;
+        self.hijack += u64::from(vulnscan::resolver_hijackable(r));
+        self.saddns += u64::from(vulnscan::resolver_saddns_vulnerable(r));
+        self.frag += u64::from(vulnscan::resolver_frag_vulnerable(r));
     }
-    pop.iter().filter(|x| pred(x)).count() as f64 / pop.len() as f64
+
+    fn merge(&mut self, o: Self) {
+        self.n += o.n;
+        self.hijack += o.hijack;
+        self.saddns += o.saddns;
+        self.frag += o.frag;
+    }
+}
+
+/// Per-shard classification counts of one domain dataset — the mergeable
+/// tally behind Table 4.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainClassCounts {
+    /// Elements observed.
+    pub n: u64,
+    /// Elements vulnerable to BGP sub-prefix hijack.
+    pub hijack: u64,
+    /// Elements with mutable (rate-limiting) nameservers.
+    pub saddns: u64,
+    /// Elements fragmenting on ANY-style queries.
+    pub frag_any: u64,
+    /// Elements fragmenting with a global IPID counter.
+    pub frag_global: u64,
+    /// DNSSEC-signed elements.
+    pub dnssec: u64,
+}
+
+impl Tally for DomainClassCounts {
+    type Profile = DomainProfile;
+
+    fn observe(&mut self, d: &DomainProfile) {
+        self.n += 1;
+        self.hijack += u64::from(vulnscan::domain_hijackable(d));
+        self.saddns += u64::from(vulnscan::domain_saddns_vulnerable(d));
+        self.frag_any += u64::from(vulnscan::domain_frag_any_vulnerable(d));
+        self.frag_global += u64::from(vulnscan::domain_frag_global_vulnerable(d));
+        self.dnssec += u64::from(d.dnssec_signed);
+    }
+
+    fn merge(&mut self, o: Self) {
+        self.n += o.n;
+        self.hijack += o.hijack;
+        self.saddns += o.saddns;
+        self.frag_any += o.frag_any;
+        self.frag_global += o.frag_global;
+        self.dnssec += o.dnssec;
+    }
+}
+
+fn frac(count: u64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        count as f64 / n as f64
+    }
+}
+
+/// The Table 3 classification campaign over one resolver dataset.
+pub struct ResolverCampaign<'a>(pub &'a DatasetSpec);
+
+impl Campaign for ResolverCampaign<'_> {
+    type Profile = ResolverProfile;
+    type Tally = ResolverClassCounts;
+
+    fn salt(&self) -> u64 {
+        self.0.resolver_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> ResolverProfile {
+        population::draw_resolver(self.0, rng)
+    }
+
+    fn new_tally(&self) -> ResolverClassCounts {
+        ResolverClassCounts::default()
+    }
+}
+
+/// The Table 4 classification campaign over one domain dataset.
+pub struct DomainCampaign<'a>(pub &'a DatasetSpec);
+
+impl Campaign for DomainCampaign<'_> {
+    type Profile = DomainProfile;
+    type Tally = DomainClassCounts;
+
+    fn salt(&self) -> u64 {
+        self.0.domain_stream_salt()
+    }
+
+    fn draw(&self, rng: &mut ChaCha20Rng) -> DomainProfile {
+        population::draw_domain(self.0, rng)
+    }
+
+    fn new_tally(&self) -> DomainClassCounts {
+        DomainClassCounts::default()
+    }
+}
+
+/// A campaign bound to one dataset. The population size is derived from the
+/// campaign's **own** spec, so the profiles drawn and the sample size
+/// counted can never refer to different datasets.
+pub trait DatasetCampaign: Campaign {
+    /// The dataset this campaign runs over.
+    fn spec(&self) -> &DatasetSpec;
+}
+
+impl DatasetCampaign for ResolverCampaign<'_> {
+    fn spec(&self) -> &DatasetSpec {
+        self.0
+    }
+}
+
+impl DatasetCampaign for DomainCampaign<'_> {
+    fn spec(&self) -> &DatasetSpec {
+        self.0
+    }
+}
+
+/// Runs one dataset's classification campaign on the sharded engine — the
+/// single generic loop both Table 3 and Table 4 (and every future dataset
+/// kind) flow through.
+pub fn classify_dataset<C: DatasetCampaign>(campaign: &C, cfg: &CampaignConfig) -> C::Tally {
+    campaign::run_campaign(campaign, campaign.spec().sample_size(cfg.sample_cap), cfg)
 }
 
 /// Runs the Table 3 campaign over all nine resolver datasets.
 pub fn run_table3(seed: u64, sample_cap: u64) -> Vec<ResolverDatasetResult> {
-    population::table3_datasets().iter().map(|spec| classify_resolver_dataset(spec, seed, sample_cap)).collect()
+    run_table3_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Runs the Table 3 campaign on the sharded engine. Results are a function
+/// of `cfg.seed` / `cfg.sample_cap` only — `cfg.workers` changes wall-clock
+/// time, never a single table cell.
+pub fn run_table3_with(cfg: &CampaignConfig) -> Vec<ResolverDatasetResult> {
+    population::table3_datasets().iter().map(|spec| classify_resolver_dataset_with(spec, cfg)).collect()
 }
 
 /// Classifies one resolver dataset.
 pub fn classify_resolver_dataset(spec: &DatasetSpec, seed: u64, sample_cap: u64) -> ResolverDatasetResult {
-    let pop: Vec<ResolverProfile> = population::generate_resolvers(spec, sample_cap, seed);
+    classify_resolver_dataset_with(spec, &CampaignConfig::new(seed, sample_cap))
+}
+
+/// Classifies one resolver dataset on the sharded engine.
+pub fn classify_resolver_dataset_with(spec: &DatasetSpec, cfg: &CampaignConfig) -> ResolverDatasetResult {
+    let counts = classify_dataset(&ResolverCampaign(spec), cfg);
     ResolverDatasetResult {
         dataset: spec.name.to_string(),
         protocols: spec.protocols.to_string(),
-        hijack: fraction(&pop, vulnscan::resolver_hijackable),
-        saddns: fraction(&pop, vulnscan::resolver_saddns_vulnerable),
-        frag: fraction(&pop, vulnscan::resolver_frag_vulnerable),
+        hijack: frac(counts.hijack, counts.n),
+        saddns: frac(counts.saddns, counts.n),
+        frag: frac(counts.frag, counts.n),
         reported_size: spec.reported_size,
-        sample_size: pop.len(),
+        sample_size: counts.n as usize,
     }
 }
 
 /// Runs the Table 4 campaign over all ten domain datasets.
 pub fn run_table4(seed: u64, sample_cap: u64) -> Vec<DomainDatasetResult> {
-    population::table4_datasets().iter().map(|spec| classify_domain_dataset(spec, seed, sample_cap)).collect()
+    run_table4_with(&CampaignConfig::new(seed, sample_cap))
+}
+
+/// Runs the Table 4 campaign on the sharded engine.
+pub fn run_table4_with(cfg: &CampaignConfig) -> Vec<DomainDatasetResult> {
+    population::table4_datasets().iter().map(|spec| classify_domain_dataset_with(spec, cfg)).collect()
 }
 
 /// Classifies one domain dataset.
 pub fn classify_domain_dataset(spec: &DatasetSpec, seed: u64, sample_cap: u64) -> DomainDatasetResult {
-    let pop: Vec<DomainProfile> = population::generate_domains(spec, sample_cap, seed);
+    classify_domain_dataset_with(spec, &CampaignConfig::new(seed, sample_cap))
+}
+
+/// Classifies one domain dataset on the sharded engine.
+pub fn classify_domain_dataset_with(spec: &DatasetSpec, cfg: &CampaignConfig) -> DomainDatasetResult {
+    let counts = classify_dataset(&DomainCampaign(spec), cfg);
     DomainDatasetResult {
         dataset: spec.name.to_string(),
         protocols: spec.protocols.to_string(),
-        hijack: fraction(&pop, vulnscan::domain_hijackable),
-        saddns: fraction(&pop, vulnscan::domain_saddns_vulnerable),
-        frag_any: fraction(&pop, vulnscan::domain_frag_any_vulnerable),
-        frag_global: fraction(&pop, vulnscan::domain_frag_global_vulnerable),
-        dnssec: fraction(&pop, |d| d.dnssec_signed),
+        hijack: frac(counts.hijack, counts.n),
+        saddns: frac(counts.saddns, counts.n),
+        frag_any: frac(counts.frag_any, counts.n),
+        frag_global: frac(counts.frag_global, counts.n),
+        dnssec: frac(counts.dnssec, counts.n),
         reported_size: spec.reported_size,
-        sample_size: pop.len(),
+        sample_size: counts.n as usize,
     }
 }
 
@@ -200,5 +368,29 @@ mod tests {
     fn deterministic_for_seed() {
         assert_eq!(run_table3(7, 2_000), run_table3(7, 2_000));
         assert_ne!(run_table3(7, 2_000), run_table3(8, 2_000));
+    }
+
+    #[test]
+    fn class_counts_match_generated_population() {
+        // The tally-based campaign must count exactly what classifying the
+        // materialised population counts — same streams, same shards.
+        let spec = &population::table3_datasets()[7];
+        let cfg = CampaignConfig::new(5, 9_000);
+        let pop = population::generate_resolvers_with(spec, &cfg);
+        let counts = classify_dataset(&ResolverCampaign(spec), &cfg);
+        assert_eq!(counts.n as usize, pop.len());
+        assert_eq!(counts.hijack, pop.iter().filter(|r| vulnscan::resolver_hijackable(r)).count() as u64);
+        assert_eq!(counts.saddns, pop.iter().filter(|r| vulnscan::resolver_saddns_vulnerable(r)).count() as u64);
+        assert_eq!(counts.frag, pop.iter().filter(|r| vulnscan::resolver_frag_vulnerable(r)).count() as u64);
+    }
+
+    #[test]
+    fn worker_count_never_changes_a_cell() {
+        let reference = run_table3_with(&CampaignConfig::new(11, 6_000));
+        for workers in [2usize, 4, 8] {
+            assert_eq!(run_table3_with(&CampaignConfig::new(11, 6_000).with_workers(workers)), reference);
+        }
+        let reference4 = run_table4_with(&CampaignConfig::new(11, 6_000));
+        assert_eq!(run_table4_with(&CampaignConfig::new(11, 6_000).with_workers(3)), reference4);
     }
 }

@@ -12,10 +12,9 @@
 //! and the same profiles drive full packet-level attack simulations for
 //! spot-check samples.
 
+use crate::campaign::{self, CampaignConfig};
 use dns::profiles::ResolverImplementation;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
 
 /// Security-relevant properties of one recursive resolver back-end.
@@ -86,6 +85,17 @@ impl DatasetSpec {
     /// campaigns stay fast; percentages are estimated from the sample.
     pub fn sample_size(&self, cap: u64) -> usize {
         self.reported_size.min(cap).max(1) as usize
+    }
+
+    /// RNG stream salt of this dataset's **resolver** population: separates
+    /// its shard streams from every other dataset under the same seed.
+    pub fn resolver_stream_salt(&self) -> u64 {
+        0x5e501_u64 ^ self.reported_size
+    }
+
+    /// RNG stream salt of this dataset's **domain** population.
+    pub fn domain_stream_salt(&self) -> u64 {
+        0xd0a1_u64 ^ self.reported_size
     }
 }
 
@@ -355,51 +365,80 @@ pub fn draw_min_fragment_size<R: Rng>(rng: &mut R, fragments: bool) -> u16 {
     }
 }
 
-/// Generates the resolver population for a dataset.
-pub fn generate_resolvers(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<ResolverProfile> {
-    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0x5e501_u64 ^ spec.reported_size);
-    let n = spec.sample_size(cap);
+/// Draws one resolver profile from a dataset's calibrated marginals. This is
+/// the single per-element body behind both the sequential and the sharded
+/// generation paths — profile `i` is always the `(i % SHARD_SIZE)`-th draw of
+/// shard `i / SHARD_SIZE`'s stream.
+pub fn draw_resolver<R: Rng>(spec: &DatasetSpec, rng: &mut R) -> ResolverProfile {
     let implementations = ResolverImplementation::all();
-    (0..n)
-        .map(|_| {
-            let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
-            ResolverProfile {
-                announced_prefix_len: draw_prefix_len(&mut rng, hijackable),
-                global_icmp_limit: rng.gen_bool(spec.p_saddns),
-                accepts_fragments: rng.gen_bool(spec.p_frag),
-                edns_size: draw_edns_size(&mut rng),
-                validates_dnssec: rng.gen_bool(spec.p_dnssec),
-                alive: rng.gen_bool(0.97),
-                implementation: implementations[rng.gen_range(0..implementations.len())],
-            }
-        })
-        .collect()
+    let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
+    ResolverProfile {
+        announced_prefix_len: draw_prefix_len(rng, hijackable),
+        global_icmp_limit: rng.gen_bool(spec.p_saddns),
+        accepts_fragments: rng.gen_bool(spec.p_frag),
+        edns_size: draw_edns_size(rng),
+        validates_dnssec: rng.gen_bool(spec.p_dnssec),
+        alive: rng.gen_bool(0.97),
+        implementation: implementations[rng.gen_range(0..implementations.len())],
+    }
 }
 
-/// Generates the domain population for a dataset.
+/// Draws one domain profile from a dataset's calibrated marginals.
+pub fn draw_domain<R: Rng>(spec: &DatasetSpec, rng: &mut R) -> DomainProfile {
+    let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
+    let fragments_any = rng.gen_bool(spec.p_frag);
+    DomainProfile {
+        announced_prefix_len: draw_prefix_len(rng, hijackable),
+        ns_rate_limits: rng.gen_bool(spec.p_saddns),
+        fragments_any,
+        fragments_a_or_mx: fragments_any && rng.gen_bool(0.1),
+        global_ipid: fragments_any && rng.gen_bool(spec.p_global_ipid.min(1.0)),
+        min_fragment_size: draw_min_fragment_size(rng, fragments_any),
+        dnssec_signed: rng.gen_bool(spec.p_dnssec),
+    }
+}
+
+/// Generates the resolver population for a dataset (single-threaded
+/// reference path; identical output to any parallel run).
+pub fn generate_resolvers(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<ResolverProfile> {
+    generate_resolvers_with(spec, &CampaignConfig::new(seed, cap))
+}
+
+/// Generates the resolver population on the sharded campaign engine. The
+/// result depends on `cfg.seed` and `cfg.sample_cap` only, never on
+/// `cfg.workers`.
+pub fn generate_resolvers_with(spec: &DatasetSpec, cfg: &CampaignConfig) -> Vec<ResolverProfile> {
+    campaign::generate_population(
+        spec.sample_size(cfg.sample_cap),
+        cfg.seed,
+        spec.resolver_stream_salt(),
+        cfg.workers,
+        |rng| draw_resolver(spec, rng),
+    )
+}
+
+/// Generates the domain population for a dataset (single-threaded reference
+/// path; identical output to any parallel run).
 pub fn generate_domains(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<DomainProfile> {
-    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0xd0a1_u64 ^ spec.reported_size);
-    let n = spec.sample_size(cap);
-    (0..n)
-        .map(|_| {
-            let hijackable = rng.gen_bool(spec.p_subprefix_hijackable);
-            let fragments_any = rng.gen_bool(spec.p_frag);
-            DomainProfile {
-                announced_prefix_len: draw_prefix_len(&mut rng, hijackable),
-                ns_rate_limits: rng.gen_bool(spec.p_saddns),
-                fragments_any,
-                fragments_a_or_mx: fragments_any && rng.gen_bool(0.1),
-                global_ipid: fragments_any && rng.gen_bool(spec.p_global_ipid.min(1.0)),
-                min_fragment_size: draw_min_fragment_size(&mut rng, fragments_any),
-                dnssec_signed: rng.gen_bool(spec.p_dnssec),
-            }
-        })
-        .collect()
+    generate_domains_with(spec, &CampaignConfig::new(seed, cap))
+}
+
+/// Generates the domain population on the sharded campaign engine.
+pub fn generate_domains_with(spec: &DatasetSpec, cfg: &CampaignConfig) -> Vec<DomainProfile> {
+    campaign::generate_population(
+        spec.sample_size(cfg.sample_cap),
+        cfg.seed,
+        spec.domain_stream_salt(),
+        cfg.workers,
+        |rng| draw_domain(spec, rng),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
 
     #[test]
     fn nine_resolver_and_ten_domain_datasets() {

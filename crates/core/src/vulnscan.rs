@@ -13,7 +13,7 @@
 //!   fragmentation test.
 
 use crate::population::{DomainProfile, ResolverProfile};
-use attacks::prelude::VictimEnvConfig;
+use attacks::prelude::{VictimEnvConfig, CLOSED_PORT_PROBE_BASE, ICMP_PROBE_BATCH};
 use bgp::prelude::subprefix_hijackable;
 use dns::prelude::*;
 use netsim::prefix::Prefix;
@@ -76,10 +76,10 @@ pub fn probe_icmp_global_limit(profile: &ResolverProfile, seed: u64) -> bool {
     let resolver = sim.add_node("resolver", vec![resolver_addr], Resolver::new(cfg));
     let prober = sim.add_node("prober", vec![prober_addr], SinkNode::default());
     sim.connect(resolver, prober, Link::with_latency(Duration::from_millis(2)));
-    // 50 spoofed probes to closed ports, then a verification probe from the
-    // prober's own address; with a global limit the verification probe gets
-    // no ICMP error back.
-    for port in 10_000u16..10_050 {
+    // One ICMP budget's worth of spoofed probes to closed ports, then a
+    // verification probe from the prober's own address; with a global limit
+    // the verification probe gets no ICMP error back.
+    for port in CLOSED_PORT_PROBE_BASE..CLOSED_PORT_PROBE_BASE + ICMP_PROBE_BATCH {
         sim.inject(prober, UdpDatagram::new(spoofed_src, resolver_addr, 53, port, vec![0u8; 8]).into_packet(port, 64));
     }
     sim.inject(prober, UdpDatagram::new(prober_addr, resolver_addr, 4444, 7, vec![0u8; 8]).into_packet(1, 64));

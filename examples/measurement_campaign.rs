@@ -1,46 +1,91 @@
 //! Regenerates every table and figure of the paper's evaluation section in
-//! one run: the Table 1/2 taxonomies, the Table 3/4 vulnerability campaigns,
-//! the Table 5 ANY-caching experiment, the Table 6 comparative analysis, the
-//! Figure 3/4 distributions, the Figure 5 overlaps and the Section 6
-//! countermeasure ablation.
+//! one run on the sharded campaign engine: the Table 1/2 taxonomies, the
+//! Table 3/4 vulnerability campaigns, the Table 5 ANY-caching experiment,
+//! the Table 6 comparative analysis, the Figure 3/4 distributions, the
+//! Figure 5 overlaps and the Section 6 countermeasure ablation.
 //!
 //! ```text
-//! cargo run --release --example measurement_campaign
+//! cargo run --release --example measurement_campaign -- \
+//!     [--seed N] [--cap N] [--workers N] [--saddns-runs N]
 //! ```
+//!
+//! `--workers` fans the campaign shards out across a thread pool; results
+//! are byte-identical for every worker count (the engine's determinism
+//! contract), so the knob only changes wall-clock time.
 
 use cross_layer_attacks::xlayer_core::prelude::*;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    cap: u64,
+    workers: usize,
+    saddns_runs: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 2021, cap: 20_000, workers: available_workers(), saddns_runs: 1 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} requires a value")).parse::<u64>().unwrap_or_else(|e| {
+                panic!("invalid value for {name}: {e}");
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = grab("--seed"),
+            "--cap" => args.cap = grab("--cap"),
+            "--workers" => args.workers = grab("--workers").max(1) as usize,
+            "--saddns-runs" => args.saddns_runs = grab("--saddns-runs").max(1),
+            other => panic!("unknown flag {other} (expected --seed/--cap/--workers/--saddns-runs)"),
+        }
+    }
+    args
+}
 
 fn main() {
-    let seed = 2021;
-    let cap = 20_000;
+    let args = parse_args();
+    let cfg = CampaignConfig::new(args.seed, args.cap).with_workers(args.workers);
+    println!(
+        "campaign engine: seed={} cap={} workers={} (of {} available), shard size {}",
+        cfg.seed,
+        cfg.sample_cap,
+        cfg.workers,
+        available_workers(),
+        SHARD_SIZE
+    );
+    let started = Instant::now();
 
     println!("{}", render_table1());
     println!("{}", render_table2());
 
-    let t3 = run_table3(seed, cap);
+    let t3 = run_table3_with(&cfg);
     println!("{}", render_table3(&t3));
 
-    let t4 = run_table4(seed, cap);
+    let t4 = run_table4_with(&cfg);
     println!("{}", render_table4(&t4));
 
-    let t5 = run_table5(seed);
+    let t5 = run_table5(cfg.seed);
     println!("{}", render_table5(&t5));
 
-    let t6 = run_table6(seed, 5_000, 1);
+    // Reuse the Table 3/4 rows computed above instead of re-running both campaigns.
+    let t6 = run_table6_from(&t3, &t4, cfg.seed, args.saddns_runs);
     println!("{}", render_table6(&t6));
 
-    let fig3 = figure3_prefix_distributions(seed, cap);
+    let fig3 = figure3_prefix_distributions_with(&cfg);
     println!("{}", render_cdfs("Figure 3 — announced prefix lengths (CDF)", &fig3));
 
-    let (edns, frag) = figure4_edns_vs_fragment(seed, cap);
+    let (edns, frag) = figure4_edns_vs_fragment_with(&cfg);
     println!(
         "{}",
         render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag])
     );
 
-    println!("{}", render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap(seed, 5_000)));
-    println!("{}", render_venn("Figure 5b — vulnerable domains (overlap)", &figure5_domain_overlap(seed, 5_000)));
+    println!("{}", render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap_with(&cfg)));
+    println!("{}", render_venn("Figure 5b — vulnerable domains (overlap)", &figure5_domain_overlap_with(&cfg)));
 
-    let ablation = run_ablation(&Defence::all(), seed);
+    let ablation = run_ablation(&Defence::all(), cfg.seed);
     println!("{}", render_ablation(&ablation));
+
+    println!("campaign complete in {:.2?} (workers={})", started.elapsed(), cfg.workers);
 }

@@ -104,6 +104,29 @@ macro_rules! impl_range_strategies {
 
 impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
+/// Tuples of strategies generate tuples of values, as in upstream proptest.
+macro_rules! impl_tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
 /// String literals act as regex strategies, as in upstream proptest.
 impl Strategy for &str {
     type Value = String;
@@ -431,6 +454,16 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
             stringify!($left),
             stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
             left,
             right
         );

@@ -8,6 +8,7 @@
 use cross_layer_attacks::attacks::prelude::*;
 use cross_layer_attacks::dns::prelude::*;
 use cross_layer_attacks::netsim::prelude::*;
+use cross_layer_attacks::xlayer_core::prelude::*;
 
 /// The standard victim environment of `VictimEnvConfig::default()`, pinned
 /// to a seed.
@@ -84,6 +85,82 @@ fn environment_build_is_deterministic() {
     assert_eq!(env_a.nameserver_addr, env_b.nameserver_addr);
     assert_eq!(env_a.attacker_addr, env_b.attacker_addr);
     assert_eq!(sim_a.now(), sim_b.now());
+}
+
+/// Campaign configs for the thread-count-invariance cases: same seed and
+/// cap, swept over worker counts. The cap spans multiple shards so the
+/// sweep actually exercises cross-shard merging.
+fn campaign_cfgs() -> Vec<CampaignConfig> {
+    [1usize, 2, 8].iter().map(|&w| CampaignConfig::new(2021, 3 * SHARD_SIZE as u64 + 500).with_workers(w)).collect()
+}
+
+#[test]
+fn table3_is_thread_count_invariant() {
+    let cfgs = campaign_cfgs();
+    let reference = run_table3_with(&cfgs[0]);
+    for cfg in &cfgs[1..] {
+        assert_eq!(run_table3_with(cfg), reference, "workers={} changed Table 3", cfg.workers);
+    }
+    // The rendered artifact is byte-identical too, not merely approximately equal.
+    assert_eq!(render_table3(&run_table3_with(&cfgs[2])), render_table3(&reference));
+}
+
+#[test]
+fn table4_is_thread_count_invariant() {
+    let cfgs = campaign_cfgs();
+    let reference = run_table4_with(&cfgs[0]);
+    for cfg in &cfgs[1..] {
+        assert_eq!(run_table4_with(cfg), reference, "workers={} changed Table 4", cfg.workers);
+    }
+    assert_eq!(render_table4(&run_table4_with(&cfgs[2])), render_table4(&reference));
+}
+
+#[test]
+fn figure3_is_thread_count_invariant() {
+    let cfgs = campaign_cfgs();
+    let reference = figure3_prefix_distributions_with(&cfgs[0]);
+    for cfg in &cfgs[1..] {
+        assert_eq!(figure3_prefix_distributions_with(cfg), reference, "workers={} changed Figure 3", cfg.workers);
+    }
+}
+
+#[test]
+fn figure4_is_thread_count_invariant() {
+    let cfgs = campaign_cfgs();
+    let reference = figure4_edns_vs_fragment_with(&cfgs[0]);
+    for cfg in &cfgs[1..] {
+        assert_eq!(figure4_edns_vs_fragment_with(cfg), reference, "workers={} changed Figure 4", cfg.workers);
+    }
+}
+
+#[test]
+fn figure5_and_table6_are_thread_count_invariant() {
+    let cfgs = campaign_cfgs();
+    let small: Vec<CampaignConfig> =
+        cfgs.iter().map(|c| CampaignConfig::new(c.seed, 2_000).with_workers(c.workers)).collect();
+    let venn_ref = (figure5_resolver_overlap_with(&small[0]), figure5_domain_overlap_with(&small[0]));
+    let t6_ref = run_table6_with(&small[0], 1);
+    for cfg in &small[1..] {
+        assert_eq!(figure5_resolver_overlap_with(cfg), venn_ref.0, "workers={} changed Figure 5a", cfg.workers);
+        assert_eq!(figure5_domain_overlap_with(cfg), venn_ref.1, "workers={} changed Figure 5b", cfg.workers);
+        assert_eq!(run_table6_with(cfg, 1), t6_ref, "workers={} changed Table 6", cfg.workers);
+    }
+}
+
+#[test]
+fn generated_populations_are_thread_count_invariant() {
+    // Profile-level identity, not just tally-level: element i is the same
+    // struct at any worker count.
+    let specs = table3_datasets();
+    let dspecs = table4_datasets();
+    let base = CampaignConfig::new(7, SHARD_SIZE as u64 + 123);
+    let resolvers = generate_resolvers_with(&specs[7], &base);
+    let domains = generate_domains_with(&dspecs[1], &base);
+    for workers in [2usize, 8] {
+        let cfg = base.clone().with_workers(workers);
+        assert_eq!(generate_resolvers_with(&specs[7], &cfg), resolvers);
+        assert_eq!(generate_domains_with(&dspecs[1], &cfg), domains);
+    }
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Golden-snapshot coverage for every rendered artifact of the evaluation:
+//! Tables 1–6 and the Figure 3/4 CDFs are rendered and compared byte-for-
+//! byte against committed fixtures under `tests/golden/`. Any refactor that
+//! silently changes a paper number — a reordered RNG draw, a sharding
+//! change, a float-formatting tweak — fails here instead of shipping.
+//!
+//! Regenerate the fixtures intentionally with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden
+//! ```
+//!
+//! The artifacts are rendered through the sharded campaign engine at
+//! `workers = 3`, while the fixtures were blessed from a sequential run —
+//! so this suite doubles as an end-to-end lock on thread-count invariance.
+
+use cross_layer_attacks::xlayer_core::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Seed and cap the fixtures were blessed with. Changing either requires
+/// re-blessing (and reviewing the diff!).
+const GOLDEN_SEED: u64 = 2021;
+const GOLDEN_CAP: u64 = 5_000;
+
+fn blessing() -> bool {
+    std::env::var_os("BLESS").is_some_and(|v| v == "1")
+}
+
+/// Blessing renders on the **sequential** reference path (`workers = 1`);
+/// checking renders at `workers = 3`. A parallel-path bug that is merely
+/// self-consistent therefore cannot bless itself into the fixtures — the
+/// cross-lock on thread-count invariance is real, not assumed.
+fn golden_workers() -> usize {
+    if blessing() {
+        1
+    } else {
+        3
+    }
+}
+
+fn golden_cfg() -> CampaignConfig {
+    CampaignConfig::new(GOLDEN_SEED, GOLDEN_CAP).with_workers(golden_workers())
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+/// Compares `rendered` against the committed fixture, or rewrites the
+/// fixture when `BLESS=1` is set.
+fn check(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if blessing() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create tests/golden");
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("blessing {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run `BLESS=1 cargo test --test golden` and commit it", path.display())
+    });
+    if rendered != expected {
+        let mut msg = format!("rendered {name} diverges from tests/golden/{name}.txt\n");
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            if got != want {
+                let _ = writeln!(msg, "first differing line {}:\n  expected: {want}\n  rendered: {got}", i + 1);
+                break;
+            }
+        }
+        let _ = writeln!(
+            msg,
+            "(line counts: rendered {}, expected {})",
+            rendered.lines().count(),
+            expected.lines().count()
+        );
+        let _ = writeln!(msg, "if the change is intentional, re-bless with BLESS=1 and review the diff");
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn golden_table1_taxonomy() {
+    check("table1", &render_table1());
+}
+
+#[test]
+fn golden_table2_middleboxes() {
+    check("table2", &render_table2());
+}
+
+#[test]
+fn golden_table3_resolvers() {
+    check("table3", &render_table3(&run_table3_with(&golden_cfg())));
+}
+
+#[test]
+fn golden_table4_domains() {
+    check("table4", &render_table4(&run_table4_with(&golden_cfg())));
+}
+
+#[test]
+fn golden_table5_any_caching() {
+    check("table5", &render_table5(&run_table5(GOLDEN_SEED)));
+}
+
+#[test]
+fn golden_table6_comparison() {
+    let cfg = CampaignConfig::new(GOLDEN_SEED, 2_000).with_workers(golden_workers());
+    check("table6", &render_table6(&run_table6_with(&cfg, 1)));
+}
+
+#[test]
+fn golden_figure3_prefix_cdfs() {
+    let cdfs = figure3_prefix_distributions_with(&golden_cfg());
+    check("figure3", &render_cdfs("Figure 3 — announced prefix lengths (CDF)", &cdfs));
+}
+
+#[test]
+fn golden_figure4_edns_vs_fragment_cdfs() {
+    let (edns, frag) = figure4_edns_vs_fragment_with(&golden_cfg());
+    check(
+        "figure4",
+        &render_cdfs("Figure 4 — resolver EDNS size vs nameserver minimum fragment size (CDF)", &[edns, frag]),
+    );
+}
+
+#[test]
+fn golden_figure5_overlaps() {
+    let cfg = golden_cfg();
+    let mut both = render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap_with(&cfg));
+    both.push('\n');
+    both.push_str(&render_venn("Figure 5b — vulnerable domains (overlap)", &figure5_domain_overlap_with(&cfg)));
+    check("figure5", &both);
+}
