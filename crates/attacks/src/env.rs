@@ -42,6 +42,9 @@ pub struct VictimEnv {
     pub target_name: DomainName,
     /// EDNS buffer size the resolver advertises (relevant to FragDNS).
     pub resolver_edns_size: u16,
+    /// Whether route-origin validation filters hijacked announcements on the
+    /// relevant paths (copied from [`VictimEnvConfig::rov_enforced`]).
+    pub rov_enforced: bool,
 }
 
 /// Tunable properties of the standard environment.
@@ -59,6 +62,11 @@ pub struct VictimEnvConfig {
     pub attacker_latency: Duration,
     /// Whether the target zone is DNSSEC signed.
     pub zone_signed: bool,
+    /// Whether route-origin validation is enforced on the paths that matter:
+    /// hijacked announcements are filtered in the control plane, so
+    /// interception-based vectors fail their precondition. Set by the
+    /// `RouteOriginValidation` defence.
+    pub rov_enforced: bool,
 }
 
 /// Well-known addresses of the standard environment (mirroring Figure 1/2).
@@ -85,6 +93,7 @@ impl Default for VictimEnvConfig {
             resolver_ns_latency: Duration::from_millis(20),
             attacker_latency: Duration::from_millis(5),
             zone_signed: false,
+            rov_enforced: false,
         }
     }
 }
@@ -160,6 +169,7 @@ impl VictimEnvConfig {
             client_addr: addrs::CLIENT,
             target_name: "vict.im".parse().expect("valid name"),
             resolver_edns_size,
+            rov_enforced: self.rov_enforced,
         };
         (sim, env)
     }

@@ -31,11 +31,25 @@ pub enum HijackKind {
     },
 }
 
+/// What the attacker answers with once it has intercepted the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HijackForgery {
+    /// Plant an A record mapping the queried name to the malicious address —
+    /// the classic redirection poisoning.
+    PlantRecord,
+    /// Answer with an empty authoritative NOERROR response, erasing the
+    /// record the application depends on (e.g. the SPF/DMARC TXT policy, so
+    /// the receiving mail server downgrades to "accept on none").
+    EmptyAnswer,
+}
+
 /// Configuration for one HijackDNS attack run.
 #[derive(Debug, Clone)]
 pub struct HijackDnsConfig {
     /// The address to plant for the target name.
     pub malicious_addr: Ipv4Addr,
+    /// What the spoofed response carries.
+    pub forgery: HijackForgery,
     /// Hijack flavour.
     pub kind: HijackKind,
     /// Whether route-origin validation at the relevant ASes filters the
@@ -58,6 +72,7 @@ impl HijackDnsConfig {
     pub fn new(malicious_addr: Ipv4Addr) -> Self {
         HijackDnsConfig {
             malicious_addr,
+            forgery: HijackForgery::PlantRecord,
             kind: HijackKind::SubPrefix,
             rov_blocks: false,
             trigger: QueryTrigger::OpenResolver,
@@ -106,7 +121,7 @@ impl HijackDnsAttack {
                 }
             }
         }
-        if cfg.rov_blocks {
+        if cfg.rov_blocks || env.rov_enforced {
             return report.fail(FailureReason::PreconditionNotMet(
                 "route origin validation filters the hijacked announcement".into(),
             ));
@@ -152,12 +167,20 @@ impl HijackDnsAttack {
             .push(format!("intercepted query txid={:#06x} from port {}", query_msg.header.id, query_dgram.src_port));
 
         // Craft the spoofed response: echo TXID, exact question (0x20-safe)
-        // and ports; answer with the malicious address. The hijacker cannot
-        // produce valid DNSSEC signatures, so the response is unsigned.
+        // and ports; answer with the malicious address (or nothing at all for
+        // an erasure forgery). The hijacker cannot produce valid DNSSEC
+        // signatures, so the response is unsigned.
+        let accepted_before = env.resolver(sim).stats.responses_accepted;
         let mut response = Message::response_for(&query_msg);
         response.header.authoritative = true;
         let echoed_question = query_msg.question().cloned().expect("query has a question");
-        response.answers.push(ResourceRecord::new(echoed_question.name.clone(), 3600, RData::A(cfg.malicious_addr)));
+        if cfg.forgery == HijackForgery::PlantRecord {
+            response.answers.push(ResourceRecord::new(
+                echoed_question.name.clone(),
+                3600,
+                RData::A(cfg.malicious_addr),
+            ));
+        }
         let spoofed =
             UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, query_dgram.src_port, response.encode())
                 .into_packet(0x6666, 64);
@@ -171,7 +194,21 @@ impl HijackDnsAttack {
 
         report.duration = sim.now().duration_since(start);
         report.record_traffic(&traffic_before, sim.stats(env.attacker));
-        report.success = env.poisoned(sim, &echoed_question.name, cfg.malicious_addr);
+        report.success = match cfg.forgery {
+            HijackForgery::PlantRecord => env.poisoned(sim, &echoed_question.name, cfg.malicious_addr),
+            // An erasure forgery leaves nothing to look up; it worked iff the
+            // resolver accepted the empty response as the answer AND the
+            // genuine records did not land anyway (a retry reaching the real
+            // nameserver after the hijack is withdrawn must not count).
+            HijackForgery::EmptyAnswer => {
+                let resolver = env.resolver(sim);
+                let record_landed = resolver
+                    .cache()
+                    .peek(&echoed_question.name, echoed_question.qtype, sim.now())
+                    .is_some_and(|e| !e.records.is_empty());
+                resolver.stats.responses_accepted > accepted_before && !record_landed
+            }
+        };
         if !report.success {
             let resolver = env.resolver(sim);
             let reason = if resolver.stats.rejected_dnssec > 0 {
@@ -267,6 +304,39 @@ mod tests {
         assert!(!report.success);
         assert!(matches!(report.failure, Some(FailureReason::RejectedByResolver(_))));
         assert_eq!(env.resolver(&sim).stats.rejected_dnssec, 1);
+    }
+
+    #[test]
+    fn empty_answer_forgery_erases_the_record() {
+        let (mut sim, env) = VictimEnvConfig::default().build();
+        let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
+        cfg.forgery = HijackForgery::EmptyAnswer;
+        let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
+        assert!(report.success, "the resolver accepted the empty answer: {:?}", report);
+        // Nothing poisoned, nothing cached: the record is simply gone.
+        assert!(!env.poisoned(&sim, &target(), addrs::ATTACKER));
+        assert!(env.resolver(&sim).cache().cached_a(&target(), sim.now()).is_none());
+    }
+
+    #[test]
+    fn empty_answer_forgery_is_rejected_by_a_validating_resolver() {
+        // RFC 4035: an empty answer from a signed zone needs authenticated
+        // denial of existence, which an off-path forger cannot produce — so
+        // DNSSEC stops erasure forgeries just like record injection.
+        let env_cfg = VictimEnvConfig {
+            zone_signed: true,
+            resolver: ResolverConfig::new(addrs::RESOLVER)
+                .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
+                .with_dnssec_validation(),
+            ..Default::default()
+        };
+        let (mut sim, env) = env_cfg.build();
+        let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
+        cfg.forgery = HijackForgery::EmptyAnswer;
+        let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::RejectedByResolver(_))));
+        assert!(env.resolver(&sim).stats.rejected_dnssec >= 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod fragdns;
 pub mod hijackdns;
 pub mod outcome;
 pub mod saddns;
+pub mod vectors;
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -41,9 +42,10 @@ pub mod prelude {
     pub use crate::craft::{craft_malicious_tail, fragment_layout, record_spans, CraftedTail, RecordSpan};
     pub use crate::env::{addrs, QueryTrigger, VictimEnv, VictimEnvConfig};
     pub use crate::fragdns::{FragDnsAttack, FragDnsConfig};
-    pub use crate::hijackdns::{HijackDnsAttack, HijackDnsConfig, HijackKind};
+    pub use crate::hijackdns::{HijackDnsAttack, HijackDnsConfig, HijackForgery, HijackKind};
     pub use crate::outcome::{AttackAggregate, AttackReport, FailureReason, PoisonMethod, Stealth};
     pub use crate::saddns::{SadDnsAttack, SadDnsConfig, CLOSED_PORT_PROBE_BASE, ICMP_PROBE_BATCH};
+    pub use crate::vectors::{self, AttackVector};
 }
 
 pub use prelude::*;

@@ -175,6 +175,19 @@ impl AttackAggregate {
         self.total_queries += report.queries_triggered;
     }
 
+    /// Merges another aggregate into this one. Pure addition, so the merge
+    /// is commutative and associative — aggregates folded per shard by the
+    /// campaign engine reduce to the same totals in any completion order.
+    pub fn merge(&mut self, other: AttackAggregate) {
+        self.runs += other.runs;
+        self.successes += other.successes;
+        self.total_duration += other.total_duration;
+        self.total_iterations += other.total_iterations;
+        self.total_packets += other.total_packets;
+        self.total_bytes += other.total_bytes;
+        self.total_queries += other.total_queries;
+    }
+
     /// Success rate over runs.
     pub fn success_rate(&self) -> f64 {
         if self.runs == 0 {

@@ -95,15 +95,28 @@ fn mix64(mut z: u64) -> u64 {
 /// Because the derivation never involves worker identity or scheduling, the
 /// classification of profile `i` is a pure function of the seed.
 pub fn shard_rng(seed: u64, salt: u64, shard_id: u64) -> ChaCha20Rng {
-    let mut state = mix64(seed ^ 0x243f_6a88_85a3_08d3);
-    state = mix64(state ^ salt);
-    state = mix64(state ^ shard_id);
+    let mut state = mix64(stream_state(seed, salt) ^ shard_id);
     let mut key = [0u8; 32];
     for chunk in key.chunks_exact_mut(8) {
         state = mix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15));
         chunk.copy_from_slice(&state.to_le_bytes());
     }
     ChaCha20Rng::from_seed(key)
+}
+
+/// The shared `(seed, salt)` derivation prefix of [`shard_rng`] and
+/// [`derive_seed`] — one definition, so the two sibling derivations can
+/// never diverge.
+fn stream_state(seed: u64, salt: u64) -> u64 {
+    mix64(mix64(seed ^ 0x243f_6a88_85a3_08d3) ^ salt)
+}
+
+/// Derives a per-element `u64` seed purely from `(seed, salt, index)` — the
+/// scalar sibling of [`shard_rng`], for campaigns whose elements are whole
+/// simulations seeded by one integer (e.g. one attack run per grid cell)
+/// rather than draws from a shard stream.
+pub fn derive_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    mix64(stream_state(seed, salt) ^ index)
 }
 
 /// An order-independent partial result folded per shard and merged across
@@ -192,6 +205,52 @@ pub fn run_campaign<C: Campaign>(campaign: &C, n: usize, cfg: &CampaignConfig) -
         for _ in shard_range(n, shard) {
             let profile = campaign.draw(&mut rng);
             tally.observe(&profile);
+        }
+        tally
+    });
+    let mut acc = campaign.new_tally();
+    for part in parts {
+        acc.merge(part);
+    }
+    acc
+}
+
+/// A campaign over a grid whose element at `index` is a **pure function of
+/// the index** — typically a full attack simulation seeded via
+/// [`derive_seed`] — rather than a cheap draw from a shard stream.
+///
+/// Because elements are orders of magnitude more expensive than the
+/// stream-sampled profiles of [`Campaign`], the work unit is a small block
+/// of [`GridCampaign::block_size`] indices instead of a 4096-element shard;
+/// blocks are fanned out over the same [`run_shards`] pool and the partial
+/// tallies merged with the same order-independent reduction, so the
+/// determinism contract is identical: results are a function of the indices
+/// alone, never of the worker count.
+pub trait GridCampaign: Sync {
+    /// The per-element profile.
+    type Profile;
+    /// The partial result folded per block.
+    type Tally: Tally<Profile = Self::Profile>;
+
+    /// Evaluates the element at `index`. Must be pure in `index`.
+    fn eval(&self, index: usize) -> Self::Profile;
+
+    /// Creates an empty tally for one block.
+    fn new_tally(&self) -> Self::Tally;
+
+    /// Indices per work unit (small, because elements are expensive).
+    fn block_size(&self) -> usize {
+        8
+    }
+}
+
+/// Runs a grid campaign over `n` indices across `workers` threads.
+pub fn run_grid<C: GridCampaign>(campaign: &C, n: usize, workers: usize) -> C::Tally {
+    let block = campaign.block_size().max(1);
+    let parts = run_shards(n.div_ceil(block), workers, |b| {
+        let mut tally = campaign.new_tally();
+        for index in (b * block)..((b + 1) * block).min(n) {
+            tally.observe(&campaign.eval(index));
         }
         tally
     });

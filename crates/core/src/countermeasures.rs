@@ -1,6 +1,9 @@
 //! Section 6 countermeasures as toggleable defences, evaluated by re-running
 //! the actual attacks with each defence enabled — the ablation study behind
-//! the recommendations.
+//! the recommendations. Each (method, defence) cell is one run of the
+//! [`Scenario`](crate::scenario::Scenario) pipeline with the defence applied
+//! via [`Defence::apply`], so there is no per-method environment plumbing
+//! here at all.
 
 use crate::report::TextTable;
 use attacks::prelude::*;
@@ -48,6 +51,36 @@ impl Defence {
             Defence::RouteOriginValidation,
         ]
     }
+
+    /// Applies this defence to a victim-environment configuration — the one
+    /// place each defence's deployment is encoded. The scenario pipeline
+    /// calls this *after* [`AttackVector::prepare_env`], so a defence always
+    /// overrides whatever preconditions the vector set up (e.g. disabling
+    /// the nameserver RRL that SadDNS needs for muting).
+    pub fn apply(&self, cfg: &mut VictimEnvConfig) {
+        match self {
+            Defence::None => {}
+            Defence::X20Encoding => cfg.resolver.use_0x20 = true,
+            Defence::Dnssec => {
+                cfg.zone_signed = true;
+                cfg.resolver.delegations.clear();
+                cfg.resolver = cfg
+                    .resolver
+                    .clone()
+                    .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
+                    .with_dnssec_validation();
+            }
+            Defence::FragmentFiltering => cfg.resolver.accept_fragments = false,
+            Defence::PerDestinationIcmpLimit => {
+                cfg.resolver.icmp_rate_limit = IcmpRateLimitPolicy::PerDestination { capacity: 50, per_second: 50.0 }
+            }
+            Defence::RandomizedResponseOrder => cfg.nameserver.randomize_record_order = true,
+            Defence::RandomIpid => cfg.nameserver.ipid_policy = IpIdPolicy::Random,
+            Defence::MinimumPmtu1280 => cfg.nameserver.min_accepted_mtu = 1280,
+            Defence::NoNameserverRrl => cfg.nameserver.rrl_limit = None,
+            Defence::RouteOriginValidation => cfg.rov_enforced = true,
+        }
+    }
 }
 
 /// Result of one (method, defence) cell of the ablation matrix.
@@ -61,60 +94,13 @@ pub struct AblationCell {
     pub attack_succeeded: bool,
 }
 
-fn env_with_defence(defence: Defence, seed: u64, for_saddns: bool) -> (netsim::engine::Simulator, VictimEnv) {
-    let mut cfg = VictimEnvConfig { seed, ..Default::default() };
-    if for_saddns {
-        cfg.resolver.port_range = (40000, 40127);
-        cfg.resolver.query_timeout = Duration::from_secs(30);
-        cfg.resolver.max_retries = 0;
-        cfg.nameserver = cfg.nameserver.clone().with_rrl(10);
-    }
-    match defence {
-        Defence::None => {}
-        Defence::X20Encoding => cfg.resolver.use_0x20 = true,
-        Defence::Dnssec => {
-            cfg.zone_signed = true;
-            cfg.resolver.delegations.clear();
-            cfg.resolver =
-                cfg.resolver.with_delegation("vict.im", vec![addrs::NAMESERVER], true).with_dnssec_validation();
-        }
-        Defence::FragmentFiltering => cfg.resolver.accept_fragments = false,
-        Defence::PerDestinationIcmpLimit => {
-            cfg.resolver.icmp_rate_limit = IcmpRateLimitPolicy::PerDestination { capacity: 50, per_second: 50.0 }
-        }
-        Defence::RandomizedResponseOrder => cfg.nameserver.randomize_record_order = true,
-        Defence::RandomIpid => cfg.nameserver.ipid_policy = IpIdPolicy::Random,
-        Defence::MinimumPmtu1280 => cfg.nameserver.min_accepted_mtu = 1280,
-        Defence::NoNameserverRrl => cfg.nameserver.rrl_limit = None,
-        Defence::RouteOriginValidation => {}
-    }
-    cfg.build()
-}
-
-/// Runs one methodology against one defence and reports whether it still works.
+/// Runs one methodology against one defence and reports whether it still
+/// works — one [`crate::scenario::run_cell`] of the pipeline, with the
+/// methodology dispatched through the `attacks::vectors` registry rather
+/// than matched on here.
 pub fn evaluate_cell(method: PoisonMethod, defence: Defence, seed: u64) -> AblationCell {
-    let succeeded = match method {
-        PoisonMethod::HijackDns => {
-            let (mut sim, env) = env_with_defence(defence, seed, false);
-            let mut cfg = HijackDnsConfig::new(env.attacker_addr);
-            cfg.rov_blocks = defence == Defence::RouteOriginValidation;
-            HijackDnsAttack::new(cfg).run(&mut sim, &env).success
-        }
-        PoisonMethod::SadDns => {
-            let (mut sim, env) = env_with_defence(defence, seed, true);
-            let mut cfg = SadDnsConfig::new(env.attacker_addr);
-            cfg.scan_range = (40000, 40127);
-            cfg.max_iterations = 1;
-            SadDnsAttack::new(cfg).run(&mut sim, &env).success
-        }
-        PoisonMethod::FragDns => {
-            let (mut sim, env) = env_with_defence(defence, seed, false);
-            let mut cfg = FragDnsConfig::new(env.attacker_addr);
-            cfg.max_iterations = 1;
-            FragDnsAttack::new(cfg).run(&mut sim, &env).success
-        }
-    };
-    AblationCell { method, defence, attack_succeeded: succeeded }
+    let outcome = crate::scenario::run_cell(method, defence, seed);
+    AblationCell { method, defence, attack_succeeded: outcome.report.success }
 }
 
 /// Runs the defence ablation for a chosen set of defences (all methods).

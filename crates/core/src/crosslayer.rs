@@ -2,7 +2,11 @@
 //! poison the victim resolver with one of the Section 3 methodologies, then
 //! let the *application* consume the poisoned records and observe the damage.
 //!
-//! Three headline scenarios are implemented in full:
+//! The three headline scenarios are thin instantiations of the
+//! [`Scenario`](crate::scenario::Scenario) pipeline — an
+//! [`ExploitStage`](crate::scenario::ExploitStage) plugged on top of an
+//! attack vector — and the functions here keep their historical signatures
+//! and byte-identical outcomes (locked by `tests/golden/crosslayer.txt`):
 //!
 //! * **RPKI downgrade → BGP hijack** — the paper's strongest result: poison
 //!   the resolver used by an RPKI relying party so its repository sync lands
@@ -16,13 +20,14 @@
 //!   empty response, so the receiving mail server finds no policy and accepts
 //!   the spoofed mail.
 
+use crate::scenario::{
+    AttackPhase, ExploitVerdict, PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, SpfPolicyExploit,
+};
 use apps::prelude::*;
 use attacks::prelude::*;
 use bgp::prelude::*;
 use dns::prelude::*;
-use netsim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Outcome of the RPKI downgrade scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,64 +44,58 @@ pub struct RpkiDowngradeOutcome {
     pub hijack_accepted_after: bool,
 }
 
-/// Runs the RPKI downgrade chain.
+/// The configured HijackDNS vector of the RPKI downgrade chain: intercept
+/// the relying party's lookup of the repository hostname. Shared by
+/// [`rpki_downgrade_scenario`] and the `rpki_downgrade` example.
+pub fn rpki_downgrade_vector() -> HijackDnsAttack {
+    let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
+    cfg.target_name = "rpki.vict.im".parse().expect("name");
+    HijackDnsAttack::new(cfg)
+}
+
+/// The configured HijackDNS vector of the account-takeover chain: poison the
+/// A record of the victim domain's mail host at the provider's resolver.
+/// Shared by [`password_recovery_scenario`] and the `email_downgrade` example.
+pub fn account_takeover_vector() -> HijackDnsAttack {
+    let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
+    cfg.target_name = "mail.vict.im".parse().expect("name");
+    HijackDnsAttack::new(cfg)
+}
+
+/// The configured HijackDNS vector of the SPF downgrade chain: intercept the
+/// policy TXT lookup and erase the answer (the hijack stays up so retries
+/// keep landing on the attacker). Shared by [`spf_downgrade_scenario`] and
+/// the `email_downgrade` example.
+pub fn spf_downgrade_vector() -> HijackDnsAttack {
+    let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
+    cfg.target_name = "vict.im".parse().expect("name");
+    cfg.qtype = RecordType::TXT;
+    cfg.trigger = QueryTrigger::InternalClient;
+    cfg.forgery = HijackForgery::EmptyAnswer;
+    cfg.short_lived = false;
+    HijackDnsAttack::new(cfg)
+}
+
+/// Runs the RPKI downgrade chain on the scenario pipeline.
 pub fn rpki_downgrade_scenario(seed: u64) -> RpkiDowngradeOutcome {
-    // The victim AS (origin of 30.0.0.0/22) publishes a ROA; the relying
-    // party fetches it from rpki.vict.im, resolved through the victim resolver.
-    let victim_as = AsId(64500);
-    let attacker_as = AsId(666);
-    let protected_prefix: Prefix = "30.0.0.0/22".parse().expect("prefix");
-    let repo_addr: std::net::Ipv4Addr = "30.0.0.124".parse().expect("addr");
-    let repository = RpkiRepository::new("rpki.vict.im", repo_addr, vec![Roa::exact(protected_prefix, victim_as)]);
-    let mut relying_party = RelyingParty::new();
-
-    // Before the attack: sync via an un-poisoned resolver.
-    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
-    let repo_name: DomainName = "rpki.vict.im".parse().expect("name");
-    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &repo_name, RecordType::A, 1);
-    sim.run();
-    let resolved_before = env.resolver(&sim).cache().cached_a(&repo_name, sim.now());
-    relying_party.sync(&repository, resolved_before);
-    let validity_before = relying_party.validate(protected_prefix, attacker_as);
-
-    // ROV-enforcing topology: does the hijack get through before the attack?
-    let (topo, map) = AsTopology::small_test_topology();
-    let rov: HashMap<AsId, RovPolicy> = topo.ases().map(|a| (a, RovPolicy::Enforced)).collect();
-    let before = sub_prefix_hijack(
-        &topo,
-        Announcement { prefix: protected_prefix, origin: map["stub1"] },
-        map["stub3"],
-        Some(map["stub4"]),
-        &rov,
-        &relying_party.validated_roas,
-    );
-
-    // Let the cached (genuine) entry expire before the attack, as a real
-    // attacker waiting for the next repository synchronisation would.
-    sim.run_for(Duration::from_secs(301));
-    // The attack: poison the repository hostname at the RP's resolver.
-    let mut hijack_cfg = HijackDnsConfig::new(env.attacker_addr);
-    hijack_cfg.target_name = repo_name.clone();
-    let report = HijackDnsAttack::new(hijack_cfg).run(&mut sim, &env);
-    let resolved_after = env.resolver(&sim).cache().cached_a(&repo_name, sim.now());
-    // The RP's next scheduled sync uses the poisoned answer.
-    relying_party.sync(&repository, resolved_after);
-    let validity_after = relying_party.validate(protected_prefix, attacker_as);
-    let after = sub_prefix_hijack(
-        &topo,
-        Announcement { prefix: protected_prefix, origin: map["stub1"] },
-        map["stub3"],
-        Some(map["stub4"]),
-        &rov,
-        &relying_party.validated_roas,
-    );
-
+    let outcome = Scenario::new(VictimEnvConfig { seed, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(rpki_downgrade_vector()))
+        .exploit(RpkiDowngradeExploit::standard())
+        .run();
+    let (
+        Some(ExploitVerdict::Rpki { validity: validity_before, hijack_accepted: hijack_accepted_before }),
+        Some(ExploitVerdict::Rpki { validity: validity_after, hijack_accepted: hijack_accepted_after }),
+    ) = (outcome.before, outcome.exploit)
+    else {
+        unreachable!("the RPKI exploit stage always produces Rpki verdicts")
+    };
     RpkiDowngradeOutcome {
-        dns_poisoned: report.success,
+        dns_poisoned: outcome.report.success,
         validity_before,
         validity_after,
-        hijack_accepted_before: before.target_captured == Some(true),
-        hijack_accepted_after: after.target_captured == Some(true),
+        hijack_accepted_before,
+        hijack_accepted_after,
     }
 }
 
@@ -112,28 +111,20 @@ pub struct AccountTakeoverOutcome {
 }
 
 /// Runs the password-recovery account-takeover chain (the provider's resolver
-/// is poisoned for the victim account's mail domain).
+/// is poisoned for the victim account's mail domain) on the scenario pipeline.
 pub fn password_recovery_scenario(seed: u64) -> AccountTakeoverOutcome {
     let genuine_mx: std::net::Ipv4Addr = "30.0.0.26".parse().expect("addr");
-    let mail_name: DomainName = "mail.vict.im".parse().expect("name");
-    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
-
-    // Before: the provider resolves the victim domain's mail host normally.
-    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &mail_name, RecordType::A, 1);
-    sim.run();
-    let resolved_before = env.resolver(&sim).cache().cached_a(&mail_name, sim.now());
-    let before = password_recovery(resolved_before, genuine_mx, env.attacker_addr);
-
-    // Let the genuine cache entry expire, then poison mail.vict.im via
-    // HijackDNS and re-run the recovery flow.
-    sim.run_for(Duration::from_secs(301));
-    let mut cfg = HijackDnsConfig::new(env.attacker_addr);
-    cfg.target_name = mail_name.clone();
-    let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
-    let resolved_after = env.resolver(&sim).cache().cached_a(&mail_name, sim.now());
-    let after = password_recovery(resolved_after, genuine_mx, env.attacker_addr);
-
-    AccountTakeoverOutcome { dns_poisoned: report.success, before, after }
+    let outcome = Scenario::new(VictimEnvConfig { seed, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(account_takeover_vector()))
+        .exploit(PasswordRecoveryExploit::new("mail.vict.im", genuine_mx))
+        .run();
+    let (Some(ExploitVerdict::Recovery(before)), Some(ExploitVerdict::Recovery(after))) =
+        (outcome.before, outcome.exploit)
+    else {
+        unreachable!("the recovery exploit stage always produces Recovery verdicts")
+    };
+    AccountTakeoverOutcome { dns_poisoned: outcome.report.success, before, after }
 }
 
 /// Outcome of the SPF downgrade scenario.
@@ -147,60 +138,22 @@ pub struct SpfDowngradeOutcome {
     pub spoofed_mail_accepted: bool,
 }
 
-/// Runs the SPF/DMARC downgrade chain: the attacker intercepts the TXT lookup
-/// (HijackDNS interception) and answers with an *empty* NOERROR response, so
-/// the receiving mail server finds no policy and falls back to accepting.
+/// Runs the SPF/DMARC downgrade chain on the scenario pipeline: the attacker
+/// intercepts the TXT lookup (HijackDNS interception with an
+/// [`HijackForgery::EmptyAnswer`] forgery) so the receiving mail server finds
+/// no policy and falls back to accepting. The attack phase runs against a
+/// second receiving server with a cold cache (`FreshEnvironment`).
 pub fn spf_downgrade_scenario(seed: u64) -> SpfDowngradeOutcome {
-    let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
-    let name: DomainName = "vict.im".parse().expect("name");
-
-    // Before: the receiving mail server looks up the SPF policy normally.
-    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &name, RecordType::TXT, 1);
-    sim.run();
-    let policy_before = env.resolver(&sim).cache().peek(&name, RecordType::TXT, sim.now()).and_then(|e| {
-        e.records.iter().find_map(|r| match &r.rdata {
-            RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
-            _ => None,
-        })
-    });
-    let before = evaluate_spf(policy_before.as_deref(), env.attacker_addr);
-
-    // Attack: hijack the nameserver's prefix, intercept the TXT re-query for
-    // a *different* resolver (fresh cache) and answer with an empty response.
-    let (mut sim, env) = VictimEnvConfig { seed: seed + 1, ..Default::default() }.build();
-    sim.set_route_override(Prefix::new(env.nameserver_addr, 24), env.attacker);
-    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &name, RecordType::TXT, 2);
-    // Wait for the interception, then forge an empty answer.
-    let deadline = sim.now() + Duration::from_secs(3);
-    let mut intercepted = None;
-    while sim.now() < deadline && intercepted.is_none() {
-        if !sim.step() {
-            break;
-        }
-        if let Some((obs, query)) = env
-            .attacker(&sim)
-            .intercepted_queries()
-            .into_iter()
-            .find(|(_, q)| q.question().map(|qq| qq.qtype == RecordType::TXT) == Some(true))
-        {
-            intercepted = Some((obs.datagram.clone(), query));
-        }
-    }
-    if let Some((dgram, query)) = intercepted {
-        let mut empty = Message::response_for(&query);
-        empty.header.authoritative = true;
-        let spoofed = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, dgram.src_port, empty.encode())
-            .into_packet(9, 64);
-        sim.inject(env.attacker, spoofed);
-    }
-    sim.run_for(Duration::from_secs(1));
-    let policy_after = env.resolver(&sim).cache().peek(&name, RecordType::TXT, sim.now()).and_then(|e| {
-        e.records.iter().find_map(|r| match &r.rdata {
-            RData::Txt(t) if t.starts_with("v=spf1") => Some(t.clone()),
-            _ => None,
-        })
-    });
-    let after = evaluate_spf(policy_after.as_deref(), env.attacker_addr);
+    let outcome = Scenario::new(VictimEnvConfig { seed, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(spf_downgrade_vector()))
+        .exploit(SpfPolicyExploit::new("vict.im"))
+        .attack_phase(AttackPhase::FreshEnvironment { seed_bump: 1 })
+        .run();
+    let (Some(ExploitVerdict::Spf(before)), Some(ExploitVerdict::Spf(after))) = (outcome.before, outcome.exploit)
+    else {
+        unreachable!("the SPF exploit stage always produces Spf verdicts")
+    };
     SpfDowngradeOutcome { before, after, spoofed_mail_accepted: after != SpfVerdict::Fail }
 }
 

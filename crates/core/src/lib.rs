@@ -22,8 +22,13 @@
 //!   effectiveness, stealth), backed by real attack simulations;
 //! * [`figures`] — Figures 3, 4 and 5;
 //! * [`taxonomy`] — rendering of Tables 1 and 2 from the `apps` models;
+//! * [`scenario`] — the composable trigger → poison → exploit pipeline:
+//!   the `Scenario` builder over `dyn AttackVector` + `dyn ExploitStage`,
+//!   and the `ScenarioCampaign` (vector × defence × seed) success-rate
+//!   matrix on the sharded engine;
 //! * [`crosslayer`] — end-to-end cross-layer scenarios (RPKI downgrade →
-//!   BGP hijack, password-recovery takeover, SPF downgrade);
+//!   BGP hijack, password-recovery takeover, SPF downgrade), instantiated
+//!   on the pipeline;
 //! * [`countermeasures`] — the Section 6 defence ablation;
 //! * [`report`] — plain-text table rendering used by benches and examples.
 #![forbid(unsafe_code)]
@@ -38,6 +43,7 @@ pub mod figures;
 pub mod measurements;
 pub mod population;
 pub mod report;
+pub mod scenario;
 pub mod taxonomy;
 pub mod vulnscan;
 
@@ -49,13 +55,14 @@ pub mod prelude {
     };
     pub use crate::anycache::{render_table5, run_table5, AnyCachingResult};
     pub use crate::campaign::{
-        available_workers, generate_population, run_campaign, run_shards, shard_count, shard_range, shard_ranges,
-        shard_rng, Campaign, CampaignConfig, Histogram, Tally, SHARD_SIZE,
+        available_workers, derive_seed, generate_population, run_campaign, run_grid, run_shards, shard_count,
+        shard_range, shard_ranges, shard_rng, Campaign, CampaignConfig, GridCampaign, Histogram, Tally, SHARD_SIZE,
     };
     pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
     pub use crate::crosslayer::{
-        password_recovery_scenario, rpki_downgrade_scenario, spf_downgrade_scenario, AccountTakeoverOutcome,
-        RpkiDowngradeOutcome, SpfDowngradeOutcome,
+        account_takeover_vector, password_recovery_scenario, rpki_downgrade_scenario, rpki_downgrade_vector,
+        spf_downgrade_scenario, spf_downgrade_vector, AccountTakeoverOutcome, RpkiDowngradeOutcome,
+        SpfDowngradeOutcome,
     };
     pub use crate::figures::{
         figure3_prefix_distributions, figure3_prefix_distributions_with, figure4_edns_vs_fragment,
@@ -72,6 +79,11 @@ pub mod prelude {
         generate_resolvers_with, table3_datasets, table4_datasets, DatasetSpec, DomainProfile, ResolverProfile,
     };
     pub use crate::report::{pct, TextTable};
+    pub use crate::scenario::{
+        render_scenario_matrix, AttackPhase, ExploitStage, ExploitVerdict, MailInterceptExploit, MatrixTally,
+        PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign, ScenarioMatrix, ScenarioOutcome,
+        ScenarioRun, SpfPolicyExploit, WebRedirectExploit, SCENARIO_GRID_SALT,
+    };
     pub use crate::taxonomy::{render_table1, render_table2};
     pub use crate::vulnscan::*;
 }

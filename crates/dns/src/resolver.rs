@@ -493,13 +493,17 @@ impl Resolver {
         }
 
         // DNSSEC validation (modelled): for signed zones a validating
-        // resolver requires valid RRSIGs covering the answer records.
+        // resolver requires valid RRSIGs covering the answer records. An
+        // *empty* answer needs authenticated denial of existence (RFC 4035
+        // §3.1.3); the model carries no NSEC records, so a bare empty
+        // response from a signed zone is never authenticated — which is what
+        // stops an off-path erasure forgery (`HijackForgery::EmptyAnswer`)
+        // cold at a validating resolver.
         if self.config.validate_dnssec && entry.signed_zone {
-            let has_answers = in_bailiwick.iter().any(|r| !matches!(r.rdata, RData::Rrsig { .. }));
             let all_signed_valid = !in_bailiwick.is_empty()
                 && in_bailiwick.iter().any(|r| matches!(r.rdata, RData::Rrsig { valid: true, .. }))
                 && in_bailiwick.iter().all(|r| !matches!(r.rdata, RData::Rrsig { valid: false, .. }));
-            if has_answers && !all_signed_valid {
+            if !all_signed_valid {
                 self.stats.rejected_dnssec += 1;
                 return;
             }

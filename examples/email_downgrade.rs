@@ -1,27 +1,47 @@
-//! Cross-layer attacks against email: SPF/DMARC downgrade (spoofed mail gets
-//! accepted) and password-recovery account takeover (the reset link is
-//! delivered to the attacker) — Table 1 rows "SPF,DMARC" and "Password
-//! recovery".
+//! Cross-layer attacks against email on the `Scenario` pipeline: SPF/DMARC
+//! downgrade (spoofed mail gets accepted) and password-recovery account
+//! takeover (the reset link is delivered to the attacker) — Table 1 rows
+//! "SPF,DMARC" and "Password recovery".
+//!
+//! Both chains are the same trigger → poison → exploit pipeline with a
+//! different `ExploitStage` plugged in; compare with `scenario_matrix` for
+//! the full grid and `xlayer_core::crosslayer` for the wrapper functions.
 //!
 //! ```text
 //! cargo run --example email_downgrade
 //! ```
 
+use cross_layer_attacks::attacks::prelude::*;
 use cross_layer_attacks::xlayer_core::prelude::*;
 
 fn main() {
     println!("== SPF / DMARC downgrade ==");
-    let spf = spf_downgrade_scenario(7);
-    println!("verdict for the attacker's spoofed mail before the attack: {:?}", spf.before);
-    println!("verdict for the attacker's spoofed mail after the attack : {:?}", spf.after);
-    println!("spoofed mail accepted after the attack                   : {}", spf.spoofed_mail_accepted);
+    // The attacker intercepts the policy TXT lookup and erases the answer
+    // (`spf_downgrade_vector`: an EmptyAnswer HijackDNS forgery, shared with
+    // `crosslayer::spf_downgrade_scenario` so the wiring cannot drift); the
+    // attack phase runs against a second receiving server (cold cache).
+    let spf = Scenario::new(VictimEnvConfig { seed: 7, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(spf_downgrade_vector()))
+        .exploit(SpfPolicyExploit::new("vict.im"))
+        .attack_phase(AttackPhase::FreshEnvironment { seed_bump: 1 })
+        .run();
+    println!("verdict for the attacker's spoofed mail before the attack: {:?}", spf.before.unwrap());
+    println!("verdict for the attacker's spoofed mail after the attack : {:?}", spf.exploit.unwrap());
+    println!("spoofed mail accepted after the attack                   : {}", spf.chain_succeeded());
     println!();
 
     println!("== Password-recovery account takeover ==");
-    let takeover = password_recovery_scenario(8);
-    println!("MX/A records poisoned           : {}", takeover.dns_poisoned);
-    println!("recovery link delivery before   : {:?}", takeover.before);
-    println!("recovery link delivery after    : {:?}", takeover.after);
+    // Poison the A record of the account domain's mail host at the
+    // provider's resolver; the reset link follows the poisoned record.
+    let takeover = Scenario::new(VictimEnvConfig { seed: 8, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(account_takeover_vector()))
+        .exploit(PasswordRecoveryExploit::new("mail.vict.im", "30.0.0.26".parse().unwrap()))
+        .run();
+    println!("MX/A records poisoned           : {}", takeover.report.success);
+    println!("recovery link delivery before   : {:?}", takeover.before.unwrap());
+    println!("recovery link delivery after    : {:?}", takeover.exploit.unwrap());
     println!();
     println!("result: the attacker receives the password-reset link and takes over the account.");
 }

@@ -1,30 +1,52 @@
-//! The paper's headline cross-layer attack: DNS cache poisoning downgrades
-//! RPKI route-origin validation, re-enabling a BGP prefix hijack that ROV
-//! would otherwise have filtered (Section 4 / Table 1, row "RPKI").
+//! The paper's headline cross-layer attack on the `Scenario` pipeline: DNS
+//! cache poisoning downgrades RPKI route-origin validation, re-enabling a
+//! BGP prefix hijack that ROV would otherwise have filtered (Section 4 /
+//! Table 1, row "RPKI").
+//!
+//! The chain is one pipeline run: trigger the relying party's lookup of the
+//! repository hostname, poison it with a HijackDNS vector, and let the
+//! stateful `RpkiDowngradeExploit` stage observe the relying party's ROA
+//! cache and the hijack's fate before and after.
 //!
 //! ```text
 //! cargo run --example rpki_downgrade
 //! ```
 
+use cross_layer_attacks::attacks::prelude::*;
 use cross_layer_attacks::xlayer_core::prelude::*;
 
 fn main() {
-    let outcome = rpki_downgrade_scenario(2021);
+    // `rpki_downgrade_vector` is the same configured vector the
+    // `crosslayer::rpki_downgrade_scenario` wrapper runs, so this demo and
+    // the golden-locked wrapper cannot drift apart.
+    let outcome = Scenario::new(VictimEnvConfig { seed: 2021, ..Default::default() })
+        .trigger(QueryTrigger::InternalClient)
+        .vector(Box::new(rpki_downgrade_vector()))
+        .exploit(RpkiDowngradeExploit::standard())
+        .run();
+    let Some(ExploitVerdict::Rpki { validity: validity_before, hijack_accepted: accepted_before }) = outcome.before
+    else {
+        unreachable!("RPKI stage yields Rpki verdicts")
+    };
+    let Some(ExploitVerdict::Rpki { validity: validity_after, hijack_accepted: accepted_after }) = outcome.exploit
+    else {
+        unreachable!("RPKI stage yields Rpki verdicts")
+    };
 
     println!("== Cross-layer attack: DNS poisoning -> RPKI downgrade -> BGP hijack ==");
     println!();
     println!("step 1: poison the resolver used by the RPKI relying party");
-    println!("        repository hostname poisoned: {}", outcome.dns_poisoned);
+    println!("        repository hostname poisoned: {}", outcome.report.success);
     println!();
     println!("step 2: the relying party synchronises against the attacker's host");
-    println!("        validation of the hijacked announcement before: {:?}", outcome.validity_before);
-    println!("        validation of the hijacked announcement after : {:?}", outcome.validity_after);
+    println!("        validation of the hijacked announcement before: {validity_before:?}");
+    println!("        validation of the hijacked announcement after : {validity_after:?}");
     println!();
     println!("step 3: the attacker announces the victim's prefix");
-    println!("        hijack accepted by ROV-enforcing ASes before the attack: {}", outcome.hijack_accepted_before);
-    println!("        hijack accepted by ROV-enforcing ASes after the attack : {}", outcome.hijack_accepted_after);
+    println!("        hijack accepted by ROV-enforcing ASes before the attack: {accepted_before}");
+    println!("        hijack accepted by ROV-enforcing ASes after the attack : {accepted_after}");
     println!();
-    if !outcome.hijack_accepted_before && outcome.hijack_accepted_after {
+    if !accepted_before && accepted_after {
         println!("result: route origin validation was neutralised by DNS cache poisoning.");
     } else {
         println!("result: the downgrade did not complete (see fields above).");

@@ -3,34 +3,33 @@
 //! open ephemeral port through the global ICMP rate-limit side channel, then
 //! brute-force the TXID.
 //!
-//! The resolver draws its ephemeral ports from a narrowed 256-port range so
-//! the example finishes in seconds; the scan logic is identical for the full
-//! 2^16-port range (see `xlayer_core::analysis::saddns_effectiveness` for the
-//! extrapolation used in the Table 6 reproduction).
+//! The attack is driven through the `attacks::vectors` registry: the vector's
+//! [`AttackVector::prepare_env`] sets up every environment precondition the
+//! methodology needs (the narrowed 256-port ephemeral range so the example
+//! finishes in seconds, the long race window, the mutable nameserver), so no
+//! hand-tuning of `VictimEnvConfig` happens here. The scan logic is identical
+//! for the full 2^16-port range (see `xlayer_core::analysis::saddns_effectiveness`
+//! for the extrapolation used in the Table 6 reproduction).
 //!
 //! ```text
 //! cargo run --example saddns_attack
 //! ```
 
 use cross_layer_attacks::attacks::prelude::*;
-use cross_layer_attacks::netsim::prelude::*;
 
 fn main() {
+    let vector = vectors::saddns();
+    let (scan_lo, scan_hi) = vector.config.scan_range;
     let mut env_cfg = VictimEnvConfig::default();
-    env_cfg.resolver.port_range = (40000, 40255);
-    env_cfg.resolver.query_timeout = Duration::from_secs(30);
-    env_cfg.resolver.max_retries = 0;
-    env_cfg.nameserver = env_cfg.nameserver.with_rrl(10);
+    vector.prepare_env(&mut env_cfg);
     let (mut sim, env) = env_cfg.build();
 
-    println!("resolver        : {} (global ICMP limit: yes, ports 40000-40255)", env.resolver_addr);
+    println!("resolver        : {} (global ICMP limit: yes, ports {scan_lo}-{scan_hi})", env.resolver_addr);
     println!("nameserver      : {} (response rate limiting: yes)", env.nameserver_addr);
     println!("attacker        : {}", env.attacker_addr);
     println!();
 
-    let mut cfg = SadDnsConfig::new(env.attacker_addr);
-    cfg.scan_range = (40000, 40255);
-    let report = SadDnsAttack::new(cfg).run(&mut sim, &env);
+    let report = vector.execute(&mut sim, &env);
 
     println!("== SadDNS attack report ==");
     println!("success          : {}", report.success);

@@ -125,6 +125,33 @@ fn golden_figure4_edns_vs_fragment_cdfs() {
 }
 
 #[test]
+fn golden_ablation_countermeasures() {
+    check("ablation", &render_ablation(&run_ablation(&Defence::all(), GOLDEN_SEED)));
+}
+
+#[test]
+fn golden_crosslayer_scenarios() {
+    // Debug-formatted outcomes of the three headline cross-layer scenarios at
+    // the seeds the unit tests pin. These fixtures were blessed *before* the
+    // scenarios were ported onto the `Scenario`/`AttackVector` pipeline, so
+    // they prove the port is byte-identical, not merely similar.
+    let mut out = String::new();
+    let _ = writeln!(out, "{:#?}", rpki_downgrade_scenario(21));
+    let _ = writeln!(out, "{:#?}", password_recovery_scenario(22));
+    let _ = writeln!(out, "{:#?}", spf_downgrade_scenario(23));
+    check("crosslayer", &out);
+}
+
+#[test]
+fn golden_scenario_matrix() {
+    // The full (vector × defence × seed) grid at 2 seeds per cell. Blessing
+    // renders at workers=1, checking at workers=3 — same cross-lock on
+    // thread-count invariance as the campaign tables.
+    let matrix = ScenarioCampaign::full_grid(GOLDEN_SEED, 2).run(golden_workers());
+    check("scenario_matrix", &render_scenario_matrix(&matrix));
+}
+
+#[test]
 fn golden_figure5_overlaps() {
     let cfg = golden_cfg();
     let mut both = render_venn("Figure 5a — vulnerable resolvers (overlap)", &figure5_resolver_overlap_with(&cfg));
