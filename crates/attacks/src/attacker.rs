@@ -14,6 +14,7 @@
 use dns::prelude::*;
 use netsim::icmp::Unreachable;
 use netsim::prelude::*;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// One ICMP error observed by the attacker.
@@ -43,7 +44,12 @@ pub struct ObservedUdp {
 
 /// The attacker's machine.
 pub struct AttackerNode {
-    stack: UdpStack,
+    stack: HostStack,
+    /// The TCP socket used to terminate hijacked DNS-over-TCP connections
+    /// as if the attacker were the nameserver (local address spoofed to
+    /// whatever the victim dialled).
+    tcp_intercept: TcpSocket,
+    tcp_rx: HashMap<Endpoint, TcpFrameBuffer>,
     /// ICMP errors delivered to the attacker.
     pub icmp_observed: Vec<ObservedIcmp>,
     /// UDP datagrams delivered to the attacker (intercepted queries,
@@ -52,9 +58,15 @@ pub struct AttackerNode {
     /// Raw IPv4 packets delivered to the attacker, in arrival order.
     pub raw_observed: Vec<(SimTime, Ipv4Packet)>,
     /// Whether the attacker should answer DNS queries that reach it (used
-    /// when it impersonates a nameserver after a hijack). Answers map every
-    /// A query to `malicious_a`.
+    /// when it impersonates a nameserver after a hijack) — over UDP and,
+    /// for hijacked DNS-over-TCP resolvers, by completing the handshake as
+    /// the nameserver. Answers map every query name to `malicious_a`.
     pub answer_dns_queries: bool,
+    /// When impersonating, answer with an empty authoritative NOERROR
+    /// response instead of planting a record (the erasure forgery).
+    pub forge_empty_answers: bool,
+    /// DNS queries served over hijacked TCP connections.
+    pub tcp_queries_answered: u64,
     /// The address the attacker wants victims to end up at.
     pub malicious_a: Ipv4Addr,
 }
@@ -62,17 +74,21 @@ pub struct AttackerNode {
 impl AttackerNode {
     /// Creates an attacker at `addr` whose malicious records point at itself.
     pub fn new(addr: Ipv4Addr) -> Self {
-        let mut stack = UdpStack::with_defaults(vec![addr]);
+        let mut stack = HostStack::with_defaults(vec![addr]);
         // The attacker listens on a handful of ports it uses for its own
         // probes and for impersonated services.
         stack.open_port(53);
         stack.open_port(4444);
         AttackerNode {
             stack,
+            tcp_intercept: TcpSocket::listener(53),
+            tcp_rx: HashMap::new(),
             icmp_observed: Vec::new(),
             udp_observed: Vec::new(),
             raw_observed: Vec::new(),
             answer_dns_queries: false,
+            forge_empty_answers: false,
+            tcp_queries_answered: 0,
             malicious_a: addr,
         }
     }
@@ -112,6 +128,56 @@ impl AttackerNode {
             .collect()
     }
 
+    /// Crafts the impersonated answer for one query intercepted over a
+    /// hijacked TCP connection and sends it back on that connection, with
+    /// the source address spoofed to the nameserver the victim dialled.
+    fn serve_hijacked_tcp(&mut self, local: Endpoint, peer: Endpoint, frame: &[u8], ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(frame) else { return };
+        if query.header.is_response {
+            return;
+        }
+        let Some(q) = query.question().cloned() else { return };
+        let mut resp = Message::response_for(&query);
+        resp.header.authoritative = true;
+        if !self.forge_empty_answers {
+            resp.answers.push(ResourceRecord::new(q.name, 300, RData::A(self.malicious_a)));
+        }
+        self.tcp_queries_answered += 1;
+        let framed = frame_tcp(&resp.encode());
+        let intercept = &mut self.tcp_intercept;
+        with_io(&mut self.stack, ctx, |io| intercept.send_from(io, local, peer, &framed));
+    }
+
+    /// Terminates hijacked TCP traffic (packets whose destination the
+    /// attacker does not own): completes handshakes as the dialled host and,
+    /// when impersonation is on, answers the DNS queries inside.
+    fn handle_hijacked_tcp(&mut self, pkt: &Ipv4Packet, ctx: &mut Ctx<'_>) {
+        let Ok(seg) = TcpSegment::from_packet(pkt) else { return };
+        let intercept = &mut self.tcp_intercept;
+        let sock_events = with_io(&mut self.stack, ctx, |io| intercept.handle_segment(io, &seg));
+        for se in sock_events {
+            match se {
+                SocketEvent::Data { peer, local, payload } => {
+                    for frame in TcpFrameBuffer::push_and_drain(&mut self.tcp_rx, peer, &payload) {
+                        self.serve_hijacked_tcp(local, peer, &frame, ctx);
+                    }
+                }
+                SocketEvent::PeerClosed { peer, .. } => {
+                    // Finish the teardown like a real server would, so the
+                    // victim's connection does not sit in FIN_WAIT_2 for the
+                    // rest of the simulation.
+                    self.tcp_rx.remove(&peer);
+                    let intercept = &mut self.tcp_intercept;
+                    with_io(&mut self.stack, ctx, |io| intercept.close_peer(io, peer));
+                }
+                SocketEvent::Reset { peer, .. } => {
+                    self.tcp_rx.remove(&peer);
+                }
+                SocketEvent::Connected { .. } => {}
+            }
+        }
+    }
+
     /// The IP identification values of packets received from `src`, in
     /// arrival order — the FragDNS IPID sampling probe.
     pub fn observed_ipids_from(&self, src: Ipv4Addr) -> Vec<u16> {
@@ -130,7 +196,8 @@ impl Node for AttackerNode {
         // Packets not addressed to the attacker only ever reach it because a
         // BGP hijack redirected them (HijackDNS interception). Record them
         // directly — the attacker is effectively promiscuous for hijacked
-        // traffic.
+        // traffic — and, when impersonation is on, terminate hijacked TCP
+        // connections as the host the victim dialled.
         if !self.stack.owns(pkt.header.dst) {
             if let Ok(dgram) = UdpDatagram::from_packet(&pkt) {
                 self.udp_observed.push(ObservedUdp {
@@ -138,6 +205,8 @@ impl Node for AttackerNode {
                     ip_identification: pkt.header.identification,
                     datagram: dgram,
                 });
+            } else if pkt.header.protocol == Protocol::Tcp && self.answer_dns_queries {
+                self.handle_hijacked_tcp(&pkt, ctx);
             }
             return;
         }

@@ -141,7 +141,15 @@ impl FragDnsAttack {
         let start = sim.now();
         let traffic_before = sim.stats(env.attacker).clone();
 
-        // Precondition: the resolver must accept fragmented responses at all.
+        // Preconditions: the answer must travel as a fragmentable UDP
+        // datagram at all — a DNS-over-TCP resolver's answers arrive as
+        // DF-marked stream segments and never touch the defragmentation
+        // cache — and the resolver must accept fragmented responses.
+        if env.resolver(sim).config().transport_policy == UpstreamTransport::TcpOnly {
+            return report.fail(FailureReason::PreconditionNotMet(
+                "resolver performs upstream queries over TCP; responses never enter the defragmentation cache".into(),
+            ));
+        }
         if !env.resolver(sim).config().accept_fragments {
             return report.fail(FailureReason::PreconditionNotMet("resolver filters fragmented responses".into()));
         }
@@ -211,6 +219,10 @@ impl FragDnsAttack {
 
         report.duration = sim.now().duration_since(start);
         report.record_traffic(&traffic_before, sim.stats(env.attacker));
+        let truncated = env.resolver(sim).stats.truncated_responses;
+        if truncated > 0 {
+            report.notes.push(format!("resolver received {truncated} truncated (TC=1) upstream responses"));
+        }
         if !report.success && report.failure.is_none() {
             report.failure = Some(FailureReason::BudgetExhausted);
         }
@@ -255,6 +267,17 @@ mod tests {
         let report = FragDnsAttack::new(cfg).run(&mut sim, &env);
         assert!(!report.success, "guessing 4 of 65536 random IPIDs should fail");
         assert!(matches!(report.failure, Some(FailureReason::BudgetExhausted)));
+    }
+
+    #[test]
+    fn dns_over_tcp_resolver_never_reassembles_a_response() {
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.resolver = env_cfg.resolver.with_transport(UpstreamTransport::TcpOnly);
+        let (mut sim, env) = env_cfg.build();
+        let report = FragDnsAttack::new(FragDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+        assert_eq!(report.attacker_packets, 0, "the attack fails before reconnaissance");
     }
 
     #[test]

@@ -96,6 +96,65 @@ impl HijackDnsAttack {
         HijackDnsAttack { config }
     }
 
+    /// The TCP arm of the attack: the attacker node terminates the
+    /// resolver's hijacked DNS-over-TCP connection and impersonates the
+    /// nameserver in-stream.
+    fn run_tcp_interception(
+        &self,
+        sim: &mut Simulator,
+        env: &VictimEnv,
+        mut report: AttackReport,
+        hijacked_prefix: Prefix,
+        start: SimTime,
+        traffic_before: TrafficStats,
+    ) -> AttackReport {
+        let cfg = &self.config;
+        let accepted_before = env.resolver(sim).stats.responses_accepted;
+        if let Some(attacker) = sim.node_mut::<crate::attacker::AttackerNode>(env.attacker) {
+            attacker.answer_dns_queries = true;
+            attacker.malicious_a = cfg.malicious_addr;
+            attacker.forge_empty_answers = cfg.forgery == HijackForgery::EmptyAnswer;
+        }
+        env.trigger_query(sim, cfg.trigger, &cfg.target_name, cfg.qtype, 0x5151);
+        report.queries_triggered += 1;
+        report.iterations = 1;
+        sim.run_for(Duration::from_secs(2));
+        let answered = env.attacker(sim).tcp_queries_answered;
+        if answered > 0 {
+            report.notes.push(format!(
+                "terminated the resolver's DNS-over-TCP connection as the nameserver ({answered} queries answered)"
+            ));
+        }
+        if cfg.short_lived {
+            sim.clear_route_override(hijacked_prefix);
+        }
+        sim.run_for(Duration::from_secs(1));
+
+        report.duration = sim.now().duration_since(start);
+        report.record_traffic(&traffic_before, sim.stats(env.attacker));
+        report.success = match cfg.forgery {
+            HijackForgery::PlantRecord => env.poisoned(sim, &cfg.target_name, cfg.malicious_addr),
+            HijackForgery::EmptyAnswer => {
+                let resolver = env.resolver(sim);
+                let record_landed = resolver
+                    .cache()
+                    .peek(&cfg.target_name, cfg.qtype, sim.now())
+                    .is_some_and(|e| !e.records.is_empty());
+                resolver.stats.responses_accepted > accepted_before && !record_landed
+            }
+        };
+        if !report.success {
+            let resolver = env.resolver(sim);
+            let reason = if resolver.stats.rejected_dnssec > 0 {
+                "DNSSEC validation rejected the unsigned forgery"
+            } else {
+                "forged response not accepted"
+            };
+            report.failure = Some(FailureReason::RejectedByResolver(reason.into()));
+        }
+        report
+    }
+
     /// Runs the attack against the environment.
     pub fn run(&self, sim: &mut Simulator, env: &VictimEnv) -> AttackReport {
         let cfg = &self.config;
@@ -135,6 +194,14 @@ impl HijackDnsAttack {
         };
         sim.set_route_override(hijacked_prefix, env.attacker);
         report.notes.push(format!("announced {hijacked_prefix} ({:?})", cfg.kind));
+
+        // A resolver that queries upstream over TCP is *not* protected from
+        // an interception attack: the hijacker receives the SYN, completes
+        // the handshake as the nameserver (it sees every challenge value,
+        // sequence numbers included) and answers the query in-stream.
+        if env.resolver(sim).config().transport_policy == UpstreamTransport::TcpOnly {
+            return self.run_tcp_interception(sim, env, report, hijacked_prefix, start, traffic_before);
+        }
 
         // Trigger the query.
         env.trigger_query(sim, cfg.trigger, &cfg.target_name, cfg.qtype, 0x5151);
@@ -334,6 +401,41 @@ mod tests {
         let mut cfg = HijackDnsConfig::new(addrs::ATTACKER);
         cfg.forgery = HijackForgery::EmptyAnswer;
         let report = HijackDnsAttack::new(cfg).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::RejectedByResolver(_))));
+        assert!(env.resolver(&sim).stats.rejected_dnssec >= 1);
+    }
+
+    #[test]
+    fn hijack_intercepts_dns_over_tcp_resolvers_too() {
+        // DNS over TCP is no defence against an *interception* attack: the
+        // hijacker receives the SYN, completes the handshake as the
+        // nameserver and answers in-stream.
+        let mut env_cfg = VictimEnvConfig::default();
+        env_cfg.resolver = env_cfg.resolver.with_transport(UpstreamTransport::TcpOnly);
+        let (mut sim, env) = env_cfg.build();
+        let report = HijackDnsAttack::new(HijackDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
+        assert!(report.success, "TCP hijack interception failed: {report:?}");
+        assert!(env.poisoned(&sim, &target(), addrs::ATTACKER));
+        assert!(env.attacker(&sim).tcp_queries_answered >= 1);
+        assert_eq!(report.queries_triggered, 1);
+        // The hijack was withdrawn.
+        assert_eq!(sim.route_lookup(env.nameserver_addr), Some(env.nameserver));
+    }
+
+    #[test]
+    fn dns_over_tcp_hijack_still_blocked_by_dnssec() {
+        // The hijacker terminates TCP fine, but it still cannot sign.
+        let env_cfg = VictimEnvConfig {
+            zone_signed: true,
+            resolver: ResolverConfig::new(addrs::RESOLVER)
+                .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
+                .with_dnssec_validation()
+                .with_transport(UpstreamTransport::TcpOnly),
+            ..Default::default()
+        };
+        let (mut sim, env) = env_cfg.build();
+        let report = HijackDnsAttack::new(HijackDnsConfig::new(addrs::ATTACKER)).run(&mut sim, &env);
         assert!(!report.success);
         assert!(matches!(report.failure, Some(FailureReason::RejectedByResolver(_))));
         assert!(env.resolver(&sim).stats.rejected_dnssec >= 1);

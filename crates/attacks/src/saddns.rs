@@ -204,10 +204,18 @@ impl SadDnsAttack {
         let start = sim.now();
         let traffic_before = sim.stats(env.attacker).clone();
 
-        // Preconditions: the resolver's OS must use a *global* ICMP error
-        // rate limit, and the nameserver must be mutable via rate limiting.
+        // Preconditions: the resolver must race over UDP at all (a
+        // DNS-over-TCP resolver opens no ephemeral UDP port, so the ICMP
+        // side channel has nothing to find), its OS must use a *global*
+        // ICMP error rate limit, and the nameserver must be mutable via
+        // rate limiting.
         {
             let resolver = env.resolver(sim);
+            if resolver.config().transport_policy == UpstreamTransport::TcpOnly {
+                return report.fail(FailureReason::PreconditionNotMet(
+                    "resolver performs upstream queries over TCP; no UDP ephemeral port to discover".into(),
+                ));
+            }
             if !resolver.stack().icmp_limiter().is_globally_limited() {
                 return report.fail(FailureReason::PreconditionNotMet(
                     "resolver does not use a global ICMP rate limit (side channel closed)".into(),
@@ -266,6 +274,10 @@ impl SadDnsAttack {
 
         report.duration = sim.now().duration_since(start);
         report.record_traffic(&traffic_before, sim.stats(env.attacker));
+        let truncated = env.resolver(sim).stats.truncated_responses;
+        if truncated > 0 {
+            report.notes.push(format!("resolver received {truncated} truncated (TC=1) upstream responses"));
+        }
         if !report.success && report.failure.is_none() {
             let resolver = env.resolver(sim);
             report.failure = Some(if resolver.stats.rejected_question > 0 {
@@ -327,6 +339,18 @@ mod tests {
         // paper reports ~1M for the full 64K-port space).
         assert!(report.attacker_packets > 10_000, "only {} packets", report.attacker_packets);
         assert!(report.duration > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn dns_over_tcp_resolver_has_no_port_to_scan() {
+        let mut cfg =
+            VictimEnvConfig { nameserver: NameserverConfig::new(addrs::NAMESERVER).with_rrl(10), ..Default::default() };
+        cfg.resolver = cfg.resolver.with_transport(UpstreamTransport::TcpOnly);
+        let (mut sim, env) = cfg.build();
+        let report = SadDnsAttack::new(attack_cfg()).run(&mut sim, &env);
+        assert!(!report.success);
+        assert!(matches!(report.failure, Some(FailureReason::PreconditionNotMet(_))));
+        assert_eq!(report.attacker_packets, 0, "the attack fails before sending a single probe");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::report::TextTable;
 use attacks::prelude::*;
+use dns::prelude::UpstreamTransport;
 use netsim::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,13 @@ pub enum Defence {
     NoNameserverRrl,
     /// Route origin validation filters the hijacked announcement.
     RouteOriginValidation,
+    /// The resolver performs upstream queries over TCP (RFC 7766). This is
+    /// the transport-layer countermeasure the paper singles out: no UDP
+    /// ephemeral port exists for the SadDNS side channel to recover, and
+    /// answers arrive as DF-marked stream segments that never touch the
+    /// defragmentation cache FragDNS poisons. Interception (HijackDNS) is
+    /// *not* stopped — the hijacker terminates the handshake itself.
+    DnsOverTcp,
 }
 
 impl Defence {
@@ -49,6 +57,7 @@ impl Defence {
             Defence::MinimumPmtu1280,
             Defence::NoNameserverRrl,
             Defence::RouteOriginValidation,
+            Defence::DnsOverTcp,
         ]
     }
 
@@ -79,6 +88,9 @@ impl Defence {
             Defence::MinimumPmtu1280 => cfg.nameserver.min_accepted_mtu = 1280,
             Defence::NoNameserverRrl => cfg.nameserver.rrl_limit = None,
             Defence::RouteOriginValidation => cfg.rov_enforced = true,
+            Defence::DnsOverTcp => {
+                cfg.resolver.transport_policy = UpstreamTransport::TcpOnly;
+            }
         }
     }
 }
@@ -197,6 +209,15 @@ mod tests {
     #[test]
     fn rov_blocks_hijackdns() {
         assert!(!evaluate_cell(PoisonMethod::HijackDns, Defence::RouteOriginValidation, 38).attack_succeeded);
+    }
+
+    #[test]
+    fn dns_over_tcp_blocks_saddns_and_fragdns_but_not_hijack() {
+        assert!(!evaluate_cell(PoisonMethod::SadDns, Defence::DnsOverTcp, 40).attack_succeeded);
+        assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::DnsOverTcp, 40).attack_succeeded);
+        // Interception defeats the transport: the hijacker completes the
+        // handshake itself, so the TCP row still shows HijackDNS succeeding.
+        assert!(evaluate_cell(PoisonMethod::HijackDns, Defence::DnsOverTcp, 40).attack_succeeded);
     }
 
     #[test]

@@ -474,10 +474,13 @@ pub const SCENARIO_GRID_SALT: u64 = 0x5ce9_a210_77ac_4a11;
 /// A (vector × defence × seed) grid of full attack simulations on the
 /// sharded campaign engine: `runs_per_cell` independently-seeded scenario
 /// runs per (methodology, defence) cell, folded into per-cell
-/// [`AttackAggregate`]s. Run `i` of a cell is seeded by
-/// [`derive_seed`]`(base_seed, SCENARIO_GRID_SALT, index)` — a pure function
-/// of the grid index — so the matrix is byte-identical for every worker
-/// count.
+/// [`AttackAggregate`]s. Run `r` of cell `(m, d)` is seeded by
+/// [`derive_seed`]`(base_seed, SCENARIO_GRID_SALT ⊕ f(m, d), r)` — a pure
+/// function of the cell coordinates and run number, **never of the grid
+/// shape** — so the matrix is byte-identical for every worker count *and*
+/// appending a defence row or methodology column reseeds nothing that
+/// already existed (the flat-index derivation used before the `DnsOverTcp`
+/// row reshuffled every cell whenever the grid grew).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioCampaign {
     /// Master seed of the grid.
@@ -531,9 +534,13 @@ impl GridCampaign for ScenarioCampaign {
     fn eval(&self, index: usize) -> ScenarioRun {
         let runs = self.runs_per_cell.max(1) as usize;
         let cell = index / runs;
+        let run = (index % runs) as u64;
         let method_idx = cell / self.defences.len().max(1);
         let defence_idx = cell % self.defences.len().max(1);
-        let seed = derive_seed(self.base_seed, SCENARIO_GRID_SALT, index as u64);
+        // The per-run stream is salted by the cell *coordinates*, not the
+        // flat grid index: growing the grid can never reseed existing cells.
+        let cell_salt = SCENARIO_GRID_SALT ^ ((method_idx as u64 + 1) << 40) ^ ((defence_idx as u64 + 1) << 48);
+        let seed = derive_seed(self.base_seed, cell_salt, run);
         let outcome = run_cell(self.methods[method_idx], self.defences[defence_idx], seed);
         ScenarioRun { method_idx, defence_idx, report: outcome.report }
     }

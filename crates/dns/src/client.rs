@@ -23,6 +23,10 @@ pub struct CompletedLookup {
     pub qtype: RecordType,
     /// Response code.
     pub rcode: Rcode,
+    /// Whether the response carried the TC (truncated) bit. A UDP-only
+    /// resolver that receives a truncated upstream answer echoes TC with its
+    /// SERVFAIL, so this outcome is distinguishable from a plain timeout.
+    pub truncated: bool,
     /// Answer records.
     pub answers: Vec<ResourceRecord>,
     /// When the answer arrived.
@@ -45,11 +49,11 @@ struct PendingQuery {
 }
 
 /// A stub resolver client: sends pre-programmed queries to a recursive
-/// resolver and records the answers.
+/// resolver over the generic socket API and records the answers.
 pub struct StubClient {
-    addr: Ipv4Addr,
     resolver: Ipv4Addr,
-    stack: UdpStack,
+    stack: HostStack,
+    sock: Box<dyn Socket>,
     queue: VecDeque<PendingQuery>,
     next_txid: u16,
     /// Lookups completed so far.
@@ -61,9 +65,9 @@ pub struct StubClient {
 impl StubClient {
     /// Creates a client that will use `resolver` for lookups.
     pub fn new(addr: Ipv4Addr, resolver: Ipv4Addr) -> Self {
-        let mut stack = UdpStack::with_defaults(vec![addr]);
-        stack.open_port(5353);
-        StubClient { addr, resolver, stack, queue: VecDeque::new(), next_txid: 1, completed: Vec::new(), failures: 0 }
+        let mut stack = HostStack::with_defaults(vec![addr]);
+        let sock = UdpTransport.bind(&mut stack, 5353);
+        StubClient { resolver, stack, sock, queue: VecDeque::new(), next_txid: 1, completed: Vec::new(), failures: 0 }
     }
 
     /// Queues a lookup to be issued `delay` after simulation start.
@@ -92,12 +96,9 @@ impl StubClient {
         let txid = self.next_txid;
         self.next_txid = self.next_txid.wrapping_add(1);
         let msg = Message::query(txid, q.name.clone(), q.qtype);
-        let now = ctx.now();
-        let pkts =
-            self.stack.send_udp(UdpDatagram::new(self.addr, self.resolver, 5353, 53, msg.encode()), now, ctx.rng());
-        for p in pkts {
-            ctx.send(p);
-        }
+        let sock = &mut self.sock;
+        let resolver = self.resolver;
+        with_io(&mut self.stack, ctx, |io| sock.send_to(io, Endpoint::new(resolver, 53), &msg.encode()));
     }
 }
 
@@ -122,8 +123,11 @@ impl Node for StubClient {
             ctx.send(reply);
         }
         for event in output.events {
-            if let StackEvent::Udp(dgram) = event {
-                if let Ok(msg) = Message::decode(&dgram.payload) {
+            let sock = &mut self.sock;
+            let sock_events = with_io(&mut self.stack, ctx, |io| sock.handle(io, &event));
+            for se in sock_events {
+                let SocketEvent::Data { payload, .. } = se else { continue };
+                if let Ok(msg) = Message::decode(&payload) {
                     if !msg.header.is_response {
                         continue;
                     }
@@ -135,6 +139,7 @@ impl Node for StubClient {
                             name: q.name.clone(),
                             qtype: q.qtype,
                             rcode: msg.header.rcode,
+                            truncated: msg.header.truncated,
                             answers: msg.answers.clone(),
                             at: now,
                         });

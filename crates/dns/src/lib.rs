@@ -69,12 +69,14 @@ pub mod zone;
 pub mod prelude {
     pub use crate::cache::{AnyCachingPolicy, Cache, CacheEntry};
     pub use crate::client::{CompletedLookup, StubClient};
-    pub use crate::message::{Header, Message, Question, Rcode};
+    pub use crate::message::{frame_tcp, Header, Message, Question, Rcode, TcpFrameBuffer};
     pub use crate::name::DomainName;
     pub use crate::nameserver::{Nameserver, NameserverConfig, NameserverStats};
     pub use crate::profiles::ResolverImplementation;
     pub use crate::rdata::{RData, RecordType, ResourceRecord};
-    pub use crate::resolver::{Delegation, PortPolicy, Resolver, ResolverConfig, ResolverStats};
+    pub use crate::resolver::{
+        Delegation, PortPolicy, Resolver, ResolverConfig, ResolverStats, UpstreamTransport, RESOLVER_TCP_PORT,
+    };
     pub use crate::zone::{LookupResult, Zone};
 }
 

@@ -91,6 +91,84 @@ impl Header {
     }
 }
 
+/// Prefixes a DNS message's wire bytes with the two-byte big-endian length
+/// used on stream transports (RFC 1035 §4.2.2, reaffirmed by RFC 7766).
+///
+/// # Panics
+/// When the message exceeds 65535 bytes — the framing cannot represent it,
+/// and truncating the prefix would permanently desynchronise the stream.
+pub fn frame_tcp(message_bytes: &[u8]) -> Vec<u8> {
+    assert!(message_bytes.len() <= usize::from(u16::MAX), "DNS message too large for RFC 1035 TCP framing");
+    let mut out = Vec::with_capacity(2 + message_bytes.len());
+    out.extend_from_slice(&(message_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(message_bytes);
+    out
+}
+
+/// Reassembles DNS messages out of a TCP byte stream.
+///
+/// TCP delivers a byte stream, not datagrams: a DNS message may arrive
+/// split across segments or share a segment with its neighbour (RFC 7766
+/// pipelining). Each peer connection owns one buffer; [`push`] appends
+/// received stream bytes and [`pop`] yields complete length-prefixed
+/// messages as they become available.
+///
+/// [`push`]: TcpFrameBuffer::push
+/// [`pop`]: TcpFrameBuffer::pop
+#[derive(Debug, Clone, Default)]
+pub struct TcpFrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl TcpFrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends stream bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete DNS message (without its length prefix), if
+    /// the stream holds one.
+    pub fn pop(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([self.buf[0], self.buf[1]]));
+        if self.buf.len() < 2 + len {
+            return None;
+        }
+        let frame = self.buf[2..2 + len].to_vec();
+        self.buf.drain(..2 + len);
+        Some(frame)
+    }
+
+    /// Bytes buffered but not yet popped.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The shared reassembly step of every DNS-over-TCP consumer: appends
+    /// `bytes` to the buffer of `key` (one buffer per peer connection) and
+    /// drains every complete frame that becomes available.
+    pub fn push_and_drain<K: std::cmp::Eq + std::hash::Hash>(
+        buffers: &mut std::collections::HashMap<K, TcpFrameBuffer>,
+        key: K,
+        bytes: &[u8],
+    ) -> Vec<Vec<u8>> {
+        let buf = buffers.entry(key).or_default();
+        buf.push(bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = buf.pop() {
+            frames.push(frame);
+        }
+        frames
+    }
+}
+
 /// A question section entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Question {
@@ -287,6 +365,29 @@ mod tests {
 
     fn n(s: &str) -> DomainName {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn tcp_framing_roundtrip_and_partial_delivery() {
+        let q1 = Message::query(1, n("vict.im"), RecordType::A).encode();
+        let q2 = Message::query(2, n("www.vict.im"), RecordType::TXT).encode();
+        let mut stream = frame_tcp(&q1);
+        stream.extend_from_slice(&frame_tcp(&q2));
+
+        // Deliver the pipelined stream one byte at a time: frames pop out
+        // exactly at their boundaries.
+        let mut buf = TcpFrameBuffer::new();
+        let mut frames = Vec::new();
+        for b in &stream {
+            buf.push(std::slice::from_ref(b));
+            while let Some(f) = buf.pop() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], q1);
+        assert_eq!(frames[1], q2);
+        assert_eq!(buf.pending_len(), 0);
     }
 
     #[test]

@@ -16,14 +16,20 @@
 //!   second-fragment UDP checksum unpredictable;
 //! * **EDNS/TC handling** — responses larger than the client's advertised
 //!   EDNS size are truncated, which defeats fragmentation-based poisoning
-//!   (the "fitting into the response" constraint of Figure 4).
+//!   (the "fitting into the response" constraint of Figure 4);
+//! * **DNS over TCP** (RFC 7766) — the server listens on TCP 53 and answers
+//!   length-prefixed queries over the stream with neither EDNS truncation
+//!   (the stream has no size limit) nor RRL (the handshake proves return
+//!   routability, so there is no reflection to rate-limit — and no muting
+//!   oracle for SadDNS).
 
-use crate::message::{Message, Rcode};
+use crate::message::{frame_tcp, Message, Rcode, TcpFrameBuffer};
 use crate::rdata::{RecordType, ResourceRecord};
 use crate::zone::{LookupResult, Zone};
 use netsim::prelude::*;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Configuration of an authoritative nameserver.
@@ -96,11 +102,17 @@ pub struct NameserverStats {
     pub responses_fragmented: u64,
     /// PMTUD updates accepted.
     pub pmtu_updates: u64,
+    /// Queries served over TCP (RFC 7766).
+    pub tcp_queries: u64,
 }
 
-/// An authoritative nameserver serving one or more zones.
+/// An authoritative nameserver serving one or more zones over the generic
+/// socket API: a UDP socket and a TCP listener, both on port 53.
 pub struct Nameserver {
-    stack: UdpStack,
+    stack: HostStack,
+    udp: Box<dyn Socket>,
+    tcp: Box<dyn Socket>,
+    tcp_rx: HashMap<Endpoint, TcpFrameBuffer>,
     zones: Vec<Zone>,
     config: NameserverConfig,
     rrl: ResponseRateLimiter,
@@ -117,13 +129,14 @@ impl Nameserver {
             min_accepted_mtu: config.min_accepted_mtu,
             ..Default::default()
         };
-        let mut stack = UdpStack::new(vec![config.addr], stack_cfg);
-        stack.open_port(53);
+        let mut stack = HostStack::new(vec![config.addr], stack_cfg);
+        let udp = UdpTransport.bind(&mut stack, 53);
+        let tcp = TcpTransport::listener().bind(&mut stack, 53);
         let rrl = match config.rrl_limit {
             Some(limit) => ResponseRateLimiter::new(limit),
             None => ResponseRateLimiter::disabled(),
         };
-        Nameserver { stack, zones, config, rrl, stats: NameserverStats::default() }
+        Nameserver { stack, udp, tcp, tcp_rx: HashMap::new(), zones, config, rrl, stats: NameserverStats::default() }
     }
 
     /// The address this server listens on.
@@ -225,8 +238,8 @@ impl Nameserver {
         response
     }
 
-    fn serve(&mut self, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
-        let Ok(query) = Message::decode(&dgram.payload) else { return };
+    fn serve_udp(&mut self, peer: Endpoint, payload: &[u8], ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(payload) else { return };
         if query.header.is_response {
             return;
         }
@@ -244,7 +257,8 @@ impl Nameserver {
         let mut response = self.answer_query(&query, ctx.rng());
 
         // EDNS size handling: truncate when the response does not fit the
-        // client's advertised buffer.
+        // client's advertised buffer. RFC 7766: the TC=1 stub invites the
+        // client to retry over TCP, where no such limit exists.
         let limit = usize::from(query.edns_udp_size());
         if response.wire_size() > limit {
             response.header.truncated = true;
@@ -256,19 +270,35 @@ impl Nameserver {
         response = response.with_edns(4096);
 
         let payload = response.encode();
-        let now = ctx.now();
-        let packets = self.stack.send_udp(
-            UdpDatagram::new(self.config.addr, dgram.src, 53, dgram.src_port, payload),
-            now,
-            ctx.rng(),
-        );
-        if packets.len() > 1 {
+        let udp = &mut self.udp;
+        let fragments = with_io(&mut self.stack, ctx, |io| {
+            udp.send_to(io, peer, &payload);
+            io.out.len()
+        });
+        if fragments > 1 {
             self.stats.responses_fragmented += 1;
         }
         self.stats.responses_sent += 1;
-        for pkt in packets {
-            ctx.send(pkt);
+    }
+
+    /// Serves one length-prefixed query that arrived over a TCP connection.
+    /// No EDNS truncation (the stream carries any size) and no RRL (the
+    /// completed handshake proves the querier's address).
+    fn serve_tcp(&mut self, peer: Endpoint, frame: &[u8], ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(frame) else { return };
+        if query.header.is_response {
+            return;
         }
+        self.stats.queries_received += 1;
+        self.stats.tcp_queries += 1;
+        if query.question().map(|q| q.qtype) == Some(RecordType::ANY) {
+            self.stats.any_queries += 1;
+        }
+        let response = self.answer_query(&query, ctx.rng()).with_edns(4096);
+        let framed = frame_tcp(&response.encode());
+        let tcp = &mut self.tcp;
+        with_io(&mut self.stack, ctx, |io| tcp.send_to(io, peer, &framed));
+        self.stats.responses_sent += 1;
     }
 }
 
@@ -283,8 +313,34 @@ impl Node for Nameserver {
             ctx.send(reply);
         }
         for event in output.events {
-            match event {
-                StackEvent::Udp(dgram) if dgram.dst_port == 53 => self.serve(&dgram, ctx),
+            match &event {
+                StackEvent::Udp(dgram) if dgram.dst_port == 53 => {
+                    self.serve_udp(Endpoint::new(dgram.src, dgram.src_port), &dgram.payload, ctx);
+                }
+                StackEvent::Tcp(_) => {
+                    let tcp = &mut self.tcp;
+                    let sock_events = with_io(&mut self.stack, ctx, |io| tcp.handle(io, &event));
+                    for se in sock_events {
+                        match se {
+                            SocketEvent::Data { peer, payload, .. } => {
+                                for frame in TcpFrameBuffer::push_and_drain(&mut self.tcp_rx, peer, &payload) {
+                                    self.serve_tcp(peer, &frame, ctx);
+                                }
+                            }
+                            SocketEvent::PeerClosed { peer, .. } => {
+                                // Close our direction too so the connection
+                                // winds down deterministically.
+                                self.tcp_rx.remove(&peer);
+                                let tcp = &mut self.tcp;
+                                with_io(&mut self.stack, ctx, |io| tcp.close_peer(io, peer));
+                            }
+                            SocketEvent::Reset { peer, .. } => {
+                                self.tcp_rx.remove(&peer);
+                            }
+                            SocketEvent::Connected { .. } => {}
+                        }
+                    }
+                }
                 StackEvent::PmtuUpdate { .. } => self.stats.pmtu_updates += 1,
                 _ => {}
             }
@@ -470,6 +526,75 @@ mod tests {
             seen.insert(srv.answer_query(&q, &mut rng).encode());
         }
         assert!(seen.len() > 1, "different shuffles produce different responses");
+    }
+
+    /// A minimal TCP querier node used by the DNS-over-TCP tests.
+    struct TcpQuerier {
+        stack: HostStack,
+        sock: Box<dyn Socket>,
+        rx: TcpFrameBuffer,
+        answers: Vec<Message>,
+    }
+
+    impl TcpQuerier {
+        fn new(addr: Ipv4Addr) -> Self {
+            let mut stack = HostStack::with_defaults(vec![addr]);
+            let sock = TcpTransport::client().bind(&mut stack, 45000);
+            TcpQuerier { stack, sock, rx: TcpFrameBuffer::new(), answers: Vec::new() }
+        }
+    }
+
+    impl Node for TcpQuerier {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let q = Message::query(7, "vict.im".parse().unwrap(), RecordType::ANY).with_edns(512);
+            let sock = &mut self.sock;
+            with_io(&mut self.stack, ctx, |io| sock.send_to(io, Endpoint::new(NS_ADDR, 53), &frame_tcp(&q.encode())));
+        }
+
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+            let now = ctx.now();
+            let events = {
+                let rng = ctx.rng();
+                self.stack.handle_packet(&pkt, now, rng).events
+            };
+            for event in events {
+                let sock = &mut self.sock;
+                let sock_events = with_io(&mut self.stack, ctx, |io| sock.handle(io, &event));
+                for se in sock_events {
+                    if let SocketEvent::Data { payload, .. } = se {
+                        self.rx.push(&payload);
+                        while let Some(frame) = self.rx.pop() {
+                            self.answers.push(Message::decode(&frame).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serves_queries_over_tcp_without_truncation_or_rrl() {
+        // A padded zone whose answers exceed a 512-byte EDNS buffer, behind
+        // strict RRL: over UDP the server truncates (or mutes); over TCP the
+        // full answer always comes through — the RFC 7766 contract that
+        // makes the resolver's TCP fallback a real defence.
+        let mut cfg = NameserverConfig::new(NS_ADDR).with_rrl(1);
+        cfg.pad_responses_to = Some(1400);
+        let srv = server(cfg);
+        let mut sim = Simulator::new(9);
+        let ns = sim.add_node("ns", vec![NS_ADDR], srv);
+        let querier = sim.add_node("querier", vec![RESOLVER], TcpQuerier::new(RESOLVER));
+        sim.connect(ns, querier, Link::with_latency(Duration::from_millis(5)));
+        sim.run();
+        let srv = sim.node_ref::<Nameserver>(ns).unwrap();
+        assert_eq!(srv.stats.tcp_queries, 1);
+        assert_eq!(srv.stats.responses_truncated, 0, "no EDNS limit over TCP");
+        assert_eq!(srv.stats.responses_suppressed, 0, "RRL does not apply to TCP");
+        let q = sim.node_ref::<TcpQuerier>(querier).unwrap();
+        assert_eq!(q.answers.len(), 1);
+        assert!(!q.answers[0].header.truncated);
+        assert!(q.answers[0].wire_size() > 1300, "the full padded answer arrived over the stream");
+        assert!(sim.stats(querier).tcp_received >= 3, "handshake + multi-segment answer");
     }
 
     #[test]

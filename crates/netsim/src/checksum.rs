@@ -184,6 +184,25 @@ mod tests {
     }
 
     #[test]
+    fn tcp_pseudo_header_known_vector() {
+        // TCP SYN 192.0.2.1:1000 -> 198.51.100.2:53, seq 1, ack 0, data
+        // offset 5, window 0xffff (protocol 6, TCP length 20). Folding by
+        // hand: c000+0201+c633+6402+0006+0014 (pseudo) + 03e8+0035+0000+
+        // 0001+0000+0000+5002+ffff+0000+0000 (header) = 0x3406f; folded
+        // 0x4072, so the transmitted checksum is !0x4072 = 0xbf8d. Unlike
+        // UDP, a computed 0x0000 would be transmitted verbatim (RFC 793 has
+        // no zero-means-absent rule).
+        let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let mut c = pseudo_header(src, dst, 6, 20);
+        c.add_u16(1000).add_u16(53); // ports
+        c.add_u32(1).add_u32(0); // seq, ack
+        c.add_u16(0x5002).add_u16(0xffff); // offset/flags (SYN), window
+        c.add_u16(0).add_u16(0); // checksum placeholder, urgent
+        assert_eq!(c.finish(), 0xbf8d);
+    }
+
+    #[test]
     fn pseudo_header_contribution() {
         let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
         let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();

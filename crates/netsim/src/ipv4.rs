@@ -223,7 +223,9 @@ impl Ipv4Packet {
         Ok(Ipv4Packet { header, payload: buf[IPV4_HEADER_LEN..end].to_vec() })
     }
 
-    /// A compact human-readable summary used by the trace recorder.
+    /// A compact human-readable summary used by the trace recorder. TCP
+    /// segments include their flags and sequence/acknowledgment numbers, so
+    /// a trace records handshake interleavings (and seeded ISNs) exactly.
     pub fn summary(&self) -> String {
         let frag = if self.header.is_fragment() {
             format!(
@@ -235,7 +237,25 @@ impl Ipv4Packet {
         } else {
             String::new()
         };
-        format!("{} {} -> {} len={}{}", self.header.protocol, self.header.src, self.header.dst, self.wire_len(), frag)
+        let tcp = if self.header.protocol == Protocol::Tcp
+            && !self.header.is_fragment()
+            && self.payload.len() >= crate::tcp::TCP_HEADER_LEN
+        {
+            let seq = u32::from_be_bytes([self.payload[4], self.payload[5], self.payload[6], self.payload[7]]);
+            let ack = u32::from_be_bytes([self.payload[8], self.payload[9], self.payload[10], self.payload[11]]);
+            format!(" [{}] seq={seq} ack={ack}", crate::tcp::TcpFlags::from_byte(self.payload[13]))
+        } else {
+            String::new()
+        };
+        format!(
+            "{} {} -> {} len={}{}{}",
+            self.header.protocol,
+            self.header.src,
+            self.header.dst,
+            self.wire_len(),
+            frag,
+            tcp
+        )
     }
 }
 

@@ -5,8 +5,12 @@
 //! *"From IP to Transport and Beyond: Cross-Layer Attacks Against Applications"*
 //! (SIGCOMM 2021) need from the network and the victim operating systems:
 //!
-//! * byte-accurate **IPv4 / UDP / ICMP** wire formats with real checksums
-//!   ([`ipv4`], [`udp`], [`icmp`], [`checksum`]),
+//! * byte-accurate **IPv4 / UDP / TCP / ICMP** wire formats with real
+//!   checksums ([`ipv4`], [`udp`], [`tcp`], [`icmp`], [`checksum`]),
+//! * a generic, object-safe **transport socket API** with a deterministic
+//!   TCP implementation (seeded ISNs, three-way handshake, MSS-based
+//!   segmentation, RST/FIN teardown) beside the UDP datagram path
+//!   ([`transport`], [`tcp`]),
 //! * **IPv4 fragmentation and reassembly**, including the defragmentation
 //!   cache an attacker poisons in the FragDNS methodology ([`frag`]),
 //! * the **global ICMP error rate limit** side channel exploited by SadDNS
@@ -61,8 +65,10 @@ pub mod prefix;
 pub mod ratelimit;
 pub mod stack;
 pub mod stats;
+pub mod tcp;
 pub mod time;
 pub mod trace;
+pub mod transport;
 pub mod udp;
 
 /// Convenience re-exports for downstream crates and examples.
@@ -75,10 +81,14 @@ pub mod prelude {
     pub use crate::pmtud::PathMtuCache;
     pub use crate::prefix::Prefix;
     pub use crate::ratelimit::{IcmpRateLimitPolicy, IcmpRateLimiter, ResponseRateLimiter, TokenBucket};
-    pub use crate::stack::{IpIdPolicy, StackConfig, StackEvent, UdpStack};
+    pub use crate::stack::{HostStack, IpIdPolicy, StackConfig, StackEvent, UdpStack};
     pub use crate::stats::TrafficStats;
+    pub use crate::tcp::{TcpConnection, TcpFlags, TcpSegment, TcpSocket, TcpState};
     pub use crate::time::{Duration, SimTime};
     pub use crate::trace::{Trace, TraceEntry};
+    pub use crate::transport::{
+        with_io, Endpoint, FlowStats, Socket, SocketEvent, StackIo, TcpTransport, Transport, UdpSocket, UdpTransport,
+    };
     pub use crate::udp::{UdpDatagram, UdpHeader};
     pub use std::net::Ipv4Addr;
 }

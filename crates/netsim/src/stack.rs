@@ -1,13 +1,15 @@
 //! A minimal OS network-stack model shared by all simulated hosts.
 //!
-//! [`UdpStack`] bundles the operating-system behaviours the paper's attacks
-//! interact with: UDP port state and ICMP port-unreachable generation (with
-//! the configurable rate-limit policy SadDNS probes), the IPv4
-//! defragmentation cache FragDNS poisons, path-MTU discovery, and the IP
-//! identification assignment policy whose predictability decides the FragDNS
-//! hit rate. DNS resolvers, nameservers, application servers and attacker
-//! hosts in the higher-level crates all embed a `UdpStack` and feed packets
-//! through [`UdpStack::handle_packet`].
+//! [`HostStack`] bundles the operating-system behaviours the paper's attacks
+//! interact with: UDP and TCP port state, ICMP port-unreachable generation
+//! (with the configurable rate-limit policy SadDNS probes), TCP RST
+//! generation for closed ports, the IPv4 defragmentation cache FragDNS
+//! poisons, path-MTU discovery, and the IP identification assignment policy
+//! whose predictability decides the FragDNS hit rate. DNS resolvers,
+//! nameservers, application servers and attacker hosts in the higher-level
+//! crates all embed a `HostStack` and feed packets through
+//! [`HostStack::handle_packet`]; transport state above the port table lives
+//! in the sockets of [`crate::transport`] and [`crate::tcp`].
 
 use crate::frag::fragment_packet;
 use crate::frag::{ReassemblyBuffer, ReassemblyConfig, ReassemblyResult};
@@ -15,6 +17,7 @@ use crate::icmp::{IcmpMessage, Unreachable};
 use crate::ipv4::{Ipv4Packet, Protocol, DEFAULT_MTU, MIN_IPV4_MTU};
 use crate::pmtud::PathMtuCache;
 use crate::ratelimit::{IcmpRateLimitPolicy, IcmpRateLimiter};
+use crate::tcp::{rst_reply, TcpSegment, TCP_HEADER_LEN};
 use crate::time::SimTime;
 use crate::udp::UdpDatagram;
 use rand::Rng;
@@ -78,11 +81,23 @@ impl Default for StackConfig {
     }
 }
 
-/// Events surfaced to the application layer by [`UdpStack::handle_packet`].
+/// Events surfaced to the application layer by [`HostStack::handle_packet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StackEvent {
     /// A (reassembled, checksum-valid) UDP datagram addressed to an open port.
     Udp(UdpDatagram),
+    /// A checksum-valid TCP segment addressed to an open TCP port; connection
+    /// state is kept by the [`TcpSocket`](crate::tcp::TcpSocket) bound there.
+    Tcp(TcpSegment),
+    /// A TCP segment arrived at a closed port (the stack answered with RST).
+    TcpClosedPort {
+        /// Source of the segment.
+        from: Ipv4Addr,
+        /// The closed destination port.
+        port: u16,
+        /// Whether an RST was emitted (never for incoming RSTs).
+        rst_sent: bool,
+    },
     /// An ICMP destination-unreachable error was received; `quoted_ports` are
     /// the (src, dst) UDP ports of the quoted offending datagram, if any.
     IcmpError {
@@ -140,12 +155,17 @@ pub struct StackOutput {
 }
 
 /// The per-host stack state.
+///
+/// Historically named `UdpStack` (an alias is kept): since the transport
+/// refactor it also owns the TCP port table and the TCP packetisation path,
+/// with connection state living in [`crate::tcp::TcpSocket`].
 #[derive(Debug)]
-pub struct UdpStack {
+pub struct HostStack {
     /// Addresses owned by this host.
     pub addresses: Vec<Ipv4Addr>,
     config: StackConfig,
     open_ports: HashSet<u16>,
+    open_tcp_ports: HashSet<u16>,
     reassembly: ReassemblyBuffer,
     icmp_limiter: IcmpRateLimiter,
     pmtu: PathMtuCache,
@@ -153,17 +173,22 @@ pub struct UdpStack {
     per_dest_ipid: std::collections::HashMap<Ipv4Addr, u16>,
 }
 
-impl UdpStack {
+/// Back-compat alias from before the transport-layer refactor, when the
+/// stack only spoke UDP/ICMP.
+pub type UdpStack = HostStack;
+
+impl HostStack {
     /// Creates a stack owning the given addresses.
     pub fn new(addresses: Vec<Ipv4Addr>, config: StackConfig) -> Self {
         let mut pmtu = PathMtuCache::with_min_accepted(config.min_accepted_mtu.max(MIN_IPV4_MTU));
         pmtu.default_mtu = DEFAULT_MTU;
-        UdpStack {
+        HostStack {
             addresses,
             icmp_limiter: IcmpRateLimiter::new(config.icmp_rate_limit),
             reassembly: ReassemblyBuffer::new(config.reassembly),
             pmtu,
             open_ports: HashSet::new(),
+            open_tcp_ports: HashSet::new(),
             global_ipid: 1,
             per_dest_ipid: std::collections::HashMap::new(),
             config,
@@ -172,7 +197,7 @@ impl UdpStack {
 
     /// Creates a stack with default configuration.
     pub fn with_defaults(addresses: Vec<Ipv4Addr>) -> Self {
-        UdpStack::new(addresses, StackConfig::default())
+        HostStack::new(addresses, StackConfig::default())
     }
 
     /// The primary (first) address of this host.
@@ -204,6 +229,22 @@ impl UdpStack {
     /// Number of currently open ports.
     pub fn open_port_count(&self) -> usize {
         self.open_ports.len()
+    }
+
+    /// Opens a TCP port (53 on a nameserver, the client port of a resolver's
+    /// upstream connections). The TCP and UDP port spaces are independent.
+    pub fn open_tcp_port(&mut self, port: u16) {
+        self.open_tcp_ports.insert(port);
+    }
+
+    /// Closes a TCP port.
+    pub fn close_tcp_port(&mut self, port: u16) {
+        self.open_tcp_ports.remove(&port);
+    }
+
+    /// Whether a TCP port is currently open.
+    pub fn is_tcp_port_open(&self, port: u16) -> bool {
+        self.open_tcp_ports.contains(&port)
     }
 
     /// Read access to the stack configuration.
@@ -265,6 +306,23 @@ impl UdpStack {
         }
     }
 
+    /// The maximum TCP segment size towards `dst`: the current path MTU
+    /// minus the IPv4 and TCP headers. TCP sets DF, so sizing segments to
+    /// the path MTU is what keeps the stream unfragmentable — the structural
+    /// reason DNS over TCP defeats fragmentation-based poisoning.
+    pub fn tcp_mss_for(&self, dst: Ipv4Addr, now: SimTime) -> u16 {
+        let mtu = if self.config.pmtud_enabled { self.pmtu.mtu_for(dst, now) } else { DEFAULT_MTU };
+        mtu.saturating_sub((crate::ipv4::IPV4_HEADER_LEN + TCP_HEADER_LEN) as u16).max(1)
+    }
+
+    /// Builds the IPv4 packet for a TCP segment originating from this host
+    /// (IP-ID per policy, DF always set).
+    pub fn send_tcp<R: Rng>(&mut self, seg: TcpSegment, _now: SimTime, rng: &mut R) -> Ipv4Packet {
+        let dst = seg.dst;
+        let ipid = self.next_ipid(dst, rng);
+        seg.into_packet(ipid, self.config.ttl)
+    }
+
     /// Builds an ICMP echo request towards `dst`.
     pub fn send_ping<R: Rng>(&mut self, src: Ipv4Addr, dst: Ipv4Addr, id: u16, seq: u16, rng: &mut R) -> Ipv4Packet {
         let ipid = self.next_ipid(dst, rng);
@@ -299,10 +357,33 @@ impl UdpStack {
 
         match full.header.protocol {
             Protocol::Udp => self.handle_udp(&full, now, rng, &mut out),
+            Protocol::Tcp => self.handle_tcp(&full, rng, &mut out),
             Protocol::Icmp => self.handle_icmp(&full, now, rng, &mut out),
             _ => out.events.push(StackEvent::Dropped("unsupported protocol")),
         }
         out
+    }
+
+    fn handle_tcp<R: Rng>(&mut self, pkt: &Ipv4Packet, rng: &mut R, out: &mut StackOutput) {
+        match TcpSegment::from_packet(pkt) {
+            Ok(seg) => {
+                if self.open_tcp_ports.contains(&seg.dst_port) {
+                    out.events.push(StackEvent::Tcp(seg));
+                } else {
+                    // RFC 793 §3.4: segments to closed ports are reset (RSTs
+                    // are not subject to the ICMP error rate limit — one
+                    // reason the TCP path has no SadDNS-style muting oracle).
+                    let rst = rst_reply(&seg);
+                    let rst_sent = rst.is_some();
+                    if let Some(rst) = rst {
+                        let ipid = self.next_ipid(rst.dst, rng);
+                        out.replies.push(rst.into_packet(ipid, self.config.ttl));
+                    }
+                    out.events.push(StackEvent::TcpClosedPort { from: seg.src, port: seg.dst_port, rst_sent });
+                }
+            }
+            Err(_) => out.events.push(StackEvent::Dropped("tcp checksum/format error")),
+        }
     }
 
     fn handle_udp<R: Rng>(&mut self, pkt: &Ipv4Packet, now: SimTime, rng: &mut R, out: &mut StackOutput) {
@@ -541,6 +622,83 @@ mod tests {
             e,
             StackEvent::IcmpError { kind: Unreachable::Port, quoted_ports: Some((40000, 53)), .. }
         )));
+    }
+
+    #[test]
+    fn tcp_delivered_to_open_port_and_rst_for_closed() {
+        use crate::tcp::{TcpFlags, TcpSegment};
+        let mut s = stack();
+        s.open_tcp_port(53);
+        let syn = TcpSegment {
+            src: PEER,
+            dst: HOST,
+            src_port: 40000,
+            dst_port: 53,
+            seq: 100,
+            ack: 0,
+            flags: TcpFlags::syn(),
+            window: 512,
+            payload: vec![],
+        };
+        let out = s.handle_packet(&syn.clone().into_packet(1, 64), SimTime::ZERO, &mut rng());
+        assert!(matches!(&out.events[0], StackEvent::Tcp(seg) if seg.dst_port == 53 && seg.flags.syn));
+        assert!(out.replies.is_empty(), "connection state lives in the socket, not the stack");
+
+        // Closed port: RST, not ICMP — and not rate limited.
+        let mut probe = syn;
+        probe.dst_port = 9999;
+        let out = s.handle_packet(&probe.into_packet(2, 64), SimTime::ZERO, &mut rng());
+        assert!(matches!(out.events[0], StackEvent::TcpClosedPort { port: 9999, rst_sent: true, .. }));
+        assert_eq!(out.replies.len(), 1);
+        let rst = crate::tcp::TcpSegment::from_packet(&out.replies[0]).unwrap();
+        assert!(rst.flags.rst);
+    }
+
+    #[test]
+    fn corrupt_tcp_segment_dropped() {
+        use crate::tcp::{TcpFlags, TcpSegment};
+        let mut s = stack();
+        s.open_tcp_port(53);
+        let seg = TcpSegment {
+            src: PEER,
+            dst: HOST,
+            src_port: 40000,
+            dst_port: 53,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::syn(),
+            window: 512,
+            payload: vec![],
+        };
+        let mut pkt = seg.into_packet(1, 64);
+        pkt.payload[16] = 0; // zero the checksum: illegal for TCP
+        pkt.payload[17] = 0;
+        let out = s.handle_packet(&pkt, SimTime::ZERO, &mut rng());
+        assert!(matches!(out.events[0], StackEvent::Dropped("tcp checksum/format error")));
+    }
+
+    #[test]
+    fn tcp_mss_follows_path_mtu() {
+        let mut s = stack();
+        let mut r = rng();
+        assert_eq!(s.tcp_mss_for(PEER, SimTime::ZERO), 1460);
+        // A fragmentation-needed message lowers the path MTU and the MSS.
+        let pkts = s.send_udp(UdpDatagram::new(HOST, PEER, 53, 3333, vec![0u8; 1300]), SimTime::ZERO, &mut r);
+        let ptb = IcmpMessage::fragmentation_needed(&pkts[0], 576).into_packet(PEER, HOST, 9, 64);
+        s.handle_packet(&ptb, SimTime::ZERO, &mut r);
+        assert_eq!(s.tcp_mss_for(PEER, SimTime::ZERO), 536);
+    }
+
+    #[test]
+    fn tcp_port_space_is_independent_of_udp() {
+        let mut s = stack();
+        s.open_port(53);
+        assert!(!s.is_tcp_port_open(53));
+        s.open_tcp_port(53);
+        assert!(s.is_tcp_port_open(53));
+        s.close_tcp_port(53);
+        assert!(!s.is_tcp_port_open(53));
+        assert!(s.is_port_open(53), "closing the TCP port leaves UDP open");
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct TrafficStats {
     pub udp_sent: u64,
     /// UDP datagrams received.
     pub udp_received: u64,
+    /// TCP segments sent.
+    pub tcp_sent: u64,
+    /// TCP segments received.
+    pub tcp_received: u64,
     /// ICMP messages sent.
     pub icmp_sent: u64,
     /// ICMP messages received.
@@ -42,6 +46,7 @@ impl TrafficStats {
         self.bytes_sent += wire_len as u64;
         match protocol {
             Protocol::Udp => self.udp_sent += 1,
+            Protocol::Tcp => self.tcp_sent += 1,
             Protocol::Icmp => self.icmp_sent += 1,
             _ => {}
         }
@@ -53,6 +58,7 @@ impl TrafficStats {
         self.bytes_received += wire_len as u64;
         match protocol {
             Protocol::Udp => self.udp_received += 1,
+            Protocol::Tcp => self.tcp_received += 1,
             Protocol::Icmp => self.icmp_received += 1,
             _ => {}
         }
@@ -67,6 +73,8 @@ impl TrafficStats {
         self.bytes_received += other.bytes_received;
         self.udp_sent += other.udp_sent;
         self.udp_received += other.udp_received;
+        self.tcp_sent += other.tcp_sent;
+        self.tcp_received += other.tcp_received;
         self.icmp_sent += other.icmp_sent;
         self.icmp_received += other.icmp_received;
         self.spoofed_filtered += other.spoofed_filtered;
@@ -107,11 +115,24 @@ mod tests {
     }
 
     #[test]
-    fn other_protocols_counted_only_in_totals() {
+    fn tcp_counted_in_its_own_column() {
         let mut s = TrafficStats::default();
         s.record_sent(Protocol::Tcp, 40);
+        s.record_received(Protocol::Tcp, 52);
+        assert_eq!(s.packets_sent, 1);
+        assert_eq!(s.tcp_sent, 1);
+        assert_eq!(s.tcp_received, 1);
+        assert_eq!(s.udp_sent, 0);
+        assert_eq!(s.icmp_sent, 0);
+    }
+
+    #[test]
+    fn other_protocols_counted_only_in_totals() {
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Other(89), 40);
         assert_eq!(s.packets_sent, 1);
         assert_eq!(s.udp_sent, 0);
+        assert_eq!(s.tcp_sent, 0);
         assert_eq!(s.icmp_sent, 0);
     }
 }

@@ -221,6 +221,21 @@ mod tests {
     }
 
     #[test]
+    fn computed_zero_checksum_transmitted_as_ffff() {
+        // RFC 768: an all-zero checksum field means "no checksum", so a
+        // *computed* 0x0000 must be transmitted as its complement-equal
+        // 0xffff. Crafted so pseudo-header + header + payload sum to
+        // exactly 0xffff: 0x0011 (proto) + 0x000a (len) + 0x0001 + 0x0002
+        // (ports) + 0x000a (len again) + 0xffd7 (payload) = 0xffff, so the
+        // complement is 0x0000 — and the wire value must be 0xffff.
+        let d = UdpDatagram::new("0.0.0.0".parse().unwrap(), "0.0.0.0".parse().unwrap(), 1, 2, vec![0xff, 0xd7]);
+        assert_eq!(d.compute_checksum(), 0xffff);
+        // The receiver still verifies it like any other checksum.
+        let pkt = d.clone().into_packet(1, 64);
+        assert_eq!(UdpDatagram::from_packet(&pkt).unwrap(), d);
+    }
+
+    #[test]
     fn zero_checksum_is_accepted() {
         let d = dgram(b"no checksum");
         let mut pkt = d.clone().into_packet(1, 64);

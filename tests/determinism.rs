@@ -210,6 +210,89 @@ fn scenario_matrix_is_thread_count_invariant() {
     );
 }
 
+/// Runs one full DNS-over-TCP resolution (client query → TCP handshake →
+/// framed query → framed answer → teardown) and returns the rendered packet
+/// trace plus the resolver's stats — everything an interleaving could leak
+/// into.
+fn run_tcp_resolution(seed: u64) -> (String, u64, u64) {
+    let mut cfg = VictimEnvConfig { seed, ..Default::default() };
+    cfg.resolver = cfg.resolver.with_transport(UpstreamTransport::TcpOnly);
+    let (mut sim, env) = cfg.build();
+    env.trigger_query(&mut sim, QueryTrigger::InternalClient, &"www.vict.im".parse().unwrap(), RecordType::A, 9);
+    sim.run();
+    let resolver = env.resolver(&sim);
+    assert_eq!(resolver.stats.responses_accepted, 1, "TCP resolution must complete");
+    let trace: String = sim.trace().render();
+    (trace, sim.stats(env.resolver).tcp_sent, sim.stats(env.resolver).tcp_received)
+}
+
+#[test]
+fn tcp_connections_are_byte_identical_for_the_same_seed() {
+    // Seeded ISNs, handshake interleavings, segment boundaries, teardown:
+    // the whole packet trace of a DNS-over-TCP resolution replays exactly.
+    let a = run_tcp_resolution(2021);
+    let b = run_tcp_resolution(2021);
+    assert_eq!(a, b, "same seed must reproduce the exact TCP packet trace");
+    assert!(a.1 >= 3, "handshake + query + teardown segments on the wire: {}", a.1);
+    // A different seed draws different ISNs, so the trace differs (the seq
+    // numbers are in the rendered summaries) while resolution still works.
+    let c = run_tcp_resolution(2022);
+    assert_ne!(a.0, c.0, "different seeds must draw different ISNs");
+}
+
+#[test]
+fn tcp_scenario_grid_is_thread_count_invariant() {
+    // The acceptance lock for the DnsOverTcp row: the grid including the
+    // TCP scenarios — hijack interception over TCP, SadDNS and FragDNS
+    // precondition failures — is byte-equal at workers ∈ {1, 2, 8}.
+    let campaign = ScenarioCampaign {
+        base_seed: 2021,
+        methods: PoisonMethod::all().to_vec(),
+        defences: vec![Defence::None, Defence::DnsOverTcp],
+        runs_per_cell: 2,
+    };
+    let reference = campaign.run(1);
+    for workers in [2usize, 8] {
+        assert_eq!(campaign.run(workers), reference, "workers={workers} changed the TCP scenario grid");
+    }
+    // And the row means what the paper says it means: TCP blocks the two
+    // off-path vectors on every seed, but not interception.
+    let tcp_hijack = reference.cell(PoisonMethod::HijackDns, Defence::DnsOverTcp).unwrap();
+    assert_eq!((tcp_hijack.runs, tcp_hijack.successes), (2, 2));
+    let tcp_saddns = reference.cell(PoisonMethod::SadDns, Defence::DnsOverTcp).unwrap();
+    assert_eq!((tcp_saddns.runs, tcp_saddns.successes), (2, 0));
+    let tcp_fragdns = reference.cell(PoisonMethod::FragDns, Defence::DnsOverTcp).unwrap();
+    assert_eq!((tcp_fragdns.runs, tcp_fragdns.successes), (2, 0));
+}
+
+#[test]
+fn appending_a_defence_does_not_reseed_existing_cells() {
+    // The per-cell seed derivation is a function of the cell coordinates,
+    // not the grid shape: the same (method, defence) cell produces the same
+    // aggregate whether or not more defences ride along in the grid.
+    let small = ScenarioCampaign {
+        base_seed: 2021,
+        methods: PoisonMethod::all().to_vec(),
+        defences: vec![Defence::None],
+        runs_per_cell: 2,
+    };
+    let grown = ScenarioCampaign {
+        base_seed: 2021,
+        methods: PoisonMethod::all().to_vec(),
+        defences: vec![Defence::None, Defence::X20Encoding, Defence::DnsOverTcp],
+        runs_per_cell: 2,
+    };
+    let small_matrix = small.run(1);
+    let grown_matrix = grown.run(2);
+    for method in PoisonMethod::all() {
+        assert_eq!(
+            small_matrix.cell(method, Defence::None),
+            grown_matrix.cell(method, Defence::None),
+            "growing the grid must not change the {method} baseline cell"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_still_converge_on_success() {
     // Determinism must not come from ignoring the seed: distinct seeds may

@@ -127,3 +127,65 @@ fn countermeasures_change_attack_outcomes() {
     assert!(baseline.attack_succeeded);
     assert!(!defended.attack_succeeded);
 }
+
+/// Builds a client → resolver → padded nameserver chain whose answers exceed
+/// the resolver's 512-byte EDNS buffer, so every lookup truncates over UDP.
+fn truncating_chain(policy: UpstreamTransport) -> (Simulator, NodeId, NodeId) {
+    let resolver_addr: Ipv4Addr = "30.0.0.1".parse().unwrap();
+    let ns_addr: Ipv4Addr = "123.0.0.53".parse().unwrap();
+    let client_addr: Ipv4Addr = "30.0.0.25".parse().unwrap();
+    let mut zone = Zone::new("vict.im".parse().unwrap());
+    zone.add_a("www.vict.im", "30.0.0.80".parse().unwrap());
+    let mut ns_cfg = NameserverConfig::new(ns_addr);
+    ns_cfg.pad_responses_to = Some(1400);
+    let resolver_cfg = ResolverConfig { edns_size: 512, ..ResolverConfig::new(resolver_addr) }
+        .with_delegation("vict.im", vec![ns_addr], false)
+        .with_transport(policy);
+    let mut client = StubClient::new(client_addr, resolver_addr);
+    client.query("www.vict.im", RecordType::A);
+    let mut sim = Simulator::new(99);
+    let c = sim.add_node("client", vec![client_addr], client);
+    let r = sim.add_node("resolver", vec![resolver_addr], Resolver::new(resolver_cfg));
+    sim.add_node("ns", vec![ns_addr], Nameserver::new(ns_cfg, vec![zone]));
+    sim.run();
+    (sim, c, r)
+}
+
+#[test]
+fn truncation_surfaces_to_the_client_and_tcp_fallback_repairs_it() {
+    // Without TCP support the truncated lookup fails *visibly*: the client
+    // observes SERVFAIL with the TC bit echoed — a distinct outcome, not a
+    // silent drop with a stat bump.
+    let (sim, c, r) = truncating_chain(UpstreamTransport::UdpOnly);
+    let client = sim.node_ref::<StubClient>(c).unwrap();
+    let lookup = client.answer_for(&"www.vict.im".parse().unwrap()).expect("an answer arrived");
+    assert_eq!(lookup.rcode, Rcode::ServFail);
+    assert!(lookup.truncated, "the TC bit distinguishes truncation from an ordinary timeout");
+    assert_eq!(client.failures, 1);
+    let resolver = sim.node_ref::<Resolver>(r).unwrap();
+    assert_eq!(resolver.stats.truncated_responses, 1);
+
+    // With RFC 7766 fallback the same chain succeeds: the resolver re-asks
+    // over TCP and the client gets the full answer.
+    let (sim, c, r) = truncating_chain(UpstreamTransport::UdpTcFallback);
+    let client = sim.node_ref::<StubClient>(c).unwrap();
+    let lookup = client.answer_for(&"www.vict.im".parse().unwrap()).expect("an answer arrived");
+    assert_eq!(lookup.rcode, Rcode::NoError);
+    assert!(!lookup.truncated);
+    assert_eq!(lookup.first_a(), Some("30.0.0.80".parse().unwrap()));
+    let resolver = sim.node_ref::<Resolver>(r).unwrap();
+    assert_eq!(resolver.stats.tcp_fallbacks, 1);
+    assert_eq!(resolver.stats.responses_accepted, 1);
+}
+
+#[test]
+fn dns_over_tcp_defence_reshapes_the_ablation_row() {
+    // The whole-pipeline view of the new transport: one defence toggles the
+    // outcome of two methodologies at once, and the cell runs through the
+    // identical Scenario pipeline as every other (method, defence) pair.
+    assert!(evaluate_cell(PoisonMethod::SadDns, Defence::None, 88).attack_succeeded);
+    assert!(!evaluate_cell(PoisonMethod::SadDns, Defence::DnsOverTcp, 88).attack_succeeded);
+    assert!(!evaluate_cell(PoisonMethod::FragDns, Defence::DnsOverTcp, 88).attack_succeeded);
+    let hijack = evaluate_cell(PoisonMethod::HijackDns, Defence::DnsOverTcp, 88);
+    assert!(hijack.attack_succeeded, "interception still defeats the transport");
+}

@@ -145,4 +145,118 @@ proptest! {
         prop_assert!(allowed <= capacity as usize);
         prop_assert_eq!(allowed, probes.min(capacity as usize));
     }
+
+    /// TCP segment encode/decode is the identity for arbitrary headers and
+    /// payloads, and the checksum always verifies.
+    #[test]
+    fn tcp_segment_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..600),
+                             src in arb_addr(), dst in arb_addr(),
+                             sport in 1u16..65535, dport in 1u16..65535,
+                             seq in any::<u32>(), ack in any::<u32>(),
+                             flag_bits in 0u8..32, window in any::<u16>(),
+                             ipid in any::<u16>()) {
+        let seg = TcpSegment {
+            src, dst, src_port: sport, dst_port: dport, seq, ack,
+            flags: TcpFlags {
+                fin: flag_bits & 1 != 0,
+                syn: flag_bits & 2 != 0,
+                rst: flag_bits & 4 != 0,
+                psh: flag_bits & 8 != 0,
+                ack: flag_bits & 16 != 0,
+            },
+            window,
+            payload,
+        };
+        let pkt = seg.clone().into_packet(ipid, 64);
+        prop_assert!(pkt.header.dont_fragment, "TCP always sets DF");
+        let decoded = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(TcpSegment::from_packet(&decoded).unwrap(), seg);
+    }
+
+    /// Tampering with any byte of a TCP segment breaks its checksum — and a
+    /// zeroed checksum field is itself a verification failure (no UDP-style
+    /// "checksum absent" escape hatch, RFC 793).
+    #[test]
+    fn tcp_checksum_detects_single_byte_tampering(payload in proptest::collection::vec(any::<u8>(), 4..200),
+                                                  flip_index in 0usize..200, flip_bit in 0u8..8) {
+        let src: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let seg = TcpSegment {
+            src, dst, src_port: 49152, dst_port: 53, seq: 7, ack: 9,
+            flags: TcpFlags::ack(), window: 512, payload: payload.clone(),
+        };
+        let mut pkt = seg.into_packet(3, 64);
+        let idx = netsim::tcp::TCP_HEADER_LEN + (flip_index % payload.len());
+        pkt.payload[idx] ^= 1 << flip_bit;
+        prop_assert!(TcpSegment::from_packet(&pkt).is_err());
+    }
+
+    /// The TCP handshake state machine reaches `Established` on both ends
+    /// for any ISN pair, then delivers an arbitrary payload in order under
+    /// any MSS, with exact byte accounting.
+    #[test]
+    fn tcp_handshake_and_stream_delivery(client_isn in any::<u32>(), server_isn in any::<u32>(),
+                                         mss in 1u16..1500,
+                                         payload in proptest::collection::vec(any::<u8>(), 1..2000)) {
+        let a = Endpoint::new("10.0.0.1".parse().unwrap(), 49152);
+        let b = Endpoint::new("10.0.0.2".parse().unwrap(), 53);
+        let (mut client, syn) = TcpConnection::client(a, b, client_isn, mss);
+        prop_assert_eq!(client.state, TcpState::SynSent);
+        let (mut server, syn_ack) = TcpConnection::server(b, a, server_isn, mss, &syn);
+        let reaction = client.on_segment(&syn_ack);
+        prop_assert_eq!(client.state, TcpState::Established);
+        for reply in &reaction.replies {
+            server.on_segment(reply);
+        }
+        prop_assert_eq!(server.state, TcpState::Established);
+
+        // Sequence numbers picked up exactly where the ISNs left off.
+        prop_assert_eq!(client.snd_nxt(), client_isn.wrapping_add(1));
+        prop_assert_eq!(server.rcv_nxt(), client_isn.wrapping_add(1));
+        prop_assert_eq!(client.rcv_nxt(), server_isn.wrapping_add(1));
+
+        // Stream delivery: every segment respects the MSS, arrives in order
+        // and reassembles to the exact payload.
+        let segs = client.send(&payload);
+        prop_assert_eq!(segs.len(), payload.len().div_ceil(usize::from(mss)));
+        let mut delivered = Vec::new();
+        for seg in &segs {
+            prop_assert!(seg.payload.len() <= usize::from(mss));
+            for event in server.on_segment(seg).events {
+                if let SocketEvent::Data { payload, .. } = event {
+                    delivered.extend_from_slice(&payload);
+                }
+            }
+        }
+        prop_assert_eq!(&delivered, &payload);
+        prop_assert_eq!(server.bytes_received, payload.len() as u64);
+        prop_assert_eq!(client.bytes_sent, payload.len() as u64);
+        prop_assert_eq!(server.rcv_nxt(), client_isn.wrapping_add(1).wrapping_add(payload.len() as u32));
+    }
+
+    /// An off-path segment that guessed the 4-tuple but not the exact
+    /// sequence number is never delivered to the application.
+    #[test]
+    fn tcp_wrong_seq_never_delivers(client_isn in any::<u32>(), server_isn in any::<u32>(),
+                                    seq_offset in 1u32..u32::MAX,
+                                    payload in proptest::collection::vec(any::<u8>(), 1..100)) {
+        let a = Endpoint::new("10.0.0.1".parse().unwrap(), 49152);
+        let b = Endpoint::new("10.0.0.2".parse().unwrap(), 53);
+        let (mut client, syn) = TcpConnection::client(a, b, client_isn, 1460);
+        let (mut server, syn_ack) = TcpConnection::server(b, a, server_isn, 1460, &syn);
+        let reaction = client.on_segment(&syn_ack);
+        for reply in &reaction.replies {
+            server.on_segment(reply);
+        }
+        let forged = TcpSegment {
+            src: a.addr, dst: b.addr, src_port: a.port, dst_port: b.port,
+            seq: server.rcv_nxt().wrapping_add(seq_offset), ack: server.snd_nxt(),
+            flags: TcpFlags { ack: true, psh: true, ..Default::default() },
+            window: 512, payload,
+        };
+        let reaction = server.on_segment(&forged);
+        let delivered_data = reaction.events.iter().any(|e| matches!(e, SocketEvent::Data { .. }));
+        prop_assert!(!delivered_data);
+        prop_assert_eq!(server.bytes_received, 0);
+    }
 }
