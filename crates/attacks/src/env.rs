@@ -45,6 +45,10 @@ pub struct VictimEnv {
     /// Whether route-origin validation filters hijacked announcements on the
     /// relevant paths (copied from [`VictimEnvConfig::rov_enforced`]).
     pub rov_enforced: bool,
+    /// Multi-vantage-point validation quorum for any certificate authority
+    /// hosted in this environment (copied from
+    /// [`VictimEnvConfig::vantage_quorum`]).
+    pub vantage_quorum: Option<u8>,
 }
 
 /// Tunable properties of the standard environment.
@@ -67,6 +71,15 @@ pub struct VictimEnvConfig {
     /// interception-based vectors fail their precondition. Set by the
     /// `RouteOriginValidation` defence.
     pub rov_enforced: bool,
+    /// Multi-vantage-point domain-validation quorum of any certificate
+    /// authority hosted in this environment (the Let's Encrypt-style
+    /// countermeasure): `Some(q)` means the CA corroborates every challenge
+    /// from vantage resolvers at distinct ASes and requires at least `q` of
+    /// them to agree with its primary validation before issuing. `None`
+    /// (default) validates from the primary resolver alone. Set by the
+    /// `MultiVantageValidation` defence; the resolver itself is unaffected —
+    /// the `ca` crate consumes this when it builds the issuance pipeline.
+    pub vantage_quorum: Option<u8>,
 }
 
 /// Well-known addresses of the standard environment (mirroring Figure 1/2).
@@ -94,6 +107,7 @@ impl Default for VictimEnvConfig {
             attacker_latency: Duration::from_millis(5),
             zone_signed: false,
             rov_enforced: false,
+            vantage_quorum: None,
         }
     }
 }
@@ -170,6 +184,7 @@ impl VictimEnvConfig {
             target_name: "vict.im".parse().expect("valid name"),
             resolver_edns_size,
             rov_enforced: self.rov_enforced,
+            vantage_quorum: self.vantage_quorum,
         };
         (sim, env)
     }
@@ -200,10 +215,11 @@ impl VictimEnv {
     ) {
         let (from_node, from_addr, from_port) = match trigger {
             QueryTrigger::OpenResolver => (self.attacker, self.attacker_addr, 4444),
-            QueryTrigger::InternalClient => (self.client, self.client_addr, 5353),
+            QueryTrigger::InternalClient => (self.client, self.client_addr, well_known_ports::STUB_CLIENT),
         };
         let query = Message::query(txid, name.clone(), qtype);
-        let pkt = UdpDatagram::new(from_addr, self.resolver_addr, from_port, 53, query.encode()).into_packet(txid, 64);
+        let pkt = UdpDatagram::new(from_addr, self.resolver_addr, from_port, well_known_ports::DNS, query.encode())
+            .into_packet(txid, 64);
         sim.inject(from_node, pkt);
     }
 

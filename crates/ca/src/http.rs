@@ -1,0 +1,331 @@
+//! A minimal, deterministic HTTP/1.0 layer over the simulated TCP stack,
+//! plus the [`ChallengeHost`] node that serves HTTP-01 challenge documents.
+//!
+//! The exchange is the smallest thing that still exercises real transport:
+//! one request line with headers, one response with `Content-Length` and
+//! `Connection: close`, carried over the deterministic
+//! [`TcpSocket`](netsim::tcp::TcpSocket) (3-way handshake, MSS segmentation,
+//! FIN teardown). The same node type plays both sides of the paper's story:
+//! the **genuine** web host that serves the real account's provisioned
+//! tokens (and 404s everyone else's), and the **attacker's** host, which
+//! additionally impersonates hijacked infrastructure — terminating TCP
+//! connections whose destination address it does not own and answering
+//! intercepted DNS queries as if it were the nameserver, exactly what an
+//! adversary holding a BGP hijack through a CA's validation window does.
+
+use crate::acme::http_challenge_path;
+use dns::prelude::*;
+use netsim::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Encodes an HTTP/1.0 GET request.
+pub fn http_get(host: &str, path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nUser-Agent: xlayer-acme/0.1\r\n\r\n").into_bytes()
+}
+
+/// Encodes an HTTP/1.0 response with `Content-Length` and `Connection:
+/// close`.
+pub fn http_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Extracts the request path once a full request head has arrived (returns
+/// `None` while incomplete or on malformed input).
+pub fn parse_request_path(bytes: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    if !text.contains("\r\n\r\n") {
+        return None;
+    }
+    let mut parts = text.lines().next()?.split(' ');
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+/// Incremental parser for one HTTP/1.0 response: feed stream chunks with
+/// [`push`](HttpResponseParser::push), read the `(status, body)` once the
+/// `Content-Length` worth of body has arrived.
+#[derive(Debug, Clone, Default)]
+pub struct HttpResponseParser {
+    buf: Vec<u8>,
+}
+
+impl HttpResponseParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        HttpResponseParser::default()
+    }
+
+    /// Appends stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The complete `(status, body)` if the response has fully arrived.
+    pub fn complete(&self) -> Option<(u16, String)> {
+        let text = std::str::from_utf8(&self.buf).ok()?;
+        let head_end = text.find("\r\n\r\n")?;
+        let head = &text[..head_end];
+        let status: u16 = head.lines().next()?.split(' ').nth(1)?.parse().ok()?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))?
+            .parse()
+            .ok()?;
+        let body = &self.buf[head_end + 4..];
+        if body.len() < content_length {
+            return None;
+        }
+        Some((status, String::from_utf8_lossy(&body[..content_length]).into_owned()))
+    }
+}
+
+/// A web host serving ACME HTTP-01 challenge documents on port 80.
+///
+/// In genuine mode it answers only addressed traffic: 200 with the key
+/// authorization for provisioned tokens, 404 otherwise. With
+/// [`impersonating`](ChallengeHost::impersonating) enabled it additionally
+/// behaves like the attacker's machine under an active prefix hijack:
+/// terminating hijacked TCP connections as whatever host the victim dialled
+/// and answering intercepted DNS queries (A records pointing at
+/// [`dns_a`](ChallengeHost::dns_a), TXT records carrying
+/// [`dns_txt`](ChallengeHost::dns_txt)) with the source address spoofed to
+/// the queried nameserver.
+pub struct ChallengeHost {
+    stack: HostStack,
+    listener: Box<dyn Socket>,
+    intercept: TcpSocket,
+    rx: HashMap<Endpoint, Vec<u8>>,
+    intercept_rx: HashMap<Endpoint, Vec<u8>>,
+    tokens: BTreeMap<String, String>,
+    impersonate: bool,
+    /// A-record answer for intercepted DNS queries (defaults to own addr).
+    pub dns_a: Ipv4Addr,
+    /// TXT answer for intercepted `_acme-challenge` TXT queries.
+    pub dns_txt: Option<String>,
+    /// Challenge documents served (both modes).
+    pub requests_served: u64,
+    /// Requests that missed every provisioned token (404s).
+    pub requests_missed: u64,
+    /// DNS queries answered while impersonating.
+    pub dns_intercepted: u64,
+}
+
+impl ChallengeHost {
+    /// A genuine challenge host at `addr` with no provisioned tokens.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        let mut stack = HostStack::with_defaults(vec![addr]);
+        let listener = TcpTransport::listener().bind(&mut stack, well_known_ports::HTTP);
+        ChallengeHost {
+            stack,
+            listener,
+            intercept: TcpSocket::listener(well_known_ports::HTTP),
+            rx: HashMap::new(),
+            intercept_rx: HashMap::new(),
+            tokens: BTreeMap::new(),
+            impersonate: false,
+            dns_a: addr,
+            dns_txt: None,
+            requests_served: 0,
+            requests_missed: 0,
+            dns_intercepted: 0,
+        }
+    }
+
+    /// Provisions a challenge document: `GET /.well-known/acme-challenge/
+    /// <token>` will answer 200 with `key_authorization`.
+    pub fn with_token(mut self, token: &str, key_authorization: &str) -> Self {
+        self.tokens.insert(token.to_string(), key_authorization.to_string());
+        self
+    }
+
+    /// Enables attacker-mode impersonation of hijacked traffic.
+    pub fn impersonating(mut self) -> Self {
+        self.impersonate = true;
+        self
+    }
+
+    fn challenge_body(&self, path: &str) -> Option<&str> {
+        self.tokens.iter().find(|(token, _)| path == http_challenge_path(token)).map(|(_, body)| body.as_str())
+    }
+
+    fn respond(&mut self, path: &str) -> Vec<u8> {
+        match self.challenge_body(path).map(str::to_string) {
+            Some(body) => {
+                self.requests_served += 1;
+                http_response(200, "OK", &body)
+            }
+            None => {
+                self.requests_missed += 1;
+                http_response(404, "Not Found", "no such challenge\n")
+            }
+        }
+    }
+
+    /// Serves one request that arrived on the *addressed* listener.
+    fn serve_owned(&mut self, peer: Endpoint, payload: &[u8], ctx: &mut Ctx<'_>) {
+        let buf = self.rx.entry(peer).or_default();
+        buf.extend_from_slice(payload);
+        let Some(path) = parse_request_path(buf) else { return };
+        self.rx.remove(&peer);
+        let response = self.respond(&path);
+        let listener = &mut self.listener;
+        with_io(&mut self.stack, ctx, |io| {
+            listener.send_to(io, peer, &response);
+            listener.close_peer(io, peer);
+        });
+    }
+
+    /// Terminates one hijacked TCP packet (destination not owned): completes
+    /// the handshake as the dialled host and serves the challenge in-stream.
+    fn serve_hijacked(&mut self, pkt: &Ipv4Packet, ctx: &mut Ctx<'_>) {
+        let Ok(seg) = TcpSegment::from_packet(pkt) else { return };
+        let intercept = &mut self.intercept;
+        let events = with_io(&mut self.stack, ctx, |io| intercept.handle_segment(io, &seg));
+        for se in events {
+            match se {
+                SocketEvent::Data { peer, local, payload } => {
+                    let buf = self.intercept_rx.entry(peer).or_default();
+                    buf.extend_from_slice(&payload);
+                    let Some(path) = parse_request_path(buf) else { continue };
+                    self.intercept_rx.remove(&peer);
+                    let response = self.respond(&path);
+                    let intercept = &mut self.intercept;
+                    with_io(&mut self.stack, ctx, |io| {
+                        intercept.send_from(io, local, peer, &response);
+                    });
+                }
+                SocketEvent::PeerClosed { peer, .. } => {
+                    self.intercept_rx.remove(&peer);
+                    let intercept = &mut self.intercept;
+                    with_io(&mut self.stack, ctx, |io| intercept.close_peer(io, peer));
+                }
+                SocketEvent::Reset { peer, .. } => {
+                    self.intercept_rx.remove(&peer);
+                }
+                SocketEvent::Connected { .. } => {}
+            }
+        }
+    }
+
+    /// Answers one intercepted DNS query as the queried nameserver.
+    fn answer_intercepted_dns(&mut self, dst: Ipv4Addr, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
+        let Ok(query) = Message::decode(&dgram.payload) else { return };
+        if query.header.is_response {
+            return;
+        }
+        let Some(q) = query.question().cloned() else { return };
+        let mut resp = Message::response_for(&query);
+        resp.header.authoritative = true;
+        match q.qtype {
+            RecordType::TXT => {
+                if let Some(txt) = &self.dns_txt {
+                    resp.answers.push(ResourceRecord::new(q.name, 300, RData::Txt(txt.clone())));
+                }
+            }
+            _ => {
+                resp.answers.push(ResourceRecord::new(q.name, 300, RData::A(self.dns_a)));
+            }
+        }
+        self.dns_intercepted += 1;
+        let now = ctx.now();
+        // Source spoofed to the nameserver the victim addressed.
+        let pkts = self.stack.send_udp(
+            UdpDatagram::new(dst, dgram.src, well_known_ports::DNS, dgram.src_port, resp.encode()),
+            now,
+            ctx.rng(),
+        );
+        for p in pkts {
+            ctx.send(p);
+        }
+    }
+}
+
+impl Node for ChallengeHost {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+        if !self.stack.owns(pkt.header.dst) {
+            // Hijacked traffic only ever reaches this host through a route
+            // override; a genuine host ignores it.
+            if !self.impersonate {
+                return;
+            }
+            if let Ok(dgram) = UdpDatagram::from_packet(&pkt) {
+                if dgram.dst_port == well_known_ports::DNS {
+                    self.answer_intercepted_dns(pkt.header.dst, &dgram, ctx);
+                }
+            } else if pkt.header.protocol == Protocol::Tcp {
+                self.serve_hijacked(&pkt, ctx);
+            }
+            return;
+        }
+        let now = ctx.now();
+        let output = {
+            let rng = ctx.rng();
+            self.stack.handle_packet(&pkt, now, rng)
+        };
+        for reply in output.replies {
+            ctx.send(reply);
+        }
+        for event in output.events {
+            if let StackEvent::Tcp(_) = &event {
+                let listener = &mut self.listener;
+                let events = with_io(&mut self.stack, ctx, |io| listener.handle(io, &event));
+                for se in events {
+                    match se {
+                        SocketEvent::Data { peer, payload, .. } => self.serve_owned(peer, &payload, ctx),
+                        SocketEvent::PeerClosed { peer, .. } => {
+                            self.rx.remove(&peer);
+                            let listener = &mut self.listener;
+                            with_io(&mut self.stack, ctx, |io| listener.close_peer(io, peer));
+                        }
+                        SocketEvent::Reset { peer, .. } => {
+                            self.rx.remove(&peer);
+                        }
+                        SocketEvent::Connected { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_response_codec_roundtrip() {
+        let req = http_get("www.vict.im", "/.well-known/acme-challenge/tok1");
+        assert_eq!(parse_request_path(&req).as_deref(), Some("/.well-known/acme-challenge/tok1"));
+        assert_eq!(parse_request_path(b"GET /x HTTP/1.0\r\n"), None, "incomplete head");
+        assert_eq!(parse_request_path(b"POST /x HTTP/1.0\r\n\r\n"), None, "only GET supported");
+
+        let resp = http_response(200, "OK", "tok1.abcd");
+        let mut parser = HttpResponseParser::new();
+        let (a, b) = resp.split_at(resp.len() / 2);
+        parser.push(a);
+        assert_eq!(parser.complete(), None, "half a response does not parse");
+        parser.push(b);
+        assert_eq!(parser.complete(), Some((200, "tok1.abcd".to_string())));
+    }
+
+    #[test]
+    fn challenge_host_serves_provisioned_tokens_and_404s_the_rest() {
+        let host = ChallengeHost::new("30.0.0.80".parse().unwrap()).with_token("tok1", "tok1.thumb");
+        let mut h = host;
+        let ok = h.respond("/.well-known/acme-challenge/tok1");
+        assert!(String::from_utf8_lossy(&ok).contains("200 OK"));
+        assert!(String::from_utf8_lossy(&ok).ends_with("tok1.thumb"));
+        let miss = h.respond("/.well-known/acme-challenge/unknown");
+        assert!(String::from_utf8_lossy(&miss).contains("404"));
+        assert_eq!((h.requests_served, h.requests_missed), (1, 1));
+    }
+}

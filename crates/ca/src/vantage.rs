@@ -1,0 +1,129 @@
+//! Vantage-point placement and quorum evaluation.
+//!
+//! Let's Encrypt's multi-perspective validation re-runs every challenge from
+//! vantage points in distinct clouds/ASes, so an attack must control the
+//! victim's traffic *as seen from several unrelated networks* to obtain a
+//! certificate. The placement here rides the `bgp` crate's AS topology: each
+//! vantage gets a distinct **stub AS**, a resolver address, a validation-host
+//! address and a path latency derived deterministically from its AS number —
+//! so vantage traffic interleavings are a pure function of the seed, like
+//! everything else in the workspace.
+
+use crate::acme::ValidationResult;
+use bgp::prelude::*;
+use netsim::prelude::Duration;
+use std::net::Ipv4Addr;
+
+/// One placed vantage point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// Human-readable name (used as the sim node name).
+    pub name: String,
+    /// The stub AS hosting this vantage.
+    pub as_id: AsId,
+    /// Address of the vantage's own recursive resolver.
+    pub resolver_addr: Ipv4Addr,
+    /// Address of the vantage's validation host.
+    pub validator_addr: Ipv4Addr,
+    /// Path latency between the vantage and the rest of the topology.
+    pub latency: Duration,
+}
+
+/// Places `count` vantage points on distinct stub ASes of `topo`,
+/// deterministically: stubs are taken in ascending AS-number order, spread
+/// evenly across the available stubs so sibling vantages do not cluster
+/// under one transit provider.
+///
+/// # Panics
+/// When the topology has fewer stub ASes than requested vantages.
+pub fn place_vantage_points(topo: &AsTopology, count: usize) -> Vec<VantagePoint> {
+    let stubs = topo.ases_of_tier(AsTier::Stub);
+    assert!(count <= stubs.len(), "topology has {} stub ASes but {count} vantage points were requested", stubs.len());
+    let stride = (stubs.len() / count.max(1)).max(1);
+    (0..count)
+        .map(|i| {
+            let as_id = stubs[(i * stride) % stubs.len()];
+            let octet = (i + 1) as u8;
+            VantagePoint {
+                name: format!("vantage{}-as{}", i + 1, as_id.0),
+                as_id,
+                resolver_addr: Ipv4Addr::new(45, octet, 0, 53),
+                validator_addr: Ipv4Addr::new(45, octet, 0, 10),
+                // 12–34 ms, a pure function of the AS number: distinct ASes
+                // sit at distinct network distances.
+                latency: Duration::from_millis(12 + u64::from(as_id.0 * 7 % 23)),
+            }
+        })
+        .collect()
+}
+
+/// Whether the vantage results corroborate the primary validation: at least
+/// `quorum` of them observed the matching key authorization. Counting makes
+/// this trivially order-independent — the property the vantage-permutation
+/// proptest locks.
+pub fn quorum_met(results: &[ValidationResult], quorum: u8) -> bool {
+    results.iter().filter(|r| r.matched).count() >= usize::from(quorum)
+}
+
+/// Number of vantage validations that agreed (for reporting).
+pub fn agreed_count(results: &[ValidationResult]) -> u8 {
+    results.iter().filter(|r| r.matched).count().min(u8::MAX as usize) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acme::ChallengeType;
+
+    fn result(name: &str, matched: bool) -> ValidationResult {
+        ValidationResult {
+            vantage: name.into(),
+            as_number: Some(1),
+            challenge: ChallengeType::Http01,
+            resolved: None,
+            observed: None,
+            matched,
+            completed: true,
+            finished_at: None,
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_on_distinct_ases() {
+        let (topo, _) = AsTopology::small_test_topology();
+        let a = place_vantage_points(&topo, 3);
+        let b = place_vantage_points(&topo, 3);
+        assert_eq!(a, b);
+        let mut as_ids: Vec<u32> = a.iter().map(|v| v.as_id.0).collect();
+        as_ids.dedup();
+        assert_eq!(as_ids.len(), 3, "every vantage sits in its own AS: {a:?}");
+        for v in &a {
+            assert_eq!(topo.tier(v.as_id), Some(AsTier::Stub));
+            assert_ne!(v.resolver_addr, v.validator_addr);
+        }
+    }
+
+    #[test]
+    fn placement_on_generated_topology_scales() {
+        let topo = AsTopology::generate(3, 8, 40, 0xCA11);
+        let vantages = place_vantage_points(&topo, 5);
+        let as_ids: std::collections::BTreeSet<u32> = vantages.iter().map(|v| v.as_id.0).collect();
+        assert_eq!(as_ids.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stub ASes")]
+    fn placement_refuses_oversubscription() {
+        let (topo, _) = AsTopology::small_test_topology();
+        place_vantage_points(&topo, 99);
+    }
+
+    #[test]
+    fn quorum_counts_agreements() {
+        let results = vec![result("v1", true), result("v2", false), result("v3", true)];
+        assert!(quorum_met(&results, 2));
+        assert!(!quorum_met(&results, 3));
+        assert_eq!(agreed_count(&results), 2);
+        assert!(quorum_met(&[], 0));
+    }
+}

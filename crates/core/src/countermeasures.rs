@@ -41,6 +41,21 @@ pub enum Defence {
     /// defragmentation cache FragDNS poisons. Interception (HijackDNS) is
     /// *not* stopped — the hijacker terminates the handshake itself.
     DnsOverTcp,
+    /// Multi-vantage-point domain validation at a certificate authority (the
+    /// Let's Encrypt-style countermeasure): every challenge is corroborated
+    /// by vantage resolvers placed at distinct ASes, and issuance requires at
+    /// least `quorum` of them to agree with the CA's primary validation. An
+    /// off-path poisoning of the CA's resolver leaves the vantage caches
+    /// untouched, so the quorum fails — but a BGP hijack held through the
+    /// validation window intercepts *every* vantage's traffic and still
+    /// yields a fraudulent certificate. Purely an application-layer defence:
+    /// it does not affect cache poisoning itself, only what a CA hosted in
+    /// the environment will issue (see the `ca` crate).
+    MultiVantageValidation {
+        /// Minimum number of vantage validations that must agree with the
+        /// primary validation before a certificate is issued.
+        quorum: u8,
+    },
 }
 
 impl Defence {
@@ -58,7 +73,26 @@ impl Defence {
             Defence::NoNameserverRrl,
             Defence::RouteOriginValidation,
             Defence::DnsOverTcp,
+            Defence::multi_vantage(),
         ]
+    }
+
+    /// The reference multi-vantage configuration used across the evaluation
+    /// grids: Let's Encrypt's deployment shape (three vantage points, at
+    /// most one disagreement tolerated).
+    pub fn multi_vantage() -> Defence {
+        Defence::MultiVantageValidation { quorum: 2 }
+    }
+
+    /// Compact row label used by the rendered matrices. Identical to the
+    /// `Debug` form for unit variants; the `MultiVantageValidation` struct
+    /// variant collapses to `MultiVantageValidation(q=N)` so table rows stay
+    /// grep-able one-liners.
+    pub fn label(&self) -> String {
+        match self {
+            Defence::MultiVantageValidation { quorum } => format!("MultiVantageValidation(q={quorum})"),
+            other => format!("{other:?}"),
+        }
     }
 
     /// Applies this defence to a victim-environment configuration — the one
@@ -91,6 +125,7 @@ impl Defence {
             Defence::DnsOverTcp => {
                 cfg.resolver.transport_policy = UpstreamTransport::TcpOnly;
             }
+            Defence::MultiVantageValidation { quorum } => cfg.vantage_quorum = Some(*quorum),
         }
     }
 }
@@ -150,7 +185,7 @@ pub fn render_ablation(cells: &[AblationCell]) -> String {
                 .unwrap_or("-")
         };
         t.row([
-            format!("{d:?}"),
+            d.label(),
             get(PoisonMethod::HijackDns).into(),
             get(PoisonMethod::SadDns).into(),
             get(PoisonMethod::FragDns).into(),
@@ -218,6 +253,34 @@ mod tests {
         // Interception defeats the transport: the hijacker completes the
         // handshake itself, so the TCP row still shows HijackDNS succeeding.
         assert!(evaluate_cell(PoisonMethod::HijackDns, Defence::DnsOverTcp, 40).attack_succeeded);
+    }
+
+    #[test]
+    fn multi_vantage_is_an_application_layer_defence_only() {
+        // Cache poisoning itself is untouched by a CA-side quorum: every
+        // methodology still succeeds at the resolver. The blocking happens
+        // in the issuance pipeline (see the `ca` crate's ablation), exactly
+        // like RouteOriginValidation only bites interception vectors.
+        for method in PoisonMethod::all() {
+            let cell = evaluate_cell(method, Defence::multi_vantage(), 41);
+            assert!(cell.attack_succeeded, "{method} poisoning must be unaffected by multi-vantage validation");
+        }
+    }
+
+    #[test]
+    fn multi_vantage_applies_through_defence_apply_only() {
+        let mut cfg = VictimEnvConfig::default();
+        assert_eq!(cfg.vantage_quorum, None);
+        Defence::multi_vantage().apply(&mut cfg);
+        assert_eq!(cfg.vantage_quorum, Some(2));
+        Defence::MultiVantageValidation { quorum: 4 }.apply(&mut cfg);
+        assert_eq!(cfg.vantage_quorum, Some(4));
+    }
+
+    #[test]
+    fn labels_are_compact_and_stable() {
+        assert_eq!(Defence::DnsOverTcp.label(), "DnsOverTcp");
+        assert_eq!(Defence::multi_vantage().label(), "MultiVantageValidation(q=2)");
     }
 
     #[test]

@@ -80,9 +80,9 @@ pub mod prelude {
     };
     pub use crate::report::{pct, TextTable};
     pub use crate::scenario::{
-        render_scenario_matrix, AttackPhase, ExploitStage, ExploitVerdict, MailInterceptExploit, MatrixTally,
-        PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign, ScenarioMatrix, ScenarioOutcome,
-        ScenarioRun, SpfPolicyExploit, WebRedirectExploit, SCENARIO_GRID_SALT,
+        render_scenario_matrix, AttackPhase, CertIssuance, ExploitStage, ExploitVerdict, MailInterceptExploit,
+        MatrixTally, PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign, ScenarioMatrix,
+        ScenarioOutcome, ScenarioRun, SpfPolicyExploit, WebRedirectExploit, SCENARIO_GRID_SALT,
     };
     pub use crate::taxonomy::{render_table1, render_table2};
     pub use crate::vulnscan::*;

@@ -74,6 +74,22 @@ pub enum ExploitVerdict {
         /// Whether ROV-enforcing ASes now accept the prefix hijack.
         hijack_accepted: bool,
     },
+    /// Whether a certificate authority issued the certificate the *attacker*
+    /// ordered for a domain it does not control (the `ca` crate's
+    /// `CertIssuanceExploit` stage — Table 1 "Hijack: fraudulent
+    /// certificate").
+    Issuance(CertIssuance),
+}
+
+/// The CA's decision on the attacker's certificate order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CertIssuance {
+    /// Domain validation passed and the certificate was issued — the
+    /// attacker now holds a fraudulent certificate for the victim's domain.
+    Issued,
+    /// Domain validation failed (challenge mismatch or vantage quorum not
+    /// met) and the order was refused.
+    Refused,
 }
 
 impl ExploitVerdict {
@@ -87,6 +103,7 @@ impl ExploitVerdict {
             ExploitVerdict::Recovery(v) => *v == PasswordRecovery::AttackerReceivesLink,
             ExploitVerdict::Web(v) => *v == WebAccess::AttackerSite,
             ExploitVerdict::Rpki { hijack_accepted, .. } => *hijack_accepted,
+            ExploitVerdict::Issuance(v) => *v == CertIssuance::Issued,
         }
     }
 }
@@ -619,7 +636,7 @@ pub fn render_scenario_matrix(matrix: &ScenarioMatrix) -> String {
         &header_refs,
     );
     for (di, defence) in matrix.defences.iter().enumerate() {
-        let mut row = vec![format!("{defence:?}")];
+        let mut row = vec![defence.label()];
         for mi in 0..matrix.methods.len() {
             row.push(match matrix.cells.get(&(mi, di)) {
                 Some(agg) if agg.runs > 0 => {

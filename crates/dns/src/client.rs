@@ -66,7 +66,7 @@ impl StubClient {
     /// Creates a client that will use `resolver` for lookups.
     pub fn new(addr: Ipv4Addr, resolver: Ipv4Addr) -> Self {
         let mut stack = HostStack::with_defaults(vec![addr]);
-        let sock = UdpTransport.bind(&mut stack, 5353);
+        let sock = UdpTransport.bind(&mut stack, crate::well_known_ports::STUB_CLIENT);
         StubClient { resolver, stack, sock, queue: VecDeque::new(), next_txid: 1, completed: Vec::new(), failures: 0 }
     }
 
@@ -98,7 +98,9 @@ impl StubClient {
         let msg = Message::query(txid, q.name.clone(), q.qtype);
         let sock = &mut self.sock;
         let resolver = self.resolver;
-        with_io(&mut self.stack, ctx, |io| sock.send_to(io, Endpoint::new(resolver, 53), &msg.encode()));
+        with_io(&mut self.stack, ctx, |io| {
+            sock.send_to(io, Endpoint::new(resolver, crate::well_known_ports::DNS), &msg.encode())
+        });
     }
 }
 

@@ -18,6 +18,8 @@
 //!   EDNS buffer sizes, a forwarder mode, and the OS-level side channels
 //!   (global ICMP rate limit, fragment acceptance) the attacks exploit;
 //! * [`client`] — a stub client for triggering queries and observing answers;
+//! * [`well_known_ports`] — the single registry of fixed ports (DNS 53,
+//!   HTTP 80, the resolver's upstream TCP port, client query ports);
 //! * [`profiles`] — behaviour profiles of the five resolver implementations
 //!   evaluated in Table 5.
 //!
@@ -63,6 +65,7 @@ pub mod nameserver;
 pub mod profiles;
 pub mod rdata;
 pub mod resolver;
+pub mod well_known_ports;
 pub mod zone;
 
 /// Convenience re-exports.
@@ -77,6 +80,7 @@ pub mod prelude {
     pub use crate::resolver::{
         Delegation, PortPolicy, Resolver, ResolverConfig, ResolverStats, UpstreamTransport, RESOLVER_TCP_PORT,
     };
+    pub use crate::well_known_ports;
     pub use crate::zone::{LookupResult, Zone};
 }
 

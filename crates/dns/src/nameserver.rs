@@ -130,8 +130,8 @@ impl Nameserver {
             ..Default::default()
         };
         let mut stack = HostStack::new(vec![config.addr], stack_cfg);
-        let udp = UdpTransport.bind(&mut stack, 53);
-        let tcp = TcpTransport::listener().bind(&mut stack, 53);
+        let udp = UdpTransport.bind(&mut stack, crate::well_known_ports::DNS);
+        let tcp = TcpTransport::listener().bind(&mut stack, crate::well_known_ports::DNS);
         let rrl = match config.rrl_limit {
             Some(limit) => ResponseRateLimiter::new(limit),
             None => ResponseRateLimiter::disabled(),
@@ -314,7 +314,7 @@ impl Node for Nameserver {
         }
         for event in output.events {
             match &event {
-                StackEvent::Udp(dgram) if dgram.dst_port == 53 => {
+                StackEvent::Udp(dgram) if dgram.dst_port == crate::well_known_ports::DNS => {
                     self.serve_udp(Endpoint::new(dgram.src, dgram.src_port), &dgram.payload, ctx);
                 }
                 StackEvent::Tcp(_) => {

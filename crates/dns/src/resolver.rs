@@ -65,12 +65,11 @@ pub enum UpstreamTransport {
     TcpOnly,
 }
 
-/// The local port of the resolver's upstream TCP connections (one socket,
-/// connections multiplexed per nameserver — RFC 7766 connection reuse).
-/// Fixed rather than drawn from the RNG: TCP's off-path protection is the
-/// 32-bit sequence number, not port secrecy, and a constant keeps the UDP
-/// paths' RNG draw order byte-identical to the pre-TCP engine.
-pub const RESOLVER_TCP_PORT: u16 = 49152;
+/// The local port of the resolver's upstream TCP connections — see
+/// [`well_known_ports::RESOLVER_TCP`](crate::well_known_ports::RESOLVER_TCP)
+/// for why it is fixed. Kept as a re-declaration-free alias so existing call
+/// sites (and the CA's vantage resolvers) all read the same registry entry.
+pub const RESOLVER_TCP_PORT: u16 = crate::well_known_ports::RESOLVER_TCP;
 
 /// A delegation entry: queries for names under `zone` are sent to one of the
 /// listed nameserver addresses. `signed` marks DNSSEC-signed zones.
@@ -267,7 +266,7 @@ impl Resolver {
             ..Default::default()
         };
         let mut stack = HostStack::new(vec![config.addr], stack_cfg);
-        let client_sock = UdpTransport.bind(&mut stack, 53);
+        let client_sock = UdpTransport.bind(&mut stack, crate::well_known_ports::DNS);
         let tcp = TcpTransport::client().bind(&mut stack, RESOLVER_TCP_PORT);
         let next_sequential_port = match config.port_policy {
             PortPolicy::Sequential(start) => start,
@@ -372,7 +371,7 @@ impl Resolver {
         let query = Message::query(entry.txid, entry.wire_question.name.clone(), entry.wire_question.qtype)
             .with_edns(self.config.edns_size);
         let payload = query.encode();
-        let ns = Endpoint::new(entry.nameserver, 53);
+        let ns = Endpoint::new(entry.nameserver, crate::well_known_ports::DNS);
         match entry.transport {
             Protocol::Tcp => {
                 self.stats.tcp_upstream_queries += 1;
@@ -704,7 +703,7 @@ impl Resolver {
                 let still_used =
                     self.outstanding.values().any(|o| o.transport == Protocol::Tcp && o.nameserver == entry.nameserver);
                 if !still_used {
-                    let peer = Endpoint::new(entry.nameserver, 53);
+                    let peer = Endpoint::new(entry.nameserver, crate::well_known_ports::DNS);
                     self.tcp_rx.remove(&peer);
                     let tcp = &mut self.tcp;
                     with_io(&mut self.stack, ctx, |io| tcp.close_peer(io, peer));
@@ -758,7 +757,7 @@ impl Resolver {
                     // closing connection serves no sibling either, so it is
                     // aborted regardless — otherwise every sharer would just
                     // queue its retry bytes into a dead handshake.
-                    let peer = Endpoint::new(ns, 53);
+                    let peer = Endpoint::new(ns, crate::well_known_ports::DNS);
                     let shared = self
                         .outstanding
                         .iter()
@@ -810,7 +809,7 @@ impl Node for Resolver {
         for event in output.events {
             match &event {
                 StackEvent::Udp(dgram) => {
-                    if dgram.dst_port == 53 {
+                    if dgram.dst_port == crate::well_known_ports::DNS {
                         self.handle_client_query(dgram, ctx);
                     } else {
                         self.handle_upstream_response(dgram, ctx);

@@ -7,7 +7,9 @@
 //! the simulation rather than from hand calculations.
 
 use crate::ipv4::Protocol;
+use crate::transport::FlowStats;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Counters kept per simulated node.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +64,61 @@ impl TrafficStats {
             Protocol::Icmp => self.icmp_received += 1,
             _ => {}
         }
+    }
+
+    /// Renders the counters as a one-node traffic summary, with one line per
+    /// transport flow appended — the trace-level view of "which connections
+    /// did this host actually run". Callers collect the flows from the
+    /// node's sockets (e.g. `Resolver::tcp_flows`, a CA validator's
+    /// HTTP-01 fetch socket); pass `&[]` for hosts without connections.
+    ///
+    /// ```
+    /// use netsim::prelude::*;
+    /// let mut stats = TrafficStats::default();
+    /// stats.record_sent(netsim::ipv4::Protocol::Tcp, 60);
+    /// let flow = FlowStats {
+    ///     protocol: netsim::ipv4::Protocol::Tcp,
+    ///     local: Endpoint::new("30.0.0.1".parse().unwrap(), 49152),
+    ///     peer: Endpoint::new("123.0.0.53".parse().unwrap(), 53),
+    ///     state: "established",
+    ///     bytes_sent: 31,
+    ///     bytes_received: 158,
+    /// };
+    /// let text = stats.render("resolver", &[flow]);
+    /// assert!(text.contains("TCP 30.0.0.1:49152 -> 123.0.0.53:53"));
+    /// assert!(text.contains("established"));
+    /// ```
+    pub fn render(&self, name: &str, flows: &[FlowStats]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{name}: sent {} pkt / {} B (udp {}, tcp {}, icmp {}), received {} pkt / {} B (udp {}, tcp {}, icmp {})",
+            self.packets_sent,
+            self.bytes_sent,
+            self.udp_sent,
+            self.tcp_sent,
+            self.icmp_sent,
+            self.packets_received,
+            self.bytes_received,
+            self.udp_received,
+            self.tcp_received,
+            self.icmp_received,
+        );
+        if self.spoofed_filtered > 0 || self.dropped_in_transit > 0 {
+            let _ = writeln!(
+                out,
+                "  dropped: {} spoofed (egress-filtered), {} in transit",
+                self.spoofed_filtered, self.dropped_in_transit
+            );
+        }
+        for f in flows {
+            let _ = writeln!(
+                out,
+                "  {} {} -> {} [{}] tx {} B / rx {} B",
+                f.protocol, f.local, f.peer, f.state, f.bytes_sent, f.bytes_received
+            );
+        }
+        out
     }
 
     /// Adds another node's counters into this one (used to aggregate the
@@ -124,6 +181,48 @@ mod tests {
         assert_eq!(s.tcp_received, 1);
         assert_eq!(s.udp_sent, 0);
         assert_eq!(s.icmp_sent, 0);
+    }
+
+    #[test]
+    fn render_includes_totals_and_per_flow_lines() {
+        use crate::transport::Endpoint;
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Tcp, 60);
+        s.record_received(Protocol::Tcp, 52);
+        s.spoofed_filtered = 2;
+        let flows = vec![
+            FlowStats {
+                protocol: Protocol::Tcp,
+                local: Endpoint::new("30.0.0.1".parse().unwrap(), 49152),
+                peer: Endpoint::new("123.0.0.53".parse().unwrap(), 53),
+                state: "established",
+                bytes_sent: 31,
+                bytes_received: 158,
+            },
+            FlowStats {
+                protocol: Protocol::Tcp,
+                local: Endpoint::new("30.0.0.1".parse().unwrap(), 46080),
+                peer: Endpoint::new("30.0.0.80".parse().unwrap(), 80),
+                state: "time-wait",
+                bytes_sent: 64,
+                bytes_received: 120,
+            },
+        ];
+        let text = s.render("ca", &flows);
+        assert!(text.starts_with("ca: sent 1 pkt / 60 B"));
+        assert!(text.contains("2 spoofed (egress-filtered)"));
+        assert!(text.contains("TCP 30.0.0.1:49152 -> 123.0.0.53:53 [established] tx 31 B / rx 158 B"));
+        assert!(text.contains("TCP 30.0.0.1:46080 -> 30.0.0.80:80 [time-wait] tx 64 B / rx 120 B"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn render_without_flows_or_drops_is_one_line() {
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Udp, 90);
+        let text = s.render("client", &[]);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("udp 1"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`bgp`] — AS-level routing, prefix hijacks, RPKI/ROV;
 //! * [`attacks`] — the HijackDNS, SadDNS and FragDNS poisoning methodologies;
 //! * [`apps`] — the application taxonomy and exploit behaviour (Tables 1–2);
+//! * [`ca`] — the ACME-style certificate authority: issuance pipeline,
+//!   multi-vantage-point domain validation, fraudulent-certificate grids;
 //! * [`xlayer_core`] — measurement campaigns, comparative analysis,
 //!   cross-layer scenarios and countermeasure ablations (Tables 3–6,
 //!   Figures 3–5).
@@ -26,6 +28,7 @@
 pub use apps;
 pub use attacks;
 pub use bgp;
+pub use ca;
 pub use dns;
 pub use netsim;
 pub use xlayer_core;

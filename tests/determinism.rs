@@ -7,6 +7,7 @@
 
 use cross_layer_attacks::apps::prelude::*;
 use cross_layer_attacks::attacks::prelude::*;
+use cross_layer_attacks::ca::prelude::*;
 use cross_layer_attacks::dns::prelude::*;
 use cross_layer_attacks::netsim::prelude::*;
 use cross_layer_attacks::xlayer_core::prelude::*;
@@ -291,6 +292,63 @@ fn appending_a_defence_does_not_reseed_existing_cells() {
             "growing the grid must not change the {method} baseline cell"
         );
     }
+}
+
+#[test]
+fn ca_issuance_replays_for_the_same_seed() {
+    // The whole issuance pipeline — nested validation simulation, vantage
+    // interleavings, HTTP-01 TCP exchanges, packet/byte accounting — is a
+    // pure function of (seed, order). Both the genuine path and the full
+    // attack chain must replay byte-for-byte.
+    let genuine = |seed: u64| {
+        let mut cfg = CaConfig::standard(seed);
+        cfg.vantage_quorum = Some(2);
+        let mut authority = CertificateAuthority::new(cfg);
+        let owner = AcmeAccount::new("owner@vict.im");
+        let order = authority.order(&owner, &"www.vict.im".parse().unwrap(), ChallengeType::Http01);
+        authority.provision_http01(&order);
+        authority.issue(&order, &[])
+    };
+    let a = genuine(2021);
+    let b = genuine(2021);
+    assert!(a.outcome.issued(), "{a:?}");
+    assert_eq!(a, b, "same seed must replay the exact IssuanceReport, flows and accounting included");
+    let c = genuine(2022);
+    assert!(c.outcome.issued(), "a different seed still issues");
+
+    let chain = |seed: u64| run_issuance_cell(PoisonMethod::HijackDns, Defence::multi_vantage(), seed);
+    let a = chain(2021);
+    let b = chain(2021);
+    assert!(a.issued, "the interception chain defeats the quorum: {a:?}");
+    assert_eq!(a, b, "same seed must replay the exact issuance chain");
+}
+
+#[test]
+fn issuance_matrix_is_thread_count_invariant() {
+    // The CA grid rides the same engine contract as the scenario grid: the
+    // matrix — including the MultiVantageValidation row — is byte-equal
+    // for workers ∈ {1, 2, 8}.
+    let campaign = IssuanceCampaign {
+        base_seed: 2021,
+        methods: PoisonMethod::all().to_vec(),
+        defences: vec![Defence::None, Defence::multi_vantage()],
+        runs_per_cell: 2,
+    };
+    let reference = campaign.run(1);
+    for workers in [2usize, 8] {
+        assert_eq!(campaign.run(workers), reference, "workers={workers} changed the issuance matrix");
+    }
+    assert_eq!(render_issuance_matrix(&campaign.run(8)), render_issuance_matrix(&reference));
+    // And the rows mean what the CA ablation says: the quorum refuses the
+    // off-path chains on every seed, never the interception hijack.
+    let mvv = Defence::multi_vantage();
+    for method in [PoisonMethod::SadDns, PoisonMethod::FragDns] {
+        let cell = reference.cell(method, mvv).unwrap();
+        assert_eq!((cell.runs, cell.issued), (2, 0), "{method} must be refused by the quorum");
+        assert_eq!(cell.poisoned, 2, "{method} still poisons the resolver");
+    }
+    let hijack = reference.cell(PoisonMethod::HijackDns, mvv).unwrap();
+    assert_eq!((hijack.runs, hijack.issued), (2, 2));
 }
 
 #[test]

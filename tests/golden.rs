@@ -144,11 +144,27 @@ fn golden_crosslayer_scenarios() {
 
 #[test]
 fn golden_scenario_matrix() {
-    // The full (vector × defence × seed) grid at 2 seeds per cell. Blessing
-    // renders at workers=1, checking at workers=3 — same cross-lock on
-    // thread-count invariance as the campaign tables.
+    // The full (vector × defence × seed) grid at 2 seeds per cell, followed
+    // by the CA issuance grid (fraudulent certificates per vector ×
+    // defence). Blessing renders at workers=1, checking at workers=3 —
+    // same cross-lock on thread-count invariance as the campaign tables.
+    // Cell seeds derive from cell *coordinates*, so the CA rows appended
+    // here left every pre-existing cell of the fixture byte-identical.
     let matrix = ScenarioCampaign::full_grid(GOLDEN_SEED, 2).run(golden_workers());
-    check("scenario_matrix", &render_scenario_matrix(&matrix));
+    let mut out = render_scenario_matrix(&matrix);
+    out.push('\n');
+    let issuance = cross_layer_attacks::ca::IssuanceCampaign::standard(GOLDEN_SEED, 2).run(golden_workers());
+    out.push_str(&cross_layer_attacks::ca::render_issuance_matrix(&issuance));
+    check("scenario_matrix", &out);
+}
+
+#[test]
+fn golden_ca_ablation() {
+    // The CA-layer acceptance rows: multi-vantage validation refuses the
+    // off-path chains but not the interception hijack; DNSSEC (with the
+    // CA's validating re-fetch) refuses all three.
+    use cross_layer_attacks::ca::{ca_defences, render_issuance_ablation, run_issuance_ablation};
+    check("ca_ablation", &render_issuance_ablation(&run_issuance_ablation(&ca_defences(), GOLDEN_SEED)));
 }
 
 #[test]
