@@ -34,28 +34,113 @@ pub fn http_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
     .into_bytes()
 }
 
+/// Upper bound on a request or response head; anything longer is malformed.
+pub const MAX_HTTP_HEAD: usize = 4096;
+
+/// Upper bound on a response body the parser is willing to buffer.
+pub const MAX_HTTP_BODY: usize = 64 * 1024;
+
+/// Outcome of incrementally parsing a request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestParse {
+    /// The head has not fully arrived yet; keep buffering.
+    Pending,
+    /// The bytes can never become a well-formed GET request.
+    Bad,
+    /// A complete GET request for the given path.
+    Get(String),
+}
+
+/// Byte offset of the first `\r\n\r\n` head terminator, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Incrementally parses a request head, distinguishing "not yet" from
+/// "never": malformed bytes are reported as [`RequestParse::Bad`] so the
+/// server can answer 400 and close instead of buffering forever.
+pub fn parse_request(bytes: &[u8]) -> RequestParse {
+    let Some(head_end) = find_head_end(bytes) else {
+        // Regression (fuzz target http_request, corpus
+        // http_request/oversized_head.bin): with no terminator in sight the
+        // server used to buffer without bound; past the head cap the bytes
+        // can never become a valid head.
+        return if bytes.len() > MAX_HTTP_HEAD { RequestParse::Bad } else { RequestParse::Pending };
+    };
+    if head_end > MAX_HTTP_HEAD {
+        return RequestParse::Bad;
+    }
+    let Ok(head) = std::str::from_utf8(&bytes[..head_end]) else {
+        // Regression (corpus http_request/non_utf8_head.bin): non-UTF-8
+        // bytes used to read as "incomplete", wedging the connection open.
+        return RequestParse::Bad;
+    };
+    let mut parts = head.lines().next().unwrap_or("").split(' ');
+    let method = parts.next().unwrap_or("");
+    match parts.next() {
+        Some(path) if method == "GET" && !path.is_empty() => RequestParse::Get(path.to_string()),
+        _ => RequestParse::Bad,
+    }
+}
+
 /// Extracts the request path once a full request head has arrived (returns
 /// `None` while incomplete or on malformed input).
 pub fn parse_request_path(bytes: &[u8]) -> Option<String> {
-    let text = std::str::from_utf8(bytes).ok()?;
-    if !text.contains("\r\n\r\n") {
-        return None;
+    match parse_request(bytes) {
+        RequestParse::Get(path) => Some(path),
+        RequestParse::Pending | RequestParse::Bad => None,
     }
-    let mut parts = text.lines().next()?.split(' ');
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
-        return None;
+}
+
+/// Parsed response head, or the reason there isn't one yet/ever.
+enum Head {
+    Pending,
+    Bad,
+    Parsed { status: u16, body_start: usize, content_length: usize },
+}
+
+fn parse_response_head(buf: &[u8]) -> Head {
+    let Some(head_end) = find_head_end(buf) else {
+        return if buf.len() > MAX_HTTP_HEAD { Head::Bad } else { Head::Pending };
+    };
+    if head_end > MAX_HTTP_HEAD {
+        return Head::Bad;
     }
-    Some(path.to_string())
+    // Regression (fuzz target http_response): UTF-8 is required of the head
+    // only — the old parser validated the whole buffer, so a binary body
+    // made an otherwise complete response unreadable.
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return Head::Bad;
+    };
+    let Some(status) = head.lines().next().and_then(|l| l.split(' ').nth(1)).and_then(|s| s.parse().ok()) else {
+        return Head::Bad;
+    };
+    let Some(content_length) = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))
+        .and_then(|v| v.parse().ok())
+    else {
+        return Head::Bad;
+    };
+    if content_length > MAX_HTTP_BODY {
+        // Regression (corpus http_response/huge_content_length.bin): a
+        // hostile Content-Length used to commit the parser to buffering
+        // that many bytes.
+        return Head::Bad;
+    }
+    Head::Parsed { status, body_start: head_end + 4, content_length }
 }
 
 /// Incremental parser for one HTTP/1.0 response: feed stream chunks with
 /// [`push`](HttpResponseParser::push), read the `(status, body)` once the
-/// `Content-Length` worth of body has arrived.
+/// `Content-Length` worth of body has arrived. Memory is bounded: heads
+/// over [`MAX_HTTP_HEAD`] and bodies over [`MAX_HTTP_BODY`] flip the parser
+/// into a permanent [`failed`](HttpResponseParser::failed) state that drops
+/// further input.
 #[derive(Debug, Clone, Default)]
 pub struct HttpResponseParser {
     buf: Vec<u8>,
+    failed: bool,
 }
 
 impl HttpResponseParser {
@@ -64,23 +149,29 @@ impl HttpResponseParser {
         HttpResponseParser::default()
     }
 
-    /// Appends stream bytes.
+    /// Appends stream bytes; a failed parser drops them.
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.failed {
+            return;
+        }
         self.buf.extend_from_slice(bytes);
+        if matches!(parse_response_head(&self.buf), Head::Bad) {
+            self.failed = true;
+            self.buf.clear();
+        }
+    }
+
+    /// True once the buffered bytes can never become a well-formed response.
+    pub fn failed(&self) -> bool {
+        self.failed
     }
 
     /// The complete `(status, body)` if the response has fully arrived.
     pub fn complete(&self) -> Option<(u16, String)> {
-        let text = std::str::from_utf8(&self.buf).ok()?;
-        let head_end = text.find("\r\n\r\n")?;
-        let head = &text[..head_end];
-        let status: u16 = head.lines().next()?.split(' ').nth(1)?.parse().ok()?;
-        let content_length: usize = head
-            .lines()
-            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))?
-            .parse()
-            .ok()?;
-        let body = &self.buf[head_end + 4..];
+        let Head::Parsed { status, body_start, content_length } = parse_response_head(&self.buf) else {
+            return None;
+        };
+        let body = self.buf.get(body_start..)?;
         if body.len() < content_length {
             return None;
         }
@@ -174,9 +265,17 @@ impl ChallengeHost {
     fn serve_owned(&mut self, peer: Endpoint, payload: &[u8], ctx: &mut Ctx<'_>) {
         let buf = self.rx.entry(peer).or_default();
         buf.extend_from_slice(payload);
-        let Some(path) = parse_request_path(buf) else { return };
-        self.rx.remove(&peer);
-        let response = self.respond(&path);
+        let response = match parse_request(buf) {
+            RequestParse::Pending => return,
+            RequestParse::Bad => {
+                self.rx.remove(&peer);
+                http_response(400, "Bad Request", "malformed request\n")
+            }
+            RequestParse::Get(path) => {
+                self.rx.remove(&peer);
+                self.respond(&path)
+            }
+        };
         let listener = &mut self.listener;
         with_io(&mut self.stack, ctx, |io| {
             listener.send_to(io, peer, &response);
@@ -195,9 +294,17 @@ impl ChallengeHost {
                 SocketEvent::Data { peer, local, payload } => {
                     let buf = self.intercept_rx.entry(peer).or_default();
                     buf.extend_from_slice(&payload);
-                    let Some(path) = parse_request_path(buf) else { continue };
-                    self.intercept_rx.remove(&peer);
-                    let response = self.respond(&path);
+                    let response = match parse_request(buf) {
+                        RequestParse::Pending => continue,
+                        RequestParse::Bad => {
+                            self.intercept_rx.remove(&peer);
+                            http_response(400, "Bad Request", "malformed request\n")
+                        }
+                        RequestParse::Get(path) => {
+                            self.intercept_rx.remove(&peer);
+                            self.respond(&path)
+                        }
+                    };
                     let intercept = &mut self.intercept;
                     with_io(&mut self.stack, ctx, |io| {
                         intercept.send_from(io, local, peer, &response);
@@ -315,6 +422,55 @@ mod tests {
         assert_eq!(parser.complete(), None, "half a response does not parse");
         parser.push(b);
         assert_eq!(parser.complete(), Some((200, "tok1.abcd".to_string())));
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_not_pending() {
+        // Regression (fuzz target http_request): every one of these used to
+        // parse as None = "incomplete", leaving the connection buffering
+        // forever instead of drawing a 400.
+        assert_eq!(parse_request(b"\xff\xfe GET /x\r\n\r\n"), RequestParse::Bad, "non-UTF-8 head");
+        assert_eq!(parse_request(b"POST /x HTTP/1.0\r\n\r\n"), RequestParse::Bad, "non-GET method");
+        assert_eq!(parse_request(b"GET\r\n\r\n"), RequestParse::Bad, "missing path");
+        assert_eq!(parse_request(b"GET /x HTTP/1.0\r\n"), RequestParse::Pending, "genuinely incomplete");
+        let oversized = vec![b'A'; MAX_HTTP_HEAD + 1];
+        assert_eq!(parse_request(&oversized), RequestParse::Bad, "head cap exceeded with no terminator");
+    }
+
+    #[test]
+    fn response_parser_fails_fast_and_bounds_memory() {
+        // Hostile Content-Length must not commit us to buffering 4 GiB.
+        let mut p = HttpResponseParser::new();
+        p.push(b"HTTP/1.0 200 OK\r\nContent-Length: 4294967295\r\n\r\n");
+        assert!(p.failed(), "huge content-length fails the parser");
+        assert_eq!(p.complete(), None);
+
+        // A headless byte stream past the head cap can never become valid.
+        let mut p = HttpResponseParser::new();
+        p.push(&vec![b'x'; MAX_HTTP_HEAD + 1]);
+        assert!(p.failed(), "unterminated head past the cap fails the parser");
+
+        // Failed parsers drop further input instead of accumulating it.
+        let mut p = HttpResponseParser::new();
+        p.push(b"\xff\xff\xff\xff\r\n\r\n");
+        assert!(p.failed());
+        p.push(&vec![0u8; 1024]);
+        assert_eq!(p.complete(), None);
+    }
+
+    #[test]
+    fn binary_response_body_still_parses() {
+        // Regression (fuzz target http_response): UTF-8 validation used to
+        // cover the whole buffer, so a binary body made a complete response
+        // permanently unparseable.
+        let mut resp = b"HTTP/1.0 200 OK\r\nContent-Length: 4\r\n\r\n".to_vec();
+        resp.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+        let mut p = HttpResponseParser::new();
+        p.push(&resp);
+        assert!(!p.failed());
+        let (status, body) = p.complete().expect("binary body parses");
+        assert_eq!(status, 200);
+        assert_eq!(body, "\u{fffd}".repeat(4), "each invalid byte lossily replaced");
     }
 
     #[test]

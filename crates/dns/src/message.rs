@@ -105,6 +105,14 @@ pub fn frame_tcp(message_bytes: &[u8]) -> Vec<u8> {
     out
 }
 
+/// The largest DNS message [`TcpFrameBuffer`] will reassemble. The 2-byte
+/// RFC 1035 prefix can claim up to 65535 bytes, but nothing in this
+/// workspace produces messages anywhere near that; a hostile peer claiming
+/// a huge frame and trickling bytes would otherwise pin up to 64 KiB of
+/// resolver memory *per connection*. A claim above this cap poisons the
+/// buffer (see [`TcpFrameBuffer::rejected`]) instead of buffering.
+pub const MAX_TCP_FRAME_LEN: usize = 16 * 1024;
+
 /// Reassembles DNS messages out of a TCP byte stream.
 ///
 /// TCP delivers a byte stream, not datagrams: a DNS message may arrive
@@ -113,11 +121,18 @@ pub fn frame_tcp(message_bytes: &[u8]) -> Vec<u8> {
 /// received stream bytes and [`pop`] yields complete length-prefixed
 /// messages as they become available.
 ///
+/// Memory is bounded: a length prefix claiming more than
+/// [`MAX_TCP_FRAME_LEN`] marks the buffer [`rejected`], drops everything
+/// buffered and ignores all further input — the peer has proven hostile or
+/// desynchronised, and there is no way to resynchronise a framed stream.
+///
 /// [`push`]: TcpFrameBuffer::push
 /// [`pop`]: TcpFrameBuffer::pop
+/// [`rejected`]: TcpFrameBuffer::rejected
 #[derive(Debug, Clone, Default)]
 pub struct TcpFrameBuffer {
     buf: Vec<u8>,
+    rejected: bool,
 }
 
 impl TcpFrameBuffer {
@@ -126,8 +141,12 @@ impl TcpFrameBuffer {
         Self::default()
     }
 
-    /// Appends stream bytes received from the peer.
+    /// Appends stream bytes received from the peer. No-op once the buffer
+    /// is [`rejected`](TcpFrameBuffer::rejected).
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.rejected {
+            return;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -138,12 +157,26 @@ impl TcpFrameBuffer {
             return None;
         }
         let len = usize::from(u16::from_be_bytes([self.buf[0], self.buf[1]]));
+        if len > MAX_TCP_FRAME_LEN {
+            // Regression (fuzz: tcp_frame/oversize_claim.bin): a 0xFFFF
+            // prefix used to make the buffer hold the whole claimed frame
+            // in memory while the peer drip-fed it.
+            self.rejected = true;
+            self.buf = Vec::new();
+            return None;
+        }
         if self.buf.len() < 2 + len {
             return None;
         }
         let frame = self.buf[2..2 + len].to_vec();
         self.buf.drain(..2 + len);
         Some(frame)
+    }
+
+    /// Whether the stream was rejected for claiming an oversized frame.
+    /// A rejected buffer holds no memory and never yields another frame.
+    pub fn rejected(&self) -> bool {
+        self.rejected
     }
 
     /// Bytes buffered but not yet popped.
@@ -153,17 +186,21 @@ impl TcpFrameBuffer {
 
     /// The shared reassembly step of every DNS-over-TCP consumer: appends
     /// `bytes` to the buffer of `key` (one buffer per peer connection) and
-    /// drains every complete frame that becomes available.
-    pub fn push_and_drain<K: std::cmp::Eq + std::hash::Hash>(
+    /// drains every complete frame that becomes available. Rejected
+    /// buffers are dropped from the map — the connection is dead to DNS.
+    pub fn push_and_drain<K: std::cmp::Eq + std::hash::Hash + Clone>(
         buffers: &mut std::collections::HashMap<K, TcpFrameBuffer>,
         key: K,
         bytes: &[u8],
     ) -> Vec<Vec<u8>> {
-        let buf = buffers.entry(key).or_default();
+        let buf = buffers.entry(key.clone()).or_default();
         buf.push(bytes);
         let mut frames = Vec::new();
         while let Some(frame) = buf.pop() {
             frames.push(frame);
+        }
+        if buf.rejected() {
+            buffers.remove(&key);
         }
         frames
     }
@@ -308,8 +345,14 @@ impl Message {
         let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
         let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
         let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+        // Capacity is bounded by what the buffer could possibly hold (a
+        // question is ≥ 5 bytes, a record ≥ 11), never by the claimed count
+        // alone: a 12-byte message claiming 65535 records must not allocate
+        // megabytes before the first parse failure.
+        // Regression (fuzz: dns_message/count_balloon.bin).
+        let body = buf.len() - 12;
         let mut pos = 12;
-        let mut questions = Vec::with_capacity(qdcount);
+        let mut questions = Vec::with_capacity(qdcount.min(body / 5));
         for _ in 0..qdcount {
             let (name, next) = DomainName::decode(buf, pos)?;
             let fixed = buf.get(next..next + 4).ok_or(NameError::Truncated)?;
@@ -318,7 +361,7 @@ impl Message {
             pos = next + 4;
         }
         let read_section = |count: usize, pos: &mut usize| -> Result<Vec<ResourceRecord>, NameError> {
-            let mut out = Vec::with_capacity(count);
+            let mut out = Vec::with_capacity(count.min(body / 11));
             for _ in 0..count {
                 let (rr, next) = ResourceRecord::decode(buf, *pos)?;
                 out.push(rr);
@@ -329,6 +372,12 @@ impl Message {
         let answers = read_section(ancount, &mut pos)?;
         let authorities = read_section(nscount, &mut pos)?;
         let additionals = read_section(arcount, &mut pos)?;
+        if pos != buf.len() {
+            // Bytes after the last counted record are a smuggling vector
+            // (two parsers can disagree about what the message "is"), so
+            // decoding is strict: every byte must be accounted for.
+            return Err(NameError::TrailingBytes(buf.len() - pos));
+        }
         Ok(Message { header, questions, answers, authorities, additionals })
     }
 
@@ -388,6 +437,53 @@ mod tests {
         assert_eq!(frames[0], q1);
         assert_eq!(frames[1], q2);
         assert_eq!(buf.pending_len(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_claim_poisons_the_stream() {
+        // Regression (fuzz target tcp_frame, corpus
+        // tcp_frame/oversize_claim.bin): a hostile peer claiming a frame
+        // longer than MAX_TCP_FRAME_LEN used to make the buffer hold the
+        // whole claim in memory while it trickled in.
+        let mut buf = TcpFrameBuffer::new();
+        let claim = ((MAX_TCP_FRAME_LEN + 1) as u16).to_be_bytes();
+        buf.push(&claim);
+        assert_eq!(buf.pop(), None);
+        assert!(buf.rejected());
+        assert_eq!(buf.pending_len(), 0, "rejected buffer holds no memory");
+        buf.push(&[0u8; 512]);
+        assert_eq!(buf.pending_len(), 0, "rejected buffer drops further input");
+        assert_eq!(buf.pop(), None);
+    }
+
+    #[test]
+    fn max_len_frame_still_accepted() {
+        let mut buf = TcpFrameBuffer::new();
+        let payload = vec![0x5au8; MAX_TCP_FRAME_LEN];
+        buf.push(&frame_tcp(&payload));
+        assert_eq!(buf.pop().as_deref(), Some(&payload[..]));
+        assert!(!buf.rejected());
+    }
+
+    #[test]
+    fn count_fields_cannot_balloon_allocation() {
+        // Regression (fuzz target dns_message, corpus
+        // dns_message/count_balloon.bin): a 12-byte header claiming 65535
+        // questions used to pre-allocate for all of them before reading a
+        // single byte of body.
+        let mut buf = Message::query(1, n("vict.im"), RecordType::A).encode();
+        buf[4] = 0xff; // QDCOUNT = 0xffXX
+        assert!(Message::decode(&buf).is_err(), "claimed-but-absent questions rejected");
+    }
+
+    #[test]
+    fn trailing_bytes_after_message_rejected() {
+        // Regression (fuzz target dns_message): stray bytes after the last
+        // section used to be silently ignored, so two messages glued
+        // together decoded as the first — a parser-desync primitive.
+        let mut buf = Message::query(1, n("vict.im"), RecordType::A).encode();
+        buf.push(0x00);
+        assert_eq!(Message::decode(&buf), Err(NameError::TrailingBytes(1)));
     }
 
     #[test]

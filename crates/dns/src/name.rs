@@ -18,6 +18,15 @@ pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum total length of a domain name on the wire (RFC 1035).
 pub const MAX_NAME_LEN: usize = 255;
 
+/// The label alphabet this workspace accepts: LDH (RFC 1035 §2.3.1) plus
+/// `_` (service labels like `_acme-challenge`) and `*` (wildcards). Both
+/// [`DomainName::from_labels`] and [`DomainName::decode`] enforce it, so a
+/// name can never enter the system through the wire that the builder API
+/// would have rejected.
+fn is_label_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*'
+}
+
 /// A fully-qualified domain name, stored as a sequence of labels without the
 /// trailing root label.
 ///
@@ -55,7 +64,7 @@ impl DomainName {
             if label.len() > MAX_LABEL_LEN {
                 return Err(NameError::LabelTooLong(label.len()));
             }
-            if !label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*') {
+            if !label.bytes().all(is_label_byte) {
                 return Err(NameError::InvalidCharacter);
             }
             total += label.len() + 1;
@@ -215,6 +224,13 @@ impl DomainName {
                 return Err(NameError::LabelTooLong(len));
             }
             let bytes = msg.get(pos + 1..pos + 1 + len).ok_or(NameError::Truncated)?;
+            // Same alphabet as `validate`: wire decoding must not smuggle in
+            // labels (embedded dots, control bytes, non-ASCII) that the
+            // builder API rejects — they would corrupt display/parse
+            // roundtrips and compression-map suffix keys.
+            if !bytes.iter().copied().all(is_label_byte) {
+                return Err(NameError::InvalidCharacter);
+            }
             let label = String::from_utf8(bytes.to_vec()).map_err(|_| NameError::InvalidCharacter)?;
             labels.push(label);
             pos += len + 1;
@@ -294,6 +310,10 @@ pub enum NameError {
     PointerLoop,
     /// A compression pointer pointed forward.
     ForwardPointer,
+    /// A message carried bytes past its last counted record.
+    TrailingBytes(usize),
+    /// A record's RDATA content did not fill its claimed RDLENGTH exactly.
+    RdataLengthMismatch,
 }
 
 impl fmt::Display for NameError {
@@ -306,6 +326,8 @@ impl fmt::Display for NameError {
             NameError::Truncated => write!(f, "truncated name"),
             NameError::PointerLoop => write!(f, "compression pointer loop"),
             NameError::ForwardPointer => write!(f, "forward compression pointer"),
+            NameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            NameError::RdataLengthMismatch => write!(f, "RDATA does not fill its RDLENGTH"),
         }
     }
 }
@@ -395,6 +417,23 @@ mod tests {
         let (d2, _) = DomainName::decode(&buf, second_start).unwrap();
         assert_eq!(d1, first);
         assert_eq!(d2, second);
+    }
+
+    #[test]
+    fn wire_labels_outside_the_alphabet_rejected() {
+        // Regression (fuzz: dns_name/label_with_dot.bin): a wire label
+        // containing '.' used to decode successfully, producing a name whose
+        // display form re-parses as a *different* name and whose lowercased
+        // "a.b" compression-suffix key collides with the two-label name
+        // ["a","b"].
+        let buf = vec![3, b'a', b'.', b'b', 0];
+        assert_eq!(DomainName::decode(&buf, 0), Err(NameError::InvalidCharacter));
+        // Control bytes and non-ASCII (fuzz: dns_name/label_ctrl_byte.bin).
+        assert_eq!(DomainName::decode(&[1, 0x07, 0], 0), Err(NameError::InvalidCharacter));
+        assert_eq!(DomainName::decode(&[2, 0xC3, 0xA9, 0], 0), Err(NameError::InvalidCharacter));
+        // The accepted alphabet still decodes.
+        let buf = vec![4, b'x', b'-', b'_', b'9', 0];
+        assert_eq!(DomainName::decode(&buf, 0).unwrap().0, DomainName::from_labels(vec!["x-_9"]).unwrap());
     }
 
     #[test]

@@ -290,32 +290,62 @@ impl RData {
     }
 
     /// Decodes RDATA of the given type from `msg[offset..offset+len]`.
+    ///
+    /// Every read is confined to the claimed RDLENGTH window: names and
+    /// strings inside RDATA may *point* backwards (compression) but their
+    /// inline bytes must lie within `offset..offset+len`, and for typed
+    /// records the content must fill the window exactly. A record whose
+    /// RDLENGTH disagrees with its content is rejected instead of silently
+    /// reading its neighbours' bytes and resyncing — two parsers must never
+    /// disagree about where a record ends.
+    /// Regression (fuzz: dns_rr/rdlen_escape.bin, dns_rr/rdlen_slack.bin).
     pub fn decode(rtype: RecordType, msg: &[u8], offset: usize, len: usize) -> Result<RData, NameError> {
-        let end = offset + len;
+        let end = offset.checked_add(len).ok_or(NameError::Truncated)?;
         let slice = msg.get(offset..end).ok_or(NameError::Truncated)?;
-        let out = match rtype {
+        // Names inside RDATA decode against the message clipped at the
+        // window's end: backward compression pointers still resolve, but
+        // inline labels cannot escape the RDLENGTH.
+        let view = &msg[..end];
+        let (out, consumed) = match rtype {
             RecordType::A => {
-                if slice.len() != 4 {
+                if slice.len() < 4 {
                     return Err(NameError::Truncated);
                 }
-                RData::A(Ipv4Addr::new(slice[0], slice[1], slice[2], slice[3]))
+                (RData::A(Ipv4Addr::new(slice[0], slice[1], slice[2], slice[3])), 4)
             }
-            RecordType::NS => RData::Ns(DomainName::decode(msg, offset)?.0),
-            RecordType::CNAME => RData::Cname(DomainName::decode(msg, offset)?.0),
+            RecordType::NS => {
+                let (name, pos) = DomainName::decode(view, offset)?;
+                (RData::Ns(name), pos - offset)
+            }
+            RecordType::CNAME => {
+                let (name, pos) = DomainName::decode(view, offset)?;
+                (RData::Cname(name), pos - offset)
+            }
             RecordType::SOA => {
-                let (mname, pos) = DomainName::decode(msg, offset)?;
-                let (rname, pos) = DomainName::decode(msg, pos)?;
-                let ints = msg.get(pos..pos + 20).ok_or(NameError::Truncated)?;
+                let (mname, pos) = DomainName::decode(view, offset)?;
+                let (rname, pos) = DomainName::decode(view, pos)?;
+                let ints = view.get(pos..pos + 20).ok_or(NameError::Truncated)?;
                 let g = |i: usize| u32::from_be_bytes([ints[i], ints[i + 1], ints[i + 2], ints[i + 3]]);
-                RData::Soa { mname, rname, serial: g(0), refresh: g(4), retry: g(8), expire: g(12), minimum: g(16) }
+                (
+                    RData::Soa {
+                        mname,
+                        rname,
+                        serial: g(0),
+                        refresh: g(4),
+                        retry: g(8),
+                        expire: g(12),
+                        minimum: g(16),
+                    },
+                    pos + 20 - offset,
+                )
             }
             RecordType::MX => {
                 if slice.len() < 2 {
                     return Err(NameError::Truncated);
                 }
                 let preference = u16::from_be_bytes([slice[0], slice[1]]);
-                let (exchange, _) = DomainName::decode(msg, offset + 2)?;
-                RData::Mx { preference, exchange }
+                let (exchange, pos) = DomainName::decode(view, offset + 2)?;
+                (RData::Mx { preference, exchange }, pos - offset)
             }
             RecordType::TXT => {
                 let mut text = String::new();
@@ -326,11 +356,11 @@ impl RData {
                     text.push_str(&String::from_utf8_lossy(chunk));
                     pos += 1 + l;
                 }
-                RData::Txt(text)
+                (RData::Txt(text), pos)
             }
             RecordType::AAAA => {
                 let bytes: [u8; 16] = slice.try_into().map_err(|_| NameError::Truncated)?;
-                RData::Aaaa(bytes)
+                (RData::Aaaa(bytes), 16)
             }
             RecordType::SRV => {
                 if slice.len() < 6 {
@@ -339,8 +369,8 @@ impl RData {
                 let priority = u16::from_be_bytes([slice[0], slice[1]]);
                 let weight = u16::from_be_bytes([slice[2], slice[3]]);
                 let port = u16::from_be_bytes([slice[4], slice[5]]);
-                let (target, _) = DomainName::decode(msg, offset + 6)?;
-                RData::Srv { priority, weight, port, target }
+                let (target, pos) = DomainName::decode(view, offset + 6)?;
+                (RData::Srv { priority, weight, port, target }, pos - offset)
             }
             RecordType::NAPTR => {
                 if slice.len() < 4 {
@@ -351,20 +381,23 @@ impl RData {
                 let mut pos = offset + 4;
                 let mut strings = Vec::new();
                 for _ in 0..3 {
-                    let l = *msg.get(pos).ok_or(NameError::Truncated)? as usize;
-                    let s = msg.get(pos + 1..pos + 1 + l).ok_or(NameError::Truncated)?;
+                    let l = *view.get(pos).ok_or(NameError::Truncated)? as usize;
+                    let s = view.get(pos + 1..pos + 1 + l).ok_or(NameError::Truncated)?;
                     strings.push(String::from_utf8_lossy(s).to_string());
                     pos += 1 + l;
                 }
-                let (replacement, _) = DomainName::decode(msg, pos)?;
-                RData::Naptr {
-                    order,
-                    preference,
-                    flags: strings[0].clone(),
-                    service: strings[1].clone(),
-                    regexp: strings[2].clone(),
-                    replacement,
-                }
+                let (replacement, pos) = DomainName::decode(view, pos)?;
+                (
+                    RData::Naptr {
+                        order,
+                        preference,
+                        flags: strings[0].clone(),
+                        service: strings[1].clone(),
+                        regexp: strings[2].clone(),
+                        replacement,
+                    },
+                    pos - offset,
+                )
             }
             RecordType::IPSECKEY => {
                 if slice.len() < 7 {
@@ -372,13 +405,13 @@ impl RData {
                 }
                 let precedence = slice[0];
                 let gateway = Ipv4Addr::new(slice[3], slice[4], slice[5], slice[6]);
-                RData::IpsecKey { precedence, gateway, public_key: slice[7..].to_vec() }
+                (RData::IpsecKey { precedence, gateway, public_key: slice[7..].to_vec() }, slice.len())
             }
             RecordType::DNSKEY => {
                 if slice.len() < 2 {
                     return Err(NameError::Truncated);
                 }
-                RData::Dnskey { key_tag: u16::from_be_bytes([slice[0], slice[1]]) }
+                (RData::Dnskey { key_tag: u16::from_be_bytes([slice[0], slice[1]]) }, 2)
             }
             RecordType::RRSIG => {
                 if slice.len() < 3 {
@@ -386,15 +419,18 @@ impl RData {
                 }
                 let type_covered = RecordType::from_number(u16::from_be_bytes([slice[0], slice[1]]));
                 let valid = slice[2] != 0;
-                let (signer, _) = DomainName::decode(msg, offset + 3)?;
-                RData::Rrsig { type_covered, signer, valid }
+                let (signer, pos) = DomainName::decode(view, offset + 3)?;
+                (RData::Rrsig { type_covered, signer, valid }, pos - offset)
             }
             RecordType::OPT => {
                 let size = if slice.len() >= 2 { u16::from_be_bytes([slice[0], slice[1]]) } else { 512 };
-                RData::Opt { udp_payload_size: size }
+                (RData::Opt { udp_payload_size: size }, slice.len())
             }
-            _ => RData::Raw(slice.to_vec()),
+            _ => (RData::Raw(slice.to_vec()), slice.len()),
         };
+        if consumed != len {
+            return Err(NameError::RdataLengthMismatch);
+        }
         Ok(out)
     }
 
@@ -610,6 +646,56 @@ mod tests {
     fn as_ipv4_extracts_addresses() {
         assert_eq!(RData::A("1.2.3.4".parse().unwrap()).as_ipv4(), Some("1.2.3.4".parse().unwrap()));
         assert_eq!(RData::Txt("x".into()).as_ipv4(), None);
+    }
+
+    #[test]
+    fn rdata_cannot_escape_its_rdlength() {
+        // Regression (fuzz: dns_rr/rdlen_escape.bin): an NS record claiming
+        // RDLENGTH=1 whose name bytes continue past the window used to
+        // decode "successfully" by reading its neighbours' bytes, then
+        // resync at rdata_start+1 — a parser-desync smuggling primitive.
+        let mut buf = Vec::new();
+        n("x").encode(&mut buf, None); // owner
+        buf.extend_from_slice(&RecordType::NS.number().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes()); // RDLENGTH = 1 (lie)
+        n("abc").encode(&mut buf, None); // 5 bytes of actual name
+        assert_eq!(ResourceRecord::decode(&buf, 0), Err(NameError::Truncated));
+    }
+
+    #[test]
+    fn rdata_slack_after_content_rejected() {
+        // Regression (fuzz: dns_rr/rdlen_slack.bin): RDLENGTH larger than
+        // the content it frames left unaccounted bytes inside the record.
+        let mut buf = Vec::new();
+        n("x").encode(&mut buf, None);
+        buf.extend_from_slice(&RecordType::NS.number().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        let mut rdata = Vec::new();
+        n("abc").encode(&mut rdata, None);
+        rdata.push(0xAA); // one stray byte inside the claimed RDLENGTH
+        buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&rdata);
+        assert_eq!(ResourceRecord::decode(&buf, 0), Err(NameError::RdataLengthMismatch));
+    }
+
+    #[test]
+    fn compressed_name_inside_rdata_still_decodes() {
+        // A backward compression pointer in RDATA is legal RFC 1035: the
+        // inline bytes (the 2-byte pointer) fill the RDLENGTH exactly while
+        // the labels live earlier in the message.
+        let mut buf = Vec::new();
+        n("ns1.vict.im").encode(&mut buf, None); // owner at offset 0
+        buf.extend_from_slice(&RecordType::NS.number().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes()); // RDLENGTH = pointer
+        buf.extend_from_slice(&0xC000u16.to_be_bytes()); // -> offset 0
+        let (rr, end) = ResourceRecord::decode(&buf, 0).unwrap();
+        assert_eq!(rr.rdata, RData::Ns(n("ns1.vict.im")));
+        assert_eq!(end, buf.len());
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! CI fuzz-smoke driver: replays the committed corpus and runs every target
+//! for a fixed, seeded iteration budget. Any panic or invariant divergence
+//! aborts the process with a replayable `--seed`/`--iters` pair in hand.
+//!
+//! ```text
+//! fuzz_smoke [--seed N] [--iters N] [--target NAME] [--bless]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0x1035;
+    let mut iters: usize = 500;
+    let mut only: Option<String> = None;
+    let mut bless = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse_or_die(args.next(), "--seed"),
+            "--iters" => iters = parse_or_die(args.next(), "--iters"),
+            "--target" => only = Some(args.next().unwrap_or_else(|| die("--target needs a name"))),
+            "--bless" => bless = true,
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    if bless {
+        let written = fuzz::bless_corpus().unwrap_or_else(|e| die(&format!("bless failed: {e}")));
+        println!("blessed {written} canonical corpus entries under {}", fuzz::corpus_dir().display());
+        return ExitCode::SUCCESS;
+    }
+
+    let targets = fuzz::targets();
+    if let Some(name) = &only {
+        if !targets.iter().any(|t| t.name == *name) {
+            die(&format!("no target named {name}"));
+        }
+    }
+    for target in &targets {
+        if only.as_deref().is_some_and(|n| n != target.name) {
+            continue;
+        }
+        let replayed = fuzz::replay_corpus(target);
+        let executed = fuzz::run_target(target, seed, iters);
+        println!("{:14} corpus={replayed:3} fuzzed={executed} seed={seed:#x} ok", target.name);
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_or_die<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fuzz_smoke: {msg}");
+    std::process::exit(2);
+}

@@ -214,13 +214,32 @@ impl Ipv4Packet {
         out
     }
 
-    /// Parses a packet from wire bytes (truncating the payload to the
-    /// header's total-length field when the buffer is longer).
+    /// Parses a packet from wire bytes. Bytes beyond the header's
+    /// total-length field are tolerated and ignored (link-layer padding),
+    /// but a total length that is shorter than the header itself or longer
+    /// than the buffer is a typed error.
     pub fn decode(buf: &[u8]) -> Result<Self, Ipv4Error> {
         let header = Ipv4Header::decode(buf)?;
-        let total = usize::from(header.total_length).max(IPV4_HEADER_LEN);
-        let end = total.min(buf.len());
-        Ok(Ipv4Packet { header, payload: buf[IPV4_HEADER_LEN..end].to_vec() })
+        // Regression (fuzz target ipv4, corpus ipv4/options_ihl.bin): the
+        // header struct does not model options, so an IHL above 5 used to
+        // leave the options bytes at the front of the payload — a
+        // cross-layer desync for every upper-layer parser.
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(Ipv4Error::OptionsUnsupported(buf[0] & 0x0f));
+        }
+        let total = usize::from(header.total_length);
+        // Regression (fuzz target ipv4): a total length smaller than the
+        // header used to be silently rounded up, and one larger than the
+        // buffer silently clipped — both desynchronise any caller that
+        // trusts the field for framing.
+        if total < IPV4_HEADER_LEN {
+            return Err(Ipv4Error::BadLength(header.total_length));
+        }
+        if buf.len() < total {
+            return Err(Ipv4Error::Truncated);
+        }
+        Ok(Ipv4Packet { header, payload: buf[IPV4_HEADER_LEN..total].to_vec() })
     }
 
     /// A compact human-readable summary used by the trace recorder. TCP
@@ -268,6 +287,11 @@ pub enum Ipv4Error {
     BadVersion(u8),
     /// The header checksum does not verify.
     BadChecksum,
+    /// The total-length field is smaller than the header itself.
+    BadLength(u16),
+    /// The IHL nibble implies IPv4 options, which this stack never emits
+    /// and does not model.
+    OptionsUnsupported(u8),
 }
 
 impl fmt::Display for Ipv4Error {
@@ -276,6 +300,8 @@ impl fmt::Display for Ipv4Error {
             Ipv4Error::Truncated => write!(f, "truncated IPv4 header"),
             Ipv4Error::BadVersion(v) => write!(f, "bad IP version {v}"),
             Ipv4Error::BadChecksum => write!(f, "bad IPv4 header checksum"),
+            Ipv4Error::BadLength(l) => write!(f, "IPv4 total length {l} shorter than the header"),
+            Ipv4Error::OptionsUnsupported(ihl) => write!(f, "IPv4 options unsupported (IHL {ihl})"),
         }
     }
 }
@@ -349,6 +375,54 @@ mod tests {
         let decoded = Ipv4Packet::decode(&pkt.encode()).unwrap();
         assert_eq!(decoded.payload, payload);
         assert_eq!(decoded.header, pkt.header);
+    }
+
+    #[test]
+    fn total_length_shorter_than_header_rejected() {
+        // Regression (fuzz target ipv4, corpus ipv4/len_under_header.bin):
+        // a total-length of 8 used to be rounded up to the header length
+        // and decoded as an empty packet.
+        let mut pkt = Ipv4Packet::new(sample_header(), vec![0u8; 16]);
+        pkt.header.total_length = 8;
+        assert_eq!(Ipv4Packet::decode(&pkt.encode()), Err(Ipv4Error::BadLength(8)));
+    }
+
+    #[test]
+    fn total_length_beyond_buffer_rejected() {
+        // Regression (fuzz target ipv4, corpus ipv4/len_past_buffer.bin):
+        // a claimed-but-absent tail used to be silently clipped to the
+        // buffer instead of rejected.
+        let mut pkt = Ipv4Packet::new(sample_header(), vec![0u8; 16]);
+        pkt.header.total_length = (IPV4_HEADER_LEN + 17) as u16;
+        assert_eq!(Ipv4Packet::decode(&pkt.encode()), Err(Ipv4Error::Truncated));
+    }
+
+    #[test]
+    fn options_carrying_header_rejected_not_desynced() {
+        // Regression (fuzz target ipv4, corpus ipv4/options_ihl.bin): with
+        // IHL = 6 the four options bytes used to land at the front of the
+        // decoded payload.
+        let pkt = Ipv4Packet::new(sample_header(), vec![0u8; 16]);
+        let mut bytes = pkt.encode();
+        bytes[0] = 0x46; // version 4, IHL 6
+        bytes.splice(IPV4_HEADER_LEN..IPV4_HEADER_LEN, [0u8; 4]); // 4 options bytes
+        let total = bytes.len() as u16;
+        bytes[2..4].copy_from_slice(&total.to_be_bytes());
+        bytes[10] = 0;
+        bytes[11] = 0; // re-checksum the mutated header
+        let ck = crate::checksum::checksum(&bytes[..24]);
+        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Ipv4Packet::decode(&bytes), Err(Ipv4Error::OptionsUnsupported(6)));
+    }
+
+    #[test]
+    fn link_layer_padding_ignored() {
+        let payload = vec![0x11u8; 30];
+        let pkt = Ipv4Packet::new(sample_header(), payload.clone());
+        let mut bytes = pkt.encode();
+        bytes.extend_from_slice(&[0u8; 6]); // Ethernet minimum-frame padding
+        let decoded = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(decoded.payload, payload);
     }
 
     #[test]

@@ -192,6 +192,12 @@ impl TcpSegment {
         if buf.len() < TCP_HEADER_LEN {
             return Err(TcpError::Truncated);
         }
+        if buf.len() > usize::from(u16::MAX) {
+            // Regression (fuzz target tcp_segment): the pseudo-header
+            // length is 16-bit; a larger buffer used to be checksummed
+            // against a silently truncated length instead of rejected.
+            return Err(TcpError::Oversized);
+        }
         let data_offset = usize::from(buf[12] >> 4) * 4;
         if data_offset < TCP_HEADER_LEN {
             return Err(TcpError::BadDataOffset);
@@ -272,6 +278,8 @@ pub enum TcpError {
     /// The checksum does not verify (including a zeroed checksum field —
     /// TCP has no "checksum absent" escape hatch).
     BadChecksum,
+    /// The segment exceeds what the 16-bit pseudo-header length can frame.
+    Oversized,
 }
 
 impl fmt::Display for TcpError {
@@ -282,6 +290,7 @@ impl fmt::Display for TcpError {
             TcpError::IsFragment => write!(f, "packet is an IP fragment"),
             TcpError::BadDataOffset => write!(f, "bad TCP data offset"),
             TcpError::BadChecksum => write!(f, "bad TCP checksum"),
+            TcpError::Oversized => write!(f, "TCP segment longer than 65535 bytes"),
         }
     }
 }
@@ -854,6 +863,17 @@ mod tests {
             payload: vec![],
         };
         assert_eq!(s.compute_checksum(), 0xbf8d);
+    }
+
+    #[test]
+    fn oversized_segment_rejected_not_truncated() {
+        // Regression (fuzz target tcp_segment): a payload pushing the TCP
+        // bytes past 65535 overflows the 16-bit pseudo-header length; it
+        // must surface as a typed error, never as a silently truncated
+        // length fed to the checksum.
+        let s = seg(&vec![0u8; usize::from(u16::MAX)]); // header pushes it past 65535
+        let pkt = s.into_packet(7, 64);
+        assert_eq!(TcpSegment::from_packet(&pkt), Err(TcpError::Oversized));
     }
 
     #[test]

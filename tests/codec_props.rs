@@ -1,0 +1,113 @@
+//! Differential tests of DNS name compression against RFC 1035 §4.1.4:
+//! property tests over arbitrary label sets (shared-suffix pointer
+//! compression must be invisible to the decoder) plus the RFC's own
+//! F.ISI.ARPA / FOO.F.ISI.ARPA / ARPA / root byte-layout example.
+
+use cross_layer_attacks::dns::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,10}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DomainName::from_labels(labels).expect("valid labels"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compressed and uncompressed encodings of the same name sequence
+    /// decode to the same names, with every name's end offset landing
+    /// exactly where the next encoding starts.
+    #[test]
+    fn compression_is_invisible_to_the_decoder(names in proptest::collection::vec(arb_name(), 1..6)) {
+        let mut compressed = Vec::new();
+        let mut map: HashMap<String, u16> = HashMap::new();
+        let mut offsets = Vec::new();
+        for name in &names {
+            offsets.push(compressed.len());
+            name.encode(&mut compressed, Some(&mut map));
+        }
+        for (name, &offset) in names.iter().zip(&offsets) {
+            let (decoded, end) = DomainName::decode(&compressed, offset).expect("compressed name decodes");
+            prop_assert_eq!(&decoded, name);
+            let next = offsets.iter().copied().find(|&o| o > offset).unwrap_or(compressed.len());
+            prop_assert_eq!(end, next, "name's wire bytes end where the next name begins");
+        }
+        // Compression never inflates the message.
+        let uncompressed: usize = names.iter().map(DomainName::wire_len).sum();
+        prop_assert!(compressed.len() <= uncompressed);
+    }
+
+    /// encode → decode → encode is a fixed point for uncompressed names.
+    #[test]
+    fn flat_encoding_is_a_fixed_point(name in arb_name()) {
+        let mut b1 = Vec::new();
+        name.encode(&mut b1, None);
+        let (decoded, end) = DomainName::decode(&b1, 0).expect("flat name decodes");
+        prop_assert_eq!(&decoded, &name);
+        prop_assert_eq!(end, b1.len());
+        let mut b2 = Vec::new();
+        decoded.encode(&mut b2, None);
+        prop_assert_eq!(b2, b1);
+    }
+
+    /// Every pointer the encoder emits targets an earlier offset, so the
+    /// decoder's backward-only rule never rejects our own messages.
+    #[test]
+    fn emitted_pointers_always_point_backward(names in proptest::collection::vec(arb_name(), 2..6)) {
+        let mut buf = Vec::new();
+        let mut map: HashMap<String, u16> = HashMap::new();
+        for name in &names {
+            name.encode(&mut buf, Some(&mut map));
+        }
+        // Walk the label/pointer stream from the top.
+        let mut pos = 0;
+        while pos < buf.len() {
+            let len = usize::from(buf[pos]);
+            if len & 0xC0 == 0xC0 {
+                let target = ((len & 0x3F) << 8) | usize::from(buf[pos + 1]);
+                prop_assert!(target < pos, "pointer at {} targets {} (forward)", pos, target);
+                pos += 2;
+            } else {
+                pos += 1 + len;
+            }
+        }
+    }
+}
+
+/// The classic RFC 1035 §4.1.4 figure: F.ISI.ARPA written in full at offset
+/// 20, FOO.F.ISI.ARPA as one label plus a pointer at offset 40, ARPA as a
+/// bare pointer at offset 64, and the root as a lone zero octet at 92.
+#[test]
+fn rfc1035_4_1_4_pointer_layout() {
+    let mut buf = vec![0u8; 20];
+    let mut map: HashMap<String, u16> = HashMap::new();
+
+    let f_isi_arpa: DomainName = "F.ISI.ARPA".parse().unwrap();
+    f_isi_arpa.encode(&mut buf, Some(&mut map));
+    assert_eq!(&buf[20..32], &[1, b'F', 3, b'I', b'S', b'I', 4, b'A', b'R', b'P', b'A', 0], "full form at offset 20");
+
+    buf.resize(40, 0);
+    let foo: DomainName = "FOO.F.ISI.ARPA".parse().unwrap();
+    foo.encode(&mut buf, Some(&mut map));
+    assert_eq!(&buf[40..46], &[3, b'F', b'O', b'O', 0xC0, 20], "FOO label + pointer to offset 20");
+
+    buf.resize(64, 0);
+    let arpa: DomainName = "ARPA".parse().unwrap();
+    arpa.encode(&mut buf, Some(&mut map));
+    assert_eq!(&buf[64..66], &[0xC0, 26], "bare pointer to the ARPA suffix at offset 26");
+
+    buf.resize(92, 0);
+    DomainName::root().encode(&mut buf, Some(&mut map));
+    assert_eq!(buf[92], 0, "root is a single zero octet");
+
+    // The decoder reads all four back from the shared buffer.
+    assert_eq!(DomainName::decode(&buf, 20).unwrap(), (f_isi_arpa, 32));
+    assert_eq!(DomainName::decode(&buf, 40).unwrap(), (foo, 46));
+    assert_eq!(DomainName::decode(&buf, 64).unwrap(), (arpa, 66));
+    assert_eq!(DomainName::decode(&buf, 92).unwrap(), (DomainName::root(), 93));
+}

@@ -1,0 +1,34 @@
+//! Tier-1 safety net from the adversarial robustness harness: replays every
+//! committed fuzz-corpus entry (each one a minimised input that exposed a
+//! real parser defect) and burns a small fixed seeded fuzz budget on every
+//! target, so `cargo test -q` fails the moment a hardened codec regresses.
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let mut total = 0;
+    for target in fuzz::targets() {
+        total += fuzz::replay_corpus(&target);
+    }
+    let canonical = fuzz::canonical_corpus().len();
+    assert!(total >= canonical, "replayed {total} corpus entries, expected at least the {canonical} canonical ones");
+}
+
+#[test]
+fn canonical_corpus_is_committed_verbatim() {
+    // The files on disk must be exactly the canonical bytes — a drifted
+    // corpus silently stops guarding the regression it was minimised for.
+    for (target, file, bytes) in fuzz::canonical_corpus() {
+        let path = fuzz::corpus_dir().join(target).join(file);
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}; run `fuzz_smoke --bless` and commit", path.display()));
+        assert_eq!(on_disk, bytes, "{} drifted from its canonical bytes", path.display());
+    }
+}
+
+#[test]
+fn seeded_fuzz_budget_survives_every_target() {
+    for target in fuzz::targets() {
+        let executed = fuzz::run_target(&target, 0x1035, 250);
+        assert_eq!(executed, 250, "target {} cut its budget short", target.name);
+    }
+}
