@@ -39,6 +39,7 @@ pub mod anycache;
 pub mod campaign;
 pub mod countermeasures;
 pub mod crosslayer;
+pub mod farm;
 pub mod figures;
 pub mod measurements;
 pub mod population;
@@ -63,6 +64,10 @@ pub mod prelude {
         account_takeover_vector, password_recovery_scenario, rpki_downgrade_scenario, rpki_downgrade_vector,
         spf_downgrade_scenario, spf_downgrade_vector, AccountTakeoverOutcome, RpkiDowngradeOutcome,
         SpfDowngradeOutcome,
+    };
+    pub use crate::farm::{
+        render_bench_json, run_farm_campaign, saddns_under_load, FarmBench, FarmCampaignConfig, LoadedSadDnsReport,
+        FARM_SALT,
     };
     pub use crate::figures::{
         figure3_prefix_distributions, figure3_prefix_distributions_with, figure4_edns_vs_fragment,

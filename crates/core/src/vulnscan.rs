@@ -112,7 +112,8 @@ pub fn probe_fragment_acceptance(profile: &ResolverProfile, seed: u64) -> bool {
         77,
     );
     sim.run();
-    env.resolver(&sim).cache().cached_a(&"www.vict.im".parse().expect("name"), sim.now()).is_some()
+    let poisoned = env.resolver(&sim).cache().cached_a(&"www.vict.im".parse().expect("name"), sim.now()).is_some();
+    poisoned
 }
 
 /// Active probe: does the domain's nameserver rate-limit (can it be muted)?

@@ -172,6 +172,42 @@ impl Cache {
     }
 }
 
+/// A cache handle shareable between several resolvers.
+///
+/// This models an anycast resolver fleet (or a multi-process resolver with a
+/// shared memory cache): every frontend answers from — and poisons — the same
+/// store, which is exactly the blast-radius multiplier studied by
+/// `core::anycache`. Cloning the handle is cheap and aliases the same cache.
+///
+/// Single-threaded by design (`Rc<RefCell<_>>`): a simulation runs on one
+/// thread, and campaign workers each build their own simulations.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache(std::rc::Rc<std::cell::RefCell<Cache>>);
+
+impl SharedCache {
+    /// Creates a handle to a fresh empty cache.
+    pub fn new() -> Self {
+        SharedCache::default()
+    }
+
+    /// Shared read access. Panics if a mutable borrow is live (callbacks
+    /// never hold borrows across resolver re-entry, so this cannot happen in
+    /// simulation code).
+    pub fn borrow(&self) -> std::cell::Ref<'_, Cache> {
+        self.0.borrow()
+    }
+
+    /// Exclusive access through the shared handle.
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, Cache> {
+        self.0.borrow_mut()
+    }
+
+    /// Number of frontends sharing this cache (including this handle).
+    pub fn handles(&self) -> usize {
+        std::rc::Rc::strong_count(&self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +218,18 @@ mod tests {
 
     fn a(name: &str, ttl: u32, addr: &str) -> ResourceRecord {
         ResourceRecord::new(n(name), ttl, RData::A(addr.parse().unwrap()))
+    }
+
+    #[test]
+    fn shared_cache_aliases_one_store() {
+        let h1 = SharedCache::new();
+        let h2 = h1.clone();
+        assert_eq!(h1.handles(), 2);
+        h1.borrow_mut().insert_records(&[a("vict.im", 300, "30.0.0.25")], SimTime::ZERO, false);
+        // The sibling handle sees the insertion: one store, two frontends.
+        assert_eq!(h2.borrow().cached_a(&n("vict.im"), SimTime::ZERO), Some("30.0.0.25".parse().unwrap()));
+        h2.borrow_mut().flush();
+        assert!(h1.borrow().is_empty());
     }
 
     #[test]

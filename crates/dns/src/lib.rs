@@ -59,6 +59,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod farm;
 pub mod message;
 pub mod name;
 pub mod nameserver;
@@ -70,7 +71,7 @@ pub mod zone;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::cache::{AnyCachingPolicy, Cache, CacheEntry};
+    pub use crate::cache::{AnyCachingPolicy, Cache, CacheEntry, SharedCache};
     pub use crate::client::{CompletedLookup, StubClient};
     pub use crate::message::{frame_tcp, Header, Message, Question, Rcode, TcpFrameBuffer};
     pub use crate::name::DomainName;

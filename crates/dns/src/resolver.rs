@@ -26,7 +26,7 @@
 //! fail — the symptom applications see when an attacker mounts a DoS through
 //! the cache.
 
-use crate::cache::{AnyCachingPolicy, Cache};
+use crate::cache::{AnyCachingPolicy, Cache, SharedCache};
 use crate::message::{frame_tcp, Message, Question, Rcode, TcpFrameBuffer};
 use crate::name::DomainName;
 use crate::rdata::{RData, RecordType, ResourceRecord};
@@ -238,7 +238,7 @@ struct ClientRef {
 pub struct Resolver {
     stack: HostStack,
     config: ResolverConfig,
-    cache: Cache,
+    cache: SharedCache,
     /// Client-facing UDP socket (port 53).
     client_sock: Box<dyn Socket>,
     /// One ephemeral UDP socket per outstanding UDP upstream query.
@@ -257,8 +257,15 @@ pub struct Resolver {
 }
 
 impl Resolver {
-    /// Creates a resolver from its configuration.
+    /// Creates a resolver with its own private cache.
     pub fn new(config: ResolverConfig) -> Self {
+        Resolver::with_shared_cache(config, SharedCache::new())
+    }
+
+    /// Creates a resolver answering from (and feeding) a [`SharedCache`] —
+    /// one frontend of an anycast fleet. Every resolver built from a clone of
+    /// the same handle shares cache contents, hits, and poisoning state.
+    pub fn with_shared_cache(config: ResolverConfig, cache: SharedCache) -> Self {
         let stack_cfg = StackConfig {
             icmp_rate_limit: config.icmp_rate_limit,
             accept_fragments: config.accept_fragments,
@@ -275,7 +282,7 @@ impl Resolver {
         Resolver {
             stack,
             config,
-            cache: Cache::new(),
+            cache,
             client_sock,
             upstream_socks: HashMap::new(),
             tcp,
@@ -294,13 +301,18 @@ impl Resolver {
     }
 
     /// Read access to the cache (poisoning checks, cross-application probes).
-    pub fn cache(&self) -> &Cache {
-        &self.cache
+    pub fn cache(&self) -> std::cell::Ref<'_, Cache> {
+        self.cache.borrow()
     }
 
     /// Mutable access to the cache (operator interventions in experiments).
-    pub fn cache_mut(&mut self) -> &mut Cache {
-        &mut self.cache
+    pub fn cache_mut(&mut self) -> std::cell::RefMut<'_, Cache> {
+        self.cache.borrow_mut()
+    }
+
+    /// The shareable cache handle (clone it into sibling frontends).
+    pub fn shared_cache(&self) -> SharedCache {
+        self.cache.clone()
     }
 
     /// Read access to the configuration.
@@ -333,7 +345,7 @@ impl Resolver {
     /// Whether the resolver's cache maps `name` to `addr` — the canonical
     /// "was the cache poisoned?" check used by the attack harnesses.
     pub fn is_poisoned_with(&self, name: &DomainName, addr: Ipv4Addr, now: SimTime) -> bool {
-        self.cache.is_poisoned_with(name, addr, now)
+        self.cache.borrow().is_poisoned_with(name, addr, now)
     }
 
     fn allocate_port(&mut self, rng: &mut impl Rng) -> u16 {
@@ -513,7 +525,8 @@ impl Resolver {
         // Cache lookup.
         let allow_any_derived = self.config.any_caching == AnyCachingPolicy::CacheAndUse;
         let now = ctx.now();
-        if let Some(records) = self.cache.lookup_with_policy(&question.name, question.qtype, now, allow_any_derived) {
+        let cached = self.cache.borrow_mut().lookup_with_policy(&question.name, question.qtype, now, allow_any_derived);
+        if let Some(records) = cached {
             self.stats.cache_answers += 1;
             self.answer_client_from_records(&question, &records, client, ctx);
             return;
@@ -633,7 +646,7 @@ impl Resolver {
         self.stats.responses_accepted += 1;
         let now = ctx.now();
         let from_any = entry.client_qtype == RecordType::ANY;
-        self.cache.insert_records(&in_bailiwick, now, from_any);
+        self.cache.borrow_mut().insert_records(&in_bailiwick, now, from_any);
         let answers: Vec<ResourceRecord> = in_bailiwick
             .iter()
             .filter(|r| {

@@ -11,24 +11,45 @@
 //! Determinism: all randomness is drawn from a single seeded ChaCha20 RNG and
 //! ties between simultaneous events are broken by insertion order, so a given
 //! seed always reproduces the same packet interleaving.
+//!
+//! ## Scale: the arena host table and the time wheel
+//!
+//! Full [`Node`]s are boxed trait objects with their own stacks — ideal for
+//! resolvers and attackers, far too heavy for a million background clients.
+//! **Stub blocks** ([`Simulator::add_stub_block`]) register a contiguous
+//! IPv4 range whose hosts live as plain [`StubState`] entries in one flat
+//! arena, all driven by a single shared [`StubHandler`]. Address lookup for a
+//! stub is arithmetic on the block base rather than a hash probe, stub
+//! timers carry a typed [`StubTimer`] token namespaced by [`StubId`] (two
+//! clients can never alias each other's retransmit timers), and delivered
+//! packet buffers are recycled through [`crate::pool`]. The event queue
+//! itself is a hierarchical [`TimeWheel`](crate::wheel::TimeWheel) keyed by
+//! `(SimTime, seq)` — identical pop order to the old binary heap, `O(1)`
+//! scheduling.
 
 use crate::ipv4::{Ipv4Packet, Protocol};
 use crate::link::Link;
+use crate::pool;
 use crate::prefix::Prefix;
 use crate::stats::TrafficStats;
 use crate::time::{Duration, SimTime};
 use crate::trace::{Trace, TraceVerdict};
+use crate::wheel::TimeWheel;
 use crate::{frag, icmp::IcmpMessage};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Identifier of a node registered with a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
+
+/// Identifier of a stub client in the arena host table: a flat index across
+/// all stub blocks, in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StubId(pub u32);
 
 /// Object-safe downcasting support, blanket-implemented for every node type.
 pub trait AsAny {
@@ -57,6 +78,10 @@ pub trait Node: AsAny + 'static {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet);
 
     /// Called when a timer previously scheduled via [`Ctx::set_timer`] fires.
+    ///
+    /// Timer tokens are namespaced per node: the engine carries the owning
+    /// [`NodeId`] in the event, so two nodes using the same `u64` token can
+    /// never receive each other's timers.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let _ = (ctx, token);
     }
@@ -107,9 +132,116 @@ impl<'a> Ctx<'a> {
         self.outgoing.push(pkt);
     }
 
-    /// Schedules a timer `delay` from now with an opaque token.
+    /// Schedules a timer `delay` from now with an opaque token. The token
+    /// space is private to this node (see [`Node::on_timer`]).
     pub fn set_timer(&mut self, delay: Duration, token: u64) {
         self.timers.push((delay, token));
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut ChaCha20Rng {
+        self.rng
+    }
+}
+
+/// A typed timer token for stub clients.
+///
+/// The flat `u64` tokens of [`Ctx::set_timer`] are safe for full nodes
+/// because the engine namespaces them by [`NodeId`]; a farm of 10⁶ stub
+/// clients gets the same guarantee structurally: every stub timer event
+/// carries the owning [`StubId`] plus this typed token, so clients cannot
+/// alias each other's retransmit timers no matter what `kind`/`data` values
+/// the shared handler picks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StubTimer {
+    /// Handler-defined timer class (e.g. "next query", "retransmit").
+    pub kind: u8,
+    /// Handler-defined payload (e.g. a transaction id or name index).
+    pub data: u32,
+}
+
+/// Per-stub-client state: one flat arena entry, no allocation, no `Box`.
+#[derive(Debug, Clone, Copy)]
+pub struct StubState {
+    /// The client's IPv4 address (block base + index).
+    pub addr: Ipv4Addr,
+    /// Packets this stub has sent.
+    pub sent: u32,
+    /// Packets delivered to this stub.
+    pub received: u32,
+    /// Handler-defined failure counter (timeouts, SERVFAILs...).
+    pub failed: u32,
+    /// Handler-defined scratch word (e.g. outstanding query txid/state).
+    pub data: u64,
+}
+
+/// The single behaviour shared by every stub client in a simulation.
+///
+/// Unlike [`Node`], a handler is registered once per simulator and invoked
+/// with the per-client [`StubState`] — a million clients cost a million arena
+/// entries, not a million boxed trait objects.
+pub trait StubHandler: 'static {
+    /// Called once per stub when the simulation starts (after all full
+    /// nodes' [`Node::on_start`], in arena order).
+    fn on_start(&mut self, ctx: &mut StubCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a timer scheduled via [`StubCtx::set_timer`] fires for
+    /// this stub.
+    fn on_timer(&mut self, ctx: &mut StubCtx<'_>, timer: StubTimer) {
+        let _ = (ctx, timer);
+    }
+
+    /// Called when a packet is delivered to this stub. The packet is
+    /// borrowed: its buffers are recycled by the engine afterwards.
+    fn on_packet(&mut self, ctx: &mut StubCtx<'_>, pkt: &Ipv4Packet);
+}
+
+/// Side-effect collector handed to [`StubHandler`] callbacks.
+pub struct StubCtx<'a> {
+    now: SimTime,
+    id: StubId,
+    state: &'a mut StubState,
+    rng: &'a mut ChaCha20Rng,
+    outgoing: &'a mut Vec<Ipv4Packet>,
+    timers: &'a mut Vec<(Duration, StubTimer)>,
+}
+
+impl<'a> StubCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This stub's identifier.
+    pub fn id(&self) -> StubId {
+        self.id
+    }
+
+    /// This stub's IPv4 address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.state.addr
+    }
+
+    /// This stub's state.
+    pub fn state(&self) -> &StubState {
+        self.state
+    }
+
+    /// Mutable access to this stub's state.
+    pub fn state_mut(&mut self) -> &mut StubState {
+        self.state
+    }
+
+    /// Queues a packet for transmission from this stub.
+    pub fn send(&mut self, pkt: Ipv4Packet) {
+        self.outgoing.push(pkt);
+    }
+
+    /// Schedules a typed timer `delay` from now for this stub.
+    pub fn set_timer(&mut self, delay: Duration, timer: StubTimer) {
+        self.timers.push((delay, timer));
     }
 
     /// Deterministic per-simulation RNG.
@@ -170,33 +302,39 @@ struct NodeSlot {
     stats: TrafficStats,
 }
 
-#[derive(Debug)]
+/// A contiguous range of arena-hosted stub clients.
+struct StubBlock {
+    name: String,
+    /// Block base address as a big-endian u32.
+    base: u32,
+    /// Number of clients in the block.
+    count: u32,
+    /// Arena index of the first client.
+    first: u32,
+    /// Aggregate traffic counters for the whole block.
+    stats: TrafficStats,
+}
+
+/// Who sent a packet (for stats, egress filtering and trace labels).
+#[derive(Debug, Clone, Copy)]
+enum Origin {
+    Node(NodeId),
+    Stub(StubId),
+    /// ICMP errors originated by the network itself (PTB from a link router).
+    Router,
+}
+
+/// Who receives a packet.
+#[derive(Debug, Clone, Copy)]
+enum HostRef {
+    Node(NodeId),
+    Stub(StubId),
+}
+
 enum EventKind {
-    Deliver { to: NodeId, from_name: String, pkt: Ipv4Packet },
+    Deliver { to: HostRef, from: Origin, pkt: Ipv4Packet },
     Timer { node: NodeId, token: u64 },
-}
-
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    StubTimer { stub: StubId, timer: StubTimer },
 }
 
 /// The simulation engine. See the [module documentation](self) for an overview.
@@ -206,7 +344,13 @@ pub struct Simulator {
     route_overrides: Vec<(Prefix, NodeId)>,
     links: HashMap<(NodeId, NodeId), Link>,
     default_link: Link,
-    events: BinaryHeap<Reverse<Event>>,
+    stub_link: Link,
+    stub_blocks: Vec<StubBlock>,
+    stubs: Vec<StubState>,
+    stub_handler: Option<Box<dyn StubHandler>>,
+    stub_out_scratch: Vec<Ipv4Packet>,
+    stub_timer_scratch: Vec<(Duration, StubTimer)>,
+    events: TimeWheel<EventKind>,
     now: SimTime,
     seq: u64,
     rng: ChaCha20Rng,
@@ -223,7 +367,13 @@ impl Simulator {
             route_overrides: Vec::new(),
             links: HashMap::new(),
             default_link: Link::default(),
-            events: BinaryHeap::new(),
+            stub_link: Link::default(),
+            stub_blocks: Vec::new(),
+            stubs: Vec::new(),
+            stub_handler: None,
+            stub_out_scratch: Vec::new(),
+            stub_timer_scratch: Vec::new(),
+            events: TimeWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng: ChaCha20Rng::seed_from_u64(seed),
@@ -235,9 +385,29 @@ impl Simulator {
     /// Registers a node owning the given addresses. Egress filtering is
     /// disabled by default (the attacker model assumes a non-filtering
     /// network; victims can enable it via [`Simulator::set_egress_filtering`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an address is already owned by another node or falls
+    /// inside a registered stub block — a silently stolen address misroutes
+    /// traffic with no diagnostic, so duplicate registration is a bug in the
+    /// scenario, not a tolerable condition.
     pub fn add_node(&mut self, name: &str, addrs: Vec<Ipv4Addr>, node: impl Node) -> NodeId {
         let id = NodeId(self.nodes.len());
         for &a in &addrs {
+            if let Some(owner) = self.addr_map.get(&a) {
+                panic!(
+                    "duplicate address registration: {a} is owned by node {:?} but {name:?} also claims it",
+                    self.nodes[owner.0].name
+                );
+            }
+            if let Some(stub) = self.stub_lookup(a) {
+                let block = &self.stub_blocks[self.block_of_stub(stub)];
+                panic!(
+                    "duplicate address registration: {a} belongs to stub block {:?} but node {name:?} also claims it",
+                    block.name
+                );
+            }
             self.addr_map.insert(a, id);
         }
         self.nodes.push(NodeSlot {
@@ -248,6 +418,96 @@ impl Simulator {
             stats: TrafficStats::default(),
         });
         id
+    }
+
+    /// Registers a contiguous block of `count` stub clients with addresses
+    /// `base .. base + count`, returning the [`StubId`] of the first. The
+    /// clients share the simulator-wide [`StubHandler`] (see
+    /// [`Simulator::set_stub_handler`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range wraps the IPv4 address space, overlaps an
+    /// existing stub block, or contains an address already owned by a node.
+    pub fn add_stub_block(&mut self, name: &str, base: Ipv4Addr, count: u32) -> StubId {
+        assert!(count > 0, "stub block {name:?} must hold at least one client");
+        let base_u = u32::from(base);
+        assert!(base_u.checked_add(count - 1).is_some(), "stub block {name:?} wraps the IPv4 address space");
+        for block in &self.stub_blocks {
+            let overlaps = base_u < block.base.saturating_add(block.count) && block.base < base_u.saturating_add(count);
+            if overlaps {
+                panic!("stub block {name:?} overlaps existing stub block {:?}", block.name);
+            }
+        }
+        for (&addr, owner) in &self.addr_map {
+            let a = u32::from(addr);
+            if a >= base_u && a - base_u < count {
+                panic!(
+                    "duplicate address registration: {addr} is owned by node {:?} but stub block {name:?} covers it",
+                    self.nodes[owner.0].name
+                );
+            }
+        }
+        let first = self.stubs.len() as u32;
+        self.stubs.reserve(count as usize);
+        for i in 0..count {
+            self.stubs.push(StubState { addr: Ipv4Addr::from(base_u + i), sent: 0, received: 0, failed: 0, data: 0 });
+        }
+        self.stub_blocks.push(StubBlock {
+            name: name.to_string(),
+            base: base_u,
+            count,
+            first,
+            stats: TrafficStats::default(),
+        });
+        StubId(first)
+    }
+
+    /// Installs the behaviour shared by every stub client.
+    pub fn set_stub_handler(&mut self, handler: impl StubHandler) {
+        self.stub_handler = Some(Box::new(handler));
+    }
+
+    /// Sets the link parameters used for all traffic to or from stub clients.
+    pub fn set_stub_link(&mut self, link: Link) {
+        self.stub_link = link;
+    }
+
+    /// Number of stub clients across all blocks.
+    pub fn stub_count(&self) -> usize {
+        self.stubs.len()
+    }
+
+    /// State of one stub client.
+    pub fn stub_state(&self, id: StubId) -> &StubState {
+        &self.stubs[id.0 as usize]
+    }
+
+    /// All stub states, in arena order.
+    pub fn stub_states(&self) -> &[StubState] {
+        &self.stubs
+    }
+
+    /// Aggregate traffic counters of the stub block containing `id`.
+    pub fn stub_block_stats(&self, id: StubId) -> &TrafficStats {
+        &self.stub_blocks[self.block_of_stub(id)].stats
+    }
+
+    /// The stub client owning `addr`, if any.
+    pub fn stub_lookup(&self, addr: Ipv4Addr) -> Option<StubId> {
+        let a = u32::from(addr);
+        // A simulation holds a handful of blocks at most: a linear scan beats
+        // a hash probe and needs no ordering invariant.
+        for block in &self.stub_blocks {
+            if a >= block.base && a - block.base < block.count {
+                return Some(StubId(block.first + (a - block.base)));
+            }
+        }
+        None
+    }
+
+    fn block_of_stub(&self, id: StubId) -> usize {
+        self.stub_blocks.iter().position(|b| id.0 >= b.first && id.0 - b.first < b.count).expect("stub id out of range")
     }
 
     /// Enables or disables egress filtering (BCP 38) for a node: when enabled,
@@ -334,7 +594,8 @@ impl Simulator {
     }
 
     /// Which node currently receives traffic for `addr`, considering route
-    /// overrides first and address ownership second.
+    /// overrides first and address ownership second. Stub clients are not
+    /// visible here; use [`Simulator::stub_lookup`] for them.
     pub fn route_lookup(&self, addr: Ipv4Addr) -> Option<NodeId> {
         let mut best: Option<(u8, usize, NodeId)> = None;
         for (idx, (prefix, node)) in self.route_overrides.iter().enumerate() {
@@ -351,10 +612,25 @@ impl Simulator {
         self.addr_map.get(&addr).copied()
     }
 
+    /// Full routing including the stub arena: overrides, then node address
+    /// ownership, then stub blocks.
+    fn host_lookup(&self, addr: Ipv4Addr) -> Option<HostRef> {
+        if let Some(node) = self.route_lookup(addr) {
+            return Some(HostRef::Node(node));
+        }
+        self.stub_lookup(addr).map(HostRef::Stub)
+    }
+
     /// Schedules a timer for a node, from outside the node itself.
     pub fn schedule_timer(&mut self, node: NodeId, delay: Duration, token: u64) {
         let time = self.now + delay;
         self.push_event(time, EventKind::Timer { node, token });
+    }
+
+    /// Schedules a typed timer for a stub client, from outside the handler.
+    pub fn schedule_stub_timer(&mut self, stub: StubId, delay: Duration, timer: StubTimer) {
+        let time = self.now + delay;
+        self.push_event(time, EventKind::StubTimer { stub, timer });
     }
 
     /// Injects a packet as if `from` had sent it right now.
@@ -365,44 +641,92 @@ impl Simulator {
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.push(time, seq, kind);
     }
 
-    /// Routes and schedules one packet sent by `from`.
+    /// The trace label for a packet origin. Only called when tracing is
+    /// enabled, so the stub `String` allocation never taxes big runs.
+    fn origin_label(nodes: &[NodeSlot], blocks: &[StubBlock], from: Origin) -> String {
+        match from {
+            Origin::Node(id) => nodes[id.0].name.clone(),
+            Origin::Stub(id) => Self::stub_label(blocks, id),
+            Origin::Router => "router".to_string(),
+        }
+    }
+
+    fn stub_label(blocks: &[StubBlock], id: StubId) -> String {
+        for b in blocks {
+            if id.0 >= b.first && id.0 - b.first < b.count {
+                return format!("{}{}", b.name, id.0 - b.first);
+            }
+        }
+        format!("stub{}", id.0)
+    }
+
+    /// Routes and schedules one packet sent by a full node.
     fn dispatch(&mut self, from: NodeId, pkt: Ipv4Packet) {
+        self.dispatch_from(Origin::Node(from), pkt);
+    }
+
+    /// Routes and schedules one packet from any origin.
+    fn dispatch_from(&mut self, from: Origin, pkt: Ipv4Packet) {
         let wire_len = pkt.wire_len();
         let protocol = pkt.header.protocol;
-        let from_name = self.nodes[from.0].name.clone();
-        self.nodes[from.0].stats.record_sent(protocol, wire_len);
-
-        // Egress filtering of spoofed sources (BCP 38).
-        if self.nodes[from.0].egress_filtering && !self.nodes[from.0].addrs.contains(&pkt.header.src) {
-            self.nodes[from.0].stats.spoofed_filtered += 1;
-            self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::EgressFiltered);
-            return;
+        match from {
+            Origin::Node(id) => {
+                self.nodes[id.0].stats.record_sent(protocol, wire_len);
+                // Egress filtering of spoofed sources (BCP 38).
+                if self.nodes[id.0].egress_filtering && !self.nodes[id.0].addrs.contains(&pkt.header.src) {
+                    self.nodes[id.0].stats.spoofed_filtered += 1;
+                    if self.trace.enabled {
+                        let from_name = self.nodes[id.0].name.clone();
+                        self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::EgressFiltered);
+                    }
+                    pool::give(pkt.payload);
+                    return;
+                }
+            }
+            Origin::Stub(id) => {
+                let b = self.block_of_stub(id);
+                self.stub_blocks[b].stats.record_sent(protocol, wire_len);
+                self.stubs[id.0 as usize].sent += 1;
+            }
+            Origin::Router => {}
         }
 
         // Routing (route overrides model hijacked prefixes).
-        let Some(to) = self.route_lookup(pkt.header.dst) else {
-            self.nodes[from.0].stats.dropped_in_transit += 1;
-            self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::NoRoute);
+        let Some(to) = self.host_lookup(pkt.header.dst) else {
+            self.count_transit_drop(from);
+            if self.trace.enabled {
+                let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
+                self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::NoRoute);
+            }
+            pool::give(pkt.payload);
             return;
         };
-        let to_name = self.nodes[to.0].name.clone();
-        let link = *self.links.get(&(from, to)).unwrap_or(&self.default_link);
+        let link = self.link_between(from, to);
 
         // Random loss.
         if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
-            self.nodes[from.0].stats.dropped_in_transit += 1;
-            self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::LinkLoss);
+            self.count_transit_drop(from);
+            if self.trace.enabled {
+                let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
+                let to_name = self.host_label(to);
+                self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::LinkLoss);
+            }
+            pool::give(pkt.payload);
             return;
         }
 
         // MTU handling by the "router" on the link.
         if pkt.wire_len() > usize::from(link.mtu) {
             if pkt.header.dont_fragment || !link.fragment_in_transit {
-                self.nodes[from.0].stats.dropped_in_transit += 1;
-                self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::MtuExceeded);
+                self.count_transit_drop(from);
+                if self.trace.enabled {
+                    let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
+                    let to_name = self.host_label(to);
+                    self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::MtuExceeded);
+                }
                 // Generate an ICMP fragmentation-needed back to the sender,
                 // originated "by the network" (source = destination address of
                 // the oversized packet, a common real-world pattern for
@@ -413,20 +737,55 @@ impl Simulator {
                     self.rng.gen(),
                     64,
                 );
+                pool::give(pkt.payload);
                 let time = self.now + link.latency;
-                self.push_event(time, EventKind::Deliver { to: from, from_name: "router".to_string(), pkt: ptb });
+                let back_to = match from {
+                    Origin::Node(id) => HostRef::Node(id),
+                    Origin::Stub(id) => HostRef::Stub(id),
+                    Origin::Router => return,
+                };
+                self.push_event(time, EventKind::Deliver { to: back_to, from: Origin::Router, pkt: ptb });
                 return;
             }
             // Fragment in transit.
             for frag in frag::fragment_packet(&pkt, link.mtu) {
                 let time = self.now + link.latency;
-                self.push_event(time, EventKind::Deliver { to, from_name: from_name.clone(), pkt: frag });
+                self.push_event(time, EventKind::Deliver { to, from, pkt: frag });
             }
+            pool::give(pkt.payload);
             return;
         }
 
         let time = self.now + link.latency;
-        self.push_event(time, EventKind::Deliver { to, from_name, pkt });
+        self.push_event(time, EventKind::Deliver { to, from, pkt });
+    }
+
+    fn count_transit_drop(&mut self, from: Origin) {
+        match from {
+            Origin::Node(id) => self.nodes[id.0].stats.dropped_in_transit += 1,
+            Origin::Stub(id) => {
+                let b = self.block_of_stub(id);
+                self.stub_blocks[b].stats.dropped_in_transit += 1;
+            }
+            Origin::Router => {}
+        }
+    }
+
+    /// The link governing a flow. Node-to-node flows use the configured link
+    /// table; any flow touching a stub client uses the stub link.
+    fn link_between(&self, from: Origin, to: HostRef) -> Link {
+        match (from, to) {
+            (Origin::Node(a), HostRef::Node(b)) => *self.links.get(&(a, b)).unwrap_or(&self.default_link),
+            (Origin::Router, HostRef::Node(_)) => self.default_link,
+            _ => self.stub_link,
+        }
+    }
+
+    fn host_label(&self, to: HostRef) -> String {
+        match to {
+            HostRef::Node(id) => self.nodes[id.0].name.clone(),
+            HostRef::Stub(id) => Self::stub_label(&self.stub_blocks, id),
+        }
     }
 
     fn start_nodes(&mut self) {
@@ -437,6 +796,11 @@ impl Simulator {
         for idx in 0..self.nodes.len() {
             let id = NodeId(idx);
             self.with_node_ctx(id, |node, ctx| node.on_start(ctx));
+        }
+        if self.stub_handler.is_some() {
+            for idx in 0..self.stubs.len() {
+                self.with_stub_ctx(StubId(idx as u32), |handler, ctx| handler.on_start(ctx));
+            }
         }
     }
 
@@ -460,22 +824,79 @@ impl Simulator {
         }
     }
 
+    /// Runs a stub-handler callback with a freshly built [`StubCtx`], then
+    /// dispatches the side effects. The outgoing/timer scratch vectors are
+    /// reused across calls, so a quiescent farm schedules with zero
+    /// steady-state allocation.
+    fn with_stub_ctx(&mut self, id: StubId, f: impl FnOnce(&mut dyn StubHandler, &mut StubCtx<'_>)) {
+        let mut outgoing = std::mem::take(&mut self.stub_out_scratch);
+        let mut timers = std::mem::take(&mut self.stub_timer_scratch);
+        {
+            let Simulator { stub_handler, stubs, rng, now, .. } = self;
+            let handler = stub_handler.as_mut().expect("stub block registered without a StubHandler");
+            let mut ctx = StubCtx {
+                now: *now,
+                id,
+                state: &mut stubs[id.0 as usize],
+                rng,
+                outgoing: &mut outgoing,
+                timers: &mut timers,
+            };
+            f(handler.as_mut(), &mut ctx);
+        }
+        for pkt in outgoing.drain(..) {
+            self.dispatch_from(Origin::Stub(id), pkt);
+        }
+        for (delay, timer) in timers.drain(..) {
+            let time = self.now + delay;
+            self.push_event(time, EventKind::StubTimer { stub: id, timer });
+        }
+        self.stub_out_scratch = outgoing;
+        self.stub_timer_scratch = timers;
+    }
+
+    fn deliver(&mut self, to: HostRef, from: Origin, pkt: Ipv4Packet) {
+        match to {
+            HostRef::Node(id) => {
+                self.nodes[id.0].stats.record_received(pkt.header.protocol, pkt.wire_len());
+                if self.trace.enabled {
+                    let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
+                    let to_name = self.nodes[id.0].name.clone();
+                    self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::Delivered);
+                }
+                self.with_node_ctx(id, |node, ctx| node.on_packet(ctx, pkt));
+            }
+            HostRef::Stub(id) => {
+                let b = self.block_of_stub(id);
+                self.stub_blocks[b].stats.record_received(pkt.header.protocol, pkt.wire_len());
+                self.stubs[id.0 as usize].received += 1;
+                if self.trace.enabled {
+                    let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
+                    let to_name = Self::stub_label(&self.stub_blocks, id);
+                    self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::Delivered);
+                }
+                self.with_stub_ctx(id, |handler, ctx| handler.on_packet(ctx, &pkt));
+                // Stub deliveries borrow the packet, so the engine still owns
+                // the buffer here and can recycle it.
+                pool::give(pkt.payload);
+            }
+        }
+    }
+
     /// Processes a single event. Returns `false` when the event queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_nodes();
-        let Some(Reverse(event)) = self.events.pop() else {
+        let Some((time, _seq, kind)) = self.events.pop() else {
             return false;
         };
-        self.now = event.time;
-        match event.kind {
-            EventKind::Deliver { to, from_name, pkt } => {
-                let to_name = self.nodes[to.0].name.clone();
-                self.nodes[to.0].stats.record_received(pkt.header.protocol, pkt.wire_len());
-                self.trace.record_packet(self.now, &from_name, &to_name, &pkt, TraceVerdict::Delivered);
-                self.with_node_ctx(to, |node, ctx| node.on_packet(ctx, pkt));
-            }
+        self.now = time;
+        match kind {
+            EventKind::Deliver { to, from, pkt } => self.deliver(to, from, pkt),
             EventKind::Timer { node, token } => {
                 self.with_node_ctx(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::StubTimer { stub, timer } => {
+                self.with_stub_ctx(stub, |h, ctx| h.on_timer(ctx, timer));
             }
         }
         true
@@ -489,8 +910,8 @@ impl Simulator {
     /// Runs until the event queue is exhausted or the clock passes `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_nodes();
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.time > deadline {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
                 break;
             }
             self.step();
@@ -561,6 +982,30 @@ mod tests {
         sim.run();
         assert_eq!(sim.stats(a).dropped_in_transit, 1);
         assert_eq!(sim.trace().matching("UDP").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate address registration")]
+    fn duplicate_address_registration_panics() {
+        let mut sim = Simulator::new(3);
+        sim.add_node("first-owner", vec![A], EchoNode::default());
+        sim.add_node("second-owner", vec![A], EchoNode::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "stub block")]
+    fn node_address_inside_stub_block_panics() {
+        let mut sim = Simulator::new(3);
+        sim.add_stub_block("farm", "100.64.0.0".parse().unwrap(), 16);
+        sim.add_node("squatter", vec!["100.64.0.5".parse().unwrap()], EchoNode::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing stub block")]
+    fn overlapping_stub_blocks_panic() {
+        let mut sim = Simulator::new(3);
+        sim.add_stub_block("farm-a", "100.64.0.0".parse().unwrap(), 16);
+        sim.add_stub_block("farm-b", "100.64.0.8".parse().unwrap(), 16);
     }
 
     #[test]
@@ -735,5 +1180,98 @@ mod tests {
         }
         assert_eq!(run_once(42), run_once(42));
         assert_ne!(run_once(42), run_once(43));
+    }
+
+    /// A handler that makes every stub ping-pong one UDP datagram with a
+    /// sink node: on start each stub arms a timer, on fire it sends a query,
+    /// and deliveries are counted in the arena entry.
+    struct PingHandler {
+        target: Ipv4Addr,
+    }
+    impl StubHandler for PingHandler {
+        fn on_start(&mut self, ctx: &mut StubCtx<'_>) {
+            let jitter = ctx.id().0 as u64;
+            ctx.set_timer(Duration::from_micros(10 + jitter), StubTimer { kind: 1, data: ctx.id().0 });
+        }
+        fn on_timer(&mut self, ctx: &mut StubCtx<'_>, timer: StubTimer) {
+            assert_eq!(timer.kind, 1);
+            assert_eq!(timer.data, ctx.id().0, "timer token must come back to its owner");
+            let pkt = UdpDatagram::new(ctx.addr(), self.target, 5353, 53, vec![0xAB; 8]).into_packet(1, 64);
+            ctx.send(pkt);
+        }
+        fn on_packet(&mut self, ctx: &mut StubCtx<'_>, pkt: &Ipv4Packet) {
+            assert_eq!(pkt.header.dst, ctx.addr());
+            ctx.state_mut().data += 1;
+        }
+    }
+
+    /// Echoes every UDP datagram back to its sender.
+    #[derive(Default)]
+    struct UdpEchoServer;
+    impl Node for UdpEchoServer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
+            if pkt.header.protocol == Protocol::Udp {
+                if let Ok(d) = UdpDatagram::from_packet(&pkt) {
+                    let reply = UdpDatagram::new(d.dst, d.src, d.dst_port, d.src_port, d.payload);
+                    let ipid = ctx.rng().gen();
+                    ctx.send(reply.into_packet(ipid, 64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stub_block_round_trips_traffic() {
+        let mut sim = Simulator::new(77);
+        let server_addr: Ipv4Addr = "10.9.9.9".parse().unwrap();
+        let server = sim.add_node("server", vec![server_addr], UdpEchoServer);
+        let first = sim.add_stub_block("client", "100.64.0.0".parse().unwrap(), 100);
+        sim.set_stub_handler(PingHandler { target: server_addr });
+        sim.run();
+        assert_eq!(sim.stats(server).udp_received, 100);
+        assert_eq!(sim.stats(server).udp_sent, 100);
+        // Every stub sent one query and got one reply back.
+        for i in 0..100 {
+            let st = sim.stub_state(StubId(first.0 + i));
+            assert_eq!((st.sent, st.received, st.data), (1, 1, 1), "stub {i}");
+        }
+        assert_eq!(sim.stub_block_stats(first).udp_sent, 100);
+        assert_eq!(sim.stub_block_stats(first).udp_received, 100);
+    }
+
+    #[test]
+    fn stub_lookup_is_arithmetic_on_the_block() {
+        let mut sim = Simulator::new(1);
+        let first = sim.add_stub_block("farm", "100.64.1.0".parse().unwrap(), 512);
+        let a = sim.add_stub_block("other", "100.70.0.0".parse().unwrap(), 4);
+        assert_eq!(sim.stub_lookup("100.64.1.0".parse().unwrap()), Some(first));
+        assert_eq!(sim.stub_lookup("100.64.2.255".parse().unwrap()), Some(StubId(first.0 + 511)));
+        assert_eq!(sim.stub_lookup("100.64.3.0".parse().unwrap()), None);
+        assert_eq!(sim.stub_lookup("100.70.0.3".parse().unwrap()), Some(StubId(a.0 + 3)));
+        assert_eq!(sim.stub_count(), 516);
+    }
+
+    #[test]
+    fn stub_timers_never_alias_across_clients() {
+        // Two stubs schedule timers with identical (kind, data): each fire
+        // must reach its own stub. The PingHandler asserts ownership.
+        struct SameToken;
+        impl StubHandler for SameToken {
+            fn on_start(&mut self, ctx: &mut StubCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), StubTimer { kind: 7, data: 42 });
+            }
+            fn on_timer(&mut self, ctx: &mut StubCtx<'_>, timer: StubTimer) {
+                assert_eq!(timer, StubTimer { kind: 7, data: 42 });
+                ctx.state_mut().data += 1;
+            }
+            fn on_packet(&mut self, _ctx: &mut StubCtx<'_>, _pkt: &Ipv4Packet) {}
+        }
+        let mut sim = Simulator::new(5);
+        let first = sim.add_stub_block("c", "100.64.0.0".parse().unwrap(), 8);
+        sim.set_stub_handler(SameToken);
+        sim.run();
+        for i in 0..8 {
+            assert_eq!(sim.stub_state(StubId(first.0 + i)).data, 1, "stub {i} got exactly its own timer");
+        }
     }
 }

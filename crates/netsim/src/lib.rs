@@ -61,6 +61,7 @@ pub mod icmp;
 pub mod ipv4;
 pub mod link;
 pub mod pmtud;
+pub mod pool;
 pub mod prefix;
 pub mod ratelimit;
 pub mod stack;
@@ -70,10 +71,13 @@ pub mod time;
 pub mod trace;
 pub mod transport;
 pub mod udp;
+pub mod wheel;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::engine::{Ctx, EchoNode, Node, NodeId, Simulator, SinkNode};
+    pub use crate::engine::{
+        Ctx, EchoNode, Node, NodeId, Simulator, SinkNode, StubCtx, StubHandler, StubId, StubState, StubTimer,
+    };
     pub use crate::frag::{fragment_packet, ReassemblyBuffer, ReassemblyConfig};
     pub use crate::icmp::{IcmpMessage, Unreachable};
     pub use crate::ipv4::{Ipv4Header, Ipv4Packet, Protocol};

@@ -1,0 +1,91 @@
+//! Thread-local packet-buffer pool.
+//!
+//! Every UDP datagram or TCP segment used to allocate a fresh `Vec<u8>` on
+//! encode and drop it after delivery — at million-client farm scale that is
+//! two heap round-trips per simulated packet. The pool keeps a small
+//! per-thread free list of cleared byte buffers: encoders call [`take`], the
+//! engine (and any owner done with a packet) calls [`give`] when a payload
+//! buffer dies. Buffers are always handed out **cleared** and fully
+//! rewritten by the encoders, so reuse cannot leak bytes between packets and
+//! has no effect on determinism.
+//!
+//! The free list is thread-local because simulations are single-threaded and
+//! campaign workers each run their own sims; nothing here is shared across
+//! threads.
+
+use std::cell::RefCell;
+
+/// Maximum number of buffers retained per thread.
+const MAX_POOLED: usize = 1024;
+/// Buffers with more capacity than this are dropped rather than pooled, so a
+/// rare jumbo packet cannot pin memory forever.
+const MAX_POOLED_CAPACITY: usize = 4096;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a cleared buffer with at least `capacity` bytes of room, reusing a
+/// pooled one when available.
+pub fn take(capacity: usize) -> Vec<u8> {
+    POOL.with(|p| match p.borrow_mut().pop() {
+        Some(mut v) => {
+            if v.capacity() < capacity {
+                v.reserve(capacity - v.len());
+            }
+            v
+        }
+        None => Vec::with_capacity(capacity),
+    })
+}
+
+/// Returns a dead buffer to the pool (cleared first). Oversized or
+/// zero-capacity buffers are simply dropped.
+pub fn give(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    buf.clear();
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < MAX_POOLED {
+            p.push(buf);
+        }
+    });
+}
+
+/// Number of buffers currently pooled on this thread (for tests and
+/// instrumentation).
+pub fn pooled() -> usize {
+    POOL.with(|p| p.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_round_trip_cleared() {
+        let mut b = take(64);
+        b.extend_from_slice(b"hello");
+        give(b);
+        let b2 = take(16);
+        assert!(b2.is_empty(), "pooled buffers are handed out cleared");
+        assert!(b2.capacity() >= 16);
+        give(b2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let before = pooled();
+        give(vec![0u8; MAX_POOLED_CAPACITY + 1]);
+        assert_eq!(pooled(), before);
+    }
+
+    #[test]
+    fn take_grows_small_pooled_buffers() {
+        give(Vec::with_capacity(8));
+        let b = take(1000);
+        assert!(b.capacity() >= 1000);
+    }
+}

@@ -337,14 +337,20 @@ impl HostStack {
             return out;
         }
 
-        // 1. Reassembly of fragments.
-        let full = if pkt.header.is_fragment() {
+        // 1. Reassembly of fragments. Whole packets are processed in place —
+        // cloning a borrowed packet per delivery is exactly the per-packet
+        // churn the buffer pool exists to avoid.
+        let reassembled;
+        let full: &Ipv4Packet = if pkt.header.is_fragment() {
             if !self.config.accept_fragments {
                 out.events.push(StackEvent::Dropped("fragments filtered"));
                 return out;
             }
             match self.reassembly.push(pkt, now) {
-                ReassemblyResult::Complete(p) => p,
+                ReassemblyResult::Complete(p) => {
+                    reassembled = p;
+                    &reassembled
+                }
                 ReassemblyResult::Pending => return out,
                 ReassemblyResult::Dropped(_) => {
                     out.events.push(StackEvent::Dropped("fragment dropped"));
@@ -352,13 +358,13 @@ impl HostStack {
                 }
             }
         } else {
-            pkt.clone()
+            pkt
         };
 
         match full.header.protocol {
-            Protocol::Udp => self.handle_udp(&full, now, rng, &mut out),
-            Protocol::Tcp => self.handle_tcp(&full, rng, &mut out),
-            Protocol::Icmp => self.handle_icmp(&full, now, rng, &mut out),
+            Protocol::Udp => self.handle_udp(full, now, rng, &mut out),
+            Protocol::Tcp => self.handle_tcp(full, rng, &mut out),
+            Protocol::Icmp => self.handle_icmp(full, now, rng, &mut out),
             _ => out.events.push(StackEvent::Dropped("unsupported protocol")),
         }
         out

@@ -25,6 +25,7 @@
 
 use crate::checksum;
 use crate::ipv4::{Ipv4Header, Ipv4Packet, Protocol};
+use crate::pool;
 use crate::stack::StackEvent;
 use crate::transport::{Endpoint, FlowStats, SocketEvent, StackIo};
 use rand::Rng;
@@ -163,7 +164,7 @@ impl TcpSegment {
 
     /// Serialises header + payload (the IPv4 payload bytes).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(TCP_HEADER_LEN + self.payload.len());
+        let mut out = pool::take(TCP_HEADER_LEN + self.payload.len());
         out.extend_from_slice(&self.header_bytes(self.compute_checksum()));
         out.extend_from_slice(&self.payload);
         out
@@ -175,6 +176,7 @@ impl TcpSegment {
         let payload = self.encode();
         let mut header = Ipv4Header::new(self.src, self.dst, Protocol::Tcp, payload.len(), identification, ttl);
         header.dont_fragment = true;
+        pool::give(self.payload);
         Ipv4Packet::new(header, payload)
     }
 

@@ -8,6 +8,7 @@
 
 use crate::checksum::{self, Checksum};
 use crate::ipv4::{Ipv4Header, Ipv4Packet, Protocol};
+use crate::pool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -104,7 +105,7 @@ impl UdpDatagram {
             length: self.udp_length(),
             checksum: self.compute_checksum(),
         };
-        let mut out = Vec::with_capacity(self.udp_length() as usize);
+        let mut out = pool::take(self.udp_length() as usize);
         out.extend_from_slice(&header.encode());
         out.extend_from_slice(&self.payload);
         out
@@ -114,6 +115,7 @@ impl UdpDatagram {
     pub fn into_packet(self, identification: u16, ttl: u8) -> Ipv4Packet {
         let payload = self.encode();
         let header = Ipv4Header::new(self.src, self.dst, Protocol::Udp, payload.len(), identification, ttl);
+        pool::give(self.payload);
         Ipv4Packet::new(header, payload)
     }
 

@@ -1,0 +1,129 @@
+//! The engine-at-scale benchmark: a resolver farm (anycast frontends sharing
+//! one cache, a zone's worth of names, Poisson-ish stub clients) simulated
+//! across the sharded campaign engine, timed in wall-clock packets/sec.
+//!
+//! ```text
+//! cargo run --release --example engine_farm -- \
+//!     [--seed N] [--hosts N] [--shards N] [--workers N] \
+//!     [--duration-ms N] [--think-ms N] [--names N] [--resolvers N] \
+//!     [--check-workers N] [--loaded-saddns N] [--write-bench PATH]
+//! ```
+//!
+//! `--write-bench` renders the run as the committed `BENCH_engine.json`
+//! document. `--check-workers N` re-runs the campaign with N workers and
+//! asserts the merged stats are byte-identical — the determinism contract CI
+//! smokes on every push. `--loaded-saddns N` additionally runs SadDNS against
+//! a resolver serving N background stub clients.
+
+use cross_layer_attacks::netsim::prelude::Duration;
+use cross_layer_attacks::xlayer_core::prelude::*;
+use std::time::Instant;
+
+struct Args {
+    cfg: FarmCampaignConfig,
+    check_workers: Option<usize>,
+    loaded_saddns: Option<u32>,
+    write_bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: FarmCampaignConfig { workers: available_workers(), ..Default::default() },
+        check_workers: None,
+        loaded_saddns: None,
+        write_bench: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--write-bench" {
+            args.write_bench = Some(it.next().expect("--write-bench requires a path"));
+            continue;
+        }
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} requires a value")).parse::<u64>().unwrap_or_else(|e| {
+                panic!("invalid value for {name}: {e}");
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.cfg.seed = grab("--seed"),
+            "--hosts" => args.cfg.hosts = grab("--hosts").max(1) as u32,
+            "--shards" => args.cfg.shards = grab("--shards").max(1) as u32,
+            "--workers" => args.cfg.workers = grab("--workers").max(1) as usize,
+            "--duration-ms" => args.cfg.shard.duration = Duration::from_millis(grab("--duration-ms").max(1)),
+            "--think-ms" => args.cfg.shard.mean_think = Duration::from_millis(grab("--think-ms").max(1)),
+            "--names" => args.cfg.shard.names = grab("--names").max(1) as u32,
+            "--resolvers" => args.cfg.shard.resolvers = grab("--resolvers").max(1) as u32,
+            "--check-workers" => args.check_workers = Some(grab("--check-workers").max(1) as usize),
+            "--loaded-saddns" => args.loaded_saddns = Some(grab("--loaded-saddns") as u32),
+            other => panic!(
+                "unknown flag {other} (expected --seed/--hosts/--shards/--workers/--duration-ms/--think-ms/\
+                 --names/--resolvers/--check-workers/--loaded-saddns/--write-bench)"
+            ),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = args.cfg;
+    println!(
+        "engine farm: seed={} hosts={} shards={} workers={} (of {} available) \
+         resolvers/shard={} names={} think={} sim-duration={}",
+        cfg.seed,
+        cfg.hosts,
+        cfg.shards,
+        cfg.workers,
+        available_workers(),
+        cfg.shard.resolvers,
+        cfg.shard.names,
+        cfg.shard.mean_think,
+        cfg.shard.duration,
+    );
+
+    let started = Instant::now();
+    let stats = run_farm_campaign(&cfg);
+    let wall = started.elapsed();
+    let wall_seconds = wall.as_secs_f64();
+    let packets_per_sec = stats.packets_delivered as f64 / wall_seconds.max(1e-9);
+
+    println!(
+        "  clients={} queries={} responses={} cache-answers={} upstream={} servfails={}",
+        stats.clients,
+        stats.queries_sent,
+        stats.responses,
+        stats.cache_answers,
+        stats.upstream_queries,
+        stats.servfails,
+    );
+    println!(
+        "  packets-delivered={} bytes-delivered={} cache-entries={}",
+        stats.packets_delivered, stats.bytes_delivered, stats.cache_entries,
+    );
+    println!("  wall={wall:.2?}  throughput={packets_per_sec:.0} packets/sec");
+
+    if let Some(check) = args.check_workers {
+        let again = run_farm_campaign(&FarmCampaignConfig { workers: check, ..cfg.clone() });
+        assert_eq!(again, stats, "workers={} changed the farm stats vs workers={}", check, cfg.workers);
+        println!("  determinism: workers={} reproduces workers={} byte-for-byte", check, cfg.workers);
+    }
+
+    if let Some(clients) = args.loaded_saddns {
+        let loaded = saddns_under_load(cfg.seed, clients);
+        println!(
+            "  saddns under load: success={} background-clients={} background-queries={} \
+             cache-answers={} upstream={}",
+            loaded.report.success,
+            loaded.background_clients,
+            loaded.background_queries,
+            loaded.background_cache_answers,
+            loaded.background_upstream,
+        );
+    }
+
+    if let Some(path) = args.write_bench {
+        let bench = FarmBench { config: cfg, stats, wall_seconds, packets_per_sec };
+        std::fs::write(&path, render_bench_json(&bench)).expect("write bench file");
+        println!("  wrote {path}");
+    }
+}

@@ -234,6 +234,52 @@ proptest! {
         prop_assert_eq!(server.rcv_nxt(), client_isn.wrapping_add(1).wrapping_add(payload.len() as u32));
     }
 
+    /// The engine's time wheel pops events in exactly the order the old
+    /// `BinaryHeap<Reverse<(SimTime, seq)>>` scheduler did — ascending
+    /// `(time, seq)` — for any batch of events, including times past the
+    /// wheel horizon (overflow heap) and pushes interleaved with pops
+    /// (cascading between levels while the clock advances).
+    #[test]
+    fn time_wheel_matches_binary_heap_ordering(
+        first in proptest::collection::vec(0u64..(1u64 << 49), 1..120),
+        second in proptest::collection::vec(0u64..(1u64 << 49), 0..120),
+    ) {
+        use cross_layer_attacks::netsim::wheel::TimeWheel;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel = TimeWheel::new();
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |wheel: &mut TimeWheel<u64>, heap: &mut BinaryHeap<_>, t: SimTime| {
+            wheel.push(t, seq, seq);
+            heap.push(Reverse((t, seq, seq)));
+            seq += 1;
+        };
+        for &nanos in &first {
+            push(&mut wheel, &mut heap, SimTime::from_nanos(nanos));
+        }
+        // Drain half the batch, checking order as we go, then push the second
+        // batch relative to the last popped time — the engine's pattern of
+        // scheduling new events while the wheel's clock is mid-flight.
+        let mut last = SimTime::ZERO;
+        for _ in 0..first.len() / 2 {
+            let got = wheel.pop().expect("wheel drains in step with the heap");
+            let Reverse(expected) = heap.pop().expect("heap has the same events");
+            prop_assert_eq!(got, expected);
+            last = got.0;
+        }
+        for &nanos in &second {
+            push(&mut wheel, &mut heap, last + Duration::from_nanos(nanos));
+        }
+        while let Some(Reverse(expected)) = heap.pop() {
+            prop_assert_eq!(wheel.peek_key(), Some((expected.0, expected.1)));
+            prop_assert_eq!(wheel.pop(), Some(expected));
+        }
+        prop_assert!(wheel.pop().is_none());
+        prop_assert!(wheel.is_empty());
+    }
+
     /// An off-path segment that guessed the 4-tuple but not the exact
     /// sequence number is never delivered to the application.
     #[test]
