@@ -51,6 +51,83 @@ pub struct VictimEnv {
     pub vantage_quorum: Option<u8>,
 }
 
+/// How the target zone deploys DNSSEC — the knob the DNSSEC-flavoured
+/// defences and attack rows vary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneSecurity {
+    /// Plain unsigned zone (the baseline).
+    Unsigned,
+    /// Zone signed through the [`dns::dnssec`] pipeline with this profile.
+    Signed(SignedZoneProfile),
+}
+
+/// The deployment shape of a signed zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedZoneProfile {
+    /// Denial-of-existence flavour (NSEC, or NSEC3 with/without opt-out).
+    pub denial: dns::dnssec::DenialConfig,
+    /// Whether the DS record made it into the parent: when true the
+    /// resolver holds the zone's trust anchor; when false the zone is
+    /// signed but unanchored, so validation degrades to `Insecure` — the
+    /// downgrade-to-insecure attack surface.
+    pub publish_ds: bool,
+    /// RFC 6781 rollover strictness: when true, retired ZSKs leave the
+    /// DNSKEY RRset immediately, closing the rollover-forgery window.
+    pub strict_rollover: bool,
+}
+
+impl ZoneSecurity {
+    /// The classic `Dnssec` defence: NSEC denial, DS published, lenient
+    /// rollover.
+    pub fn signed_nsec() -> Self {
+        ZoneSecurity::Signed(SignedZoneProfile {
+            denial: dns::dnssec::DenialConfig::Nsec,
+            publish_ds: true,
+            strict_rollover: false,
+        })
+    }
+
+    /// Signed but with no DS in the parent: validators have no chain of
+    /// trust and accept the zone as `Insecure`.
+    pub fn signed_no_ds() -> Self {
+        ZoneSecurity::Signed(SignedZoneProfile {
+            denial: dns::dnssec::DenialConfig::Nsec,
+            publish_ds: false,
+            strict_rollover: false,
+        })
+    }
+
+    /// NSEC3 with opt-out spans and a published DS: zone walking is
+    /// blunted, but opt-out spans admit unsigned data as `Insecure`.
+    pub fn signed_nsec3_opt_out() -> Self {
+        ZoneSecurity::Signed(SignedZoneProfile {
+            denial: dns::dnssec::DenialConfig::Nsec3(dns::dnssec::Nsec3Params::standard(true)),
+            publish_ds: true,
+            strict_rollover: false,
+        })
+    }
+
+    /// The hardened profile: NSEC3 without opt-out, DS published, strict
+    /// rollover.
+    pub fn signed_strict() -> Self {
+        ZoneSecurity::Signed(SignedZoneProfile {
+            denial: dns::dnssec::DenialConfig::Nsec3(dns::dnssec::Nsec3Params::standard(false)),
+            publish_ds: true,
+            strict_rollover: true,
+        })
+    }
+
+    /// Whether the zone is signed at all.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, ZoneSecurity::Signed(_))
+    }
+}
+
+/// Salt mixed into the environment seed to derive the zone's key material,
+/// so signing keys are deterministic per environment but uncorrelated with
+/// the simulator's packet-level randomness.
+const ZONE_KEY_SALT: u64 = 0xd5ec_0bad_c0de_5a17;
+
 /// Tunable properties of the standard environment.
 #[derive(Debug, Clone)]
 pub struct VictimEnvConfig {
@@ -64,8 +141,8 @@ pub struct VictimEnvConfig {
     pub resolver_ns_latency: Duration,
     /// Latency between attacker and resolver.
     pub attacker_latency: Duration,
-    /// Whether the target zone is DNSSEC signed.
-    pub zone_signed: bool,
+    /// DNSSEC deployment of the target zone.
+    pub zone_security: ZoneSecurity,
     /// Whether route-origin validation is enforced on the paths that matter:
     /// hijacked announcements are filtered in the control plane, so
     /// interception-based vectors fail their precondition. Set by the
@@ -105,7 +182,7 @@ impl Default for VictimEnvConfig {
             nameserver: NameserverConfig::new(addrs::NAMESERVER),
             resolver_ns_latency: Duration::from_millis(20),
             attacker_latency: Duration::from_millis(5),
-            zone_signed: false,
+            zone_security: ZoneSecurity::Unsigned,
             rov_enforced: false,
             vantage_quorum: None,
         }
@@ -147,11 +224,23 @@ impl VictimEnvConfig {
         zone.add_ipseckey("vpn.vict.im", Ipv4Addr::new(30, 0, 0, 99));
         zone.add_a("ntp.vict.im", Ipv4Addr::new(30, 0, 0, 123));
         zone.add_a("rpki.vict.im", Ipv4Addr::new(30, 0, 0, 124));
-        if self.zone_signed {
-            zone.sign()
-        } else {
-            zone
+        match &self.zone_security {
+            ZoneSecurity::Unsigned => zone,
+            ZoneSecurity::Signed(profile) => {
+                let policy = SigningPolicy {
+                    denial: profile.denial.clone(),
+                    retire_immediately: profile.strict_rollover,
+                    ..SigningPolicy::default()
+                };
+                zone.sign(self.zone_keys(), policy, SimTime::ZERO)
+            }
         }
+    }
+
+    /// The deterministic key inventory of the target zone, a pure function
+    /// of the environment seed.
+    pub fn zone_keys(&self) -> KeyManager {
+        KeyManager::new(self.seed ^ ZONE_KEY_SALT)
     }
 
     /// Constructs the simulator and environment.
@@ -159,7 +248,17 @@ impl VictimEnvConfig {
         let zone = self.victim_zone();
         let mut sim = Simulator::new(self.seed);
         let resolver_edns_size = self.resolver.edns_size;
-        let resolver = sim.add_node("resolver", vec![addrs::RESOLVER], Resolver::new(self.resolver.clone()));
+        // An anchored signed zone hands its DS record to the resolver, like
+        // a DS in the parent zone would.
+        let mut resolver_cfg = self.resolver.clone();
+        if let ZoneSecurity::Signed(profile) = &self.zone_security {
+            if profile.publish_ds {
+                if let Some(anchor) = zone.trust_anchor() {
+                    resolver_cfg = resolver_cfg.with_trust_anchor("vict.im", anchor);
+                }
+            }
+        }
+        let resolver = sim.add_node("resolver", vec![addrs::RESOLVER], Resolver::new(resolver_cfg));
         let nameserver =
             sim.add_node("ns", vec![addrs::NAMESERVER], Nameserver::new(self.nameserver.clone(), vec![zone]));
         let attacker = sim.add_node("attacker", vec![addrs::ATTACKER], AttackerNode::new(addrs::ATTACKER));

@@ -360,7 +360,7 @@ mod tests {
 
         // DNSSEC + signed zone: the forged (unsigned) response is rejected.
         let env_cfg = VictimEnvConfig {
-            zone_signed: true,
+            zone_security: crate::env::ZoneSecurity::signed_nsec(),
             resolver: ResolverConfig::new(addrs::RESOLVER)
                 .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
                 .with_dnssec_validation(),
@@ -391,7 +391,7 @@ mod tests {
         // denial of existence, which an off-path forger cannot produce — so
         // DNSSEC stops erasure forgeries just like record injection.
         let env_cfg = VictimEnvConfig {
-            zone_signed: true,
+            zone_security: crate::env::ZoneSecurity::signed_nsec(),
             resolver: ResolverConfig::new(addrs::RESOLVER)
                 .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
                 .with_dnssec_validation(),
@@ -427,7 +427,7 @@ mod tests {
     fn dns_over_tcp_hijack_still_blocked_by_dnssec() {
         // The hijacker terminates TCP fine, but it still cannot sign.
         let env_cfg = VictimEnvConfig {
-            zone_signed: true,
+            zone_security: crate::env::ZoneSecurity::signed_nsec(),
             resolver: ResolverConfig::new(addrs::RESOLVER)
                 .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
                 .with_dnssec_validation()

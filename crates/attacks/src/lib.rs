@@ -29,6 +29,7 @@
 
 pub mod attacker;
 pub mod craft;
+pub mod dnssec_vectors;
 pub mod env;
 pub mod fragdns;
 pub mod hijackdns;
@@ -40,7 +41,10 @@ pub mod vectors;
 pub mod prelude {
     pub use crate::attacker::{AttackerNode, ObservedIcmp, ObservedUdp};
     pub use crate::craft::{craft_malicious_tail, fragment_layout, record_spans, CraftedTail, RecordSpan};
-    pub use crate::env::{addrs, QueryTrigger, VictimEnv, VictimEnvConfig};
+    pub use crate::dnssec_vectors::{
+        DowngradeToInsecureAttack, Nsec3OptOutAbuseAttack, RolloverForgeryAttack, ZoneWalkingAttack,
+    };
+    pub use crate::env::{addrs, QueryTrigger, SignedZoneProfile, VictimEnv, VictimEnvConfig, ZoneSecurity};
     pub use crate::fragdns::{FragDnsAttack, FragDnsConfig};
     pub use crate::hijackdns::{HijackDnsAttack, HijackDnsConfig, HijackForgery, HijackKind};
     pub use crate::outcome::{AttackAggregate, AttackReport, FailureReason, PoisonMethod, Stealth};

@@ -17,12 +17,40 @@ pub enum PoisonMethod {
     /// Injecting a spoofed second fragment into the defragmentation cache
     /// (Section 3.3).
     FragDns,
+    /// Serving an unsigned forgery to a validator that has no chain of
+    /// trust into the zone: a signed-but-unanchored deployment validates as
+    /// `Insecure` and accepts everything the baseline does.
+    DowngradeToInsecure,
+    /// Replaying a genuine signed NSEC3 opt-out span alongside unsigned
+    /// forged records: RFC 5155 opt-out spans cannot prove the forgery is
+    /// absent, so the validator admits it as `Insecure`.
+    Nsec3OptOutAbuse,
+    /// Signing a forgery with a retired-but-still-published ZSK during the
+    /// RFC 6781 rollover retirement window.
+    RolloverForgery,
+    /// Enumerating the zone by following NSEC `next` pointers — a
+    /// confidentiality attack on the denial chain itself.
+    ZoneWalking,
 }
 
 impl PoisonMethod {
-    /// All three methods, in the order the paper's tables list them.
+    /// The paper's three off-path methodologies, in the order its tables
+    /// list them. The DNSSEC-specific vectors are deliberately *not* here —
+    /// they only make sense against signed zones and are evaluated by the
+    /// dedicated DNSSEC matrix over [`PoisonMethod::dnssec_suite`].
     pub fn all() -> [PoisonMethod; 3] {
         [PoisonMethod::HijackDns, PoisonMethod::SadDns, PoisonMethod::FragDns]
+    }
+
+    /// The four attacks against DNSSEC deployments themselves, in matrix
+    /// row order.
+    pub fn dnssec_suite() -> [PoisonMethod; 4] {
+        [
+            PoisonMethod::DowngradeToInsecure,
+            PoisonMethod::Nsec3OptOutAbuse,
+            PoisonMethod::RolloverForgery,
+            PoisonMethod::ZoneWalking,
+        ]
     }
 
     /// Human-readable name as used in the paper.
@@ -31,6 +59,10 @@ impl PoisonMethod {
             PoisonMethod::HijackDns => "HijackDNS",
             PoisonMethod::SadDns => "SadDNS",
             PoisonMethod::FragDns => "FragDNS",
+            PoisonMethod::DowngradeToInsecure => "DowngradeToInsecure",
+            PoisonMethod::Nsec3OptOutAbuse => "Nsec3OptOutAbuse",
+            PoisonMethod::RolloverForgery => "RolloverForgery",
+            PoisonMethod::ZoneWalking => "ZoneWalking",
         }
     }
 }

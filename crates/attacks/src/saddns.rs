@@ -301,7 +301,11 @@ mod tests {
     /// rate-limits responses.
     fn saddns_env(zone_signed: bool, use_0x20: bool, global_icmp: bool) -> (Simulator, VictimEnv) {
         let mut cfg = VictimEnvConfig {
-            zone_signed,
+            zone_security: if zone_signed {
+                crate::env::ZoneSecurity::signed_nsec()
+            } else {
+                crate::env::ZoneSecurity::Unsigned
+            },
             resolver: ResolverConfig::new(addrs::RESOLVER).with_delegation(
                 "vict.im",
                 vec![addrs::NAMESERVER],

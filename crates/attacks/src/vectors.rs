@@ -142,6 +142,10 @@ pub fn for_method(method: PoisonMethod) -> Box<dyn AttackVector> {
         PoisonMethod::HijackDns => Box::new(hijackdns()),
         PoisonMethod::SadDns => Box::new(saddns()),
         PoisonMethod::FragDns => Box::new(fragdns()),
+        PoisonMethod::DowngradeToInsecure => Box::new(crate::dnssec_vectors::downgrade()),
+        PoisonMethod::Nsec3OptOutAbuse => Box::new(crate::dnssec_vectors::optout_abuse()),
+        PoisonMethod::RolloverForgery => Box::new(crate::dnssec_vectors::rollover_forgery()),
+        PoisonMethod::ZoneWalking => Box::new(crate::dnssec_vectors::zone_walking()),
     }
 }
 
@@ -164,6 +168,9 @@ pub fn quick_for(method: PoisonMethod) -> Box<dyn AttackVector> {
             cfg.max_iterations = 1;
             Box::new(FragDnsAttack::new(cfg))
         }
+        // The DNSSEC vectors are single-shot already: their reference
+        // configurations are the quick configurations.
+        other => for_method(other),
     }
 }
 

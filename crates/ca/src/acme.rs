@@ -142,6 +142,14 @@ pub enum RefusalReason {
         /// The configured quorum.
         required: u8,
     },
+    /// Cached DNS material the issuance decision would rest on failed
+    /// DNSSEC re-verification against the zone's trust anchor (RFC 6840
+    /// §5.9 cache semantics): the order is refused before any validation
+    /// traffic is sent.
+    BogusCachedData {
+        /// The validator's reason for the `Bogus` verdict.
+        detail: String,
+    },
 }
 
 /// The CA's decision on one order.

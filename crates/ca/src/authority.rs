@@ -140,6 +140,38 @@ impl CertificateAuthority {
         }
     }
 
+    /// The DNS question this order's validation hinges on.
+    fn validation_lookup(order: &Order) -> (DomainName, RecordType) {
+        match order.challenge {
+            ChallengeType::Http01 => (order.domain.clone(), RecordType::A),
+            ChallengeType::Dns01 => (challenge_name(&order.domain), RecordType::TXT),
+        }
+    }
+
+    /// RFC 6840 §5.9-style cache semantics: before basing issuance on
+    /// cached records, a validating CA re-authenticates them against the
+    /// zone's trust anchor. Returns the validator's reason when the cached
+    /// material for this order's lookup is `Bogus` — signatures that no
+    /// longer verify, unsigned data smuggled into a signed zone's cache —
+    /// in which case the order must be refused outright. `Secure` and
+    /// `Insecure` (unanchored zone) snapshots pass, as does a cold cache.
+    fn reverify_snapshot(&self, order: &Order, cache_snapshot: &[ResourceRecord]) -> Option<String> {
+        if !self.config.resolver.validate_dnssec {
+            return None;
+        }
+        let (qname, qtype) = Self::validation_lookup(order);
+        let delegation =
+            self.config.resolver.delegations.iter().find(|d| qname.is_subdomain_of(&d.zone) && d.signed)?;
+        if !cache_snapshot.iter().any(|rr| rr.name == qname && rr.rdata.covered_type() == qtype) {
+            return None; // cold cache: the pipeline resolves (and validates) fresh
+        }
+        let validator = dns::dnssec::Validator::new(delegation.zone.clone(), delegation.trust_anchor.clone(), 0);
+        match validator.validate(cache_snapshot, &qname, qtype) {
+            dns::dnssec::Validation::Bogus(detail) => Some(detail),
+            _ => None,
+        }
+    }
+
     /// Runs `challenge → validate → issue` for one order.
     ///
     /// `cache_snapshot` pre-seeds the CA resolver's cache — this is how a
@@ -147,6 +179,32 @@ impl CertificateAuthority {
     /// scenario layer snapshots the victim resolver's (possibly poisoned)
     /// records and hands them in. Pass `&[]` for a cold cache.
     pub fn issue(&mut self, order: &Order, cache_snapshot: &[ResourceRecord]) -> IssuanceReport {
+        // Cached material that fails re-verification refuses the order
+        // before a single validation packet is sent.
+        if let Some(detail) = self.reverify_snapshot(order, cache_snapshot) {
+            return IssuanceReport {
+                order: order.clone(),
+                outcome: IssuanceOutcome::Refused(RefusalReason::BogusCachedData { detail }),
+                primary: ValidationResult {
+                    vantage: "ca".into(),
+                    as_number: None,
+                    challenge: order.challenge,
+                    resolved: None,
+                    observed: None,
+                    matched: false,
+                    completed: true,
+                    finished_at: None,
+                },
+                vantage: Vec::new(),
+                duration: Duration::ZERO,
+                validation_packets: 0,
+                validation_bytes: 0,
+                dns_upstream_queries: 0,
+                flows: Vec::new(),
+                ca_traffic: TrafficStats::default(),
+            };
+        }
+
         let seed = derive_seed(self.config.seed, CA_ISSUANCE_SALT, order.serial);
         let mut sim = Simulator::new(seed);
         sim.trace_mut().enabled = false;
@@ -444,6 +502,68 @@ mod tests {
         let as_numbers: std::collections::BTreeSet<_> = report.vantage.iter().map(|v| v.as_number).collect();
         assert_eq!(as_numbers.len(), VANTAGE_COUNT);
         assert!(report.vantage.iter().all(|v| v.completed));
+    }
+
+    #[test]
+    fn bogus_cached_data_refuses_without_a_fresh_authoritative_query() {
+        // The regression lock for dropping the old "validating CA always
+        // re-fetches" shortcut: against a signed, anchored zone, a poisoned
+        // unsigned cache snapshot fails re-verification and the order is
+        // refused *before any validation traffic* — zero upstream queries,
+        // zero packets — rather than being laundered through a fresh lookup.
+        let mut env_cfg =
+            VictimEnvConfig { zone_security: attacks::prelude::ZoneSecurity::signed_nsec(), ..Default::default() };
+        env_cfg.resolver.delegations.clear();
+        env_cfg.resolver =
+            env_cfg.resolver.with_delegation("vict.im", vec![addrs::NAMESERVER], true).with_dnssec_validation();
+        let zone = env_cfg.victim_zone();
+        let anchor = zone.trust_anchor().expect("signed zone publishes a DS");
+        env_cfg.resolver = env_cfg.resolver.with_trust_anchor("vict.im", anchor);
+        let mut cfg = CaConfig::from_env_config(&env_cfg, 2021);
+        cfg.zones = vec![zone];
+        let mut ca = CertificateAuthority::new(cfg);
+        let mallory = AcmeAccount::new("mallory@evil.example");
+        let order = ca.order(&mallory, &n("www.vict.im"), ChallengeType::Http01);
+        ca.config.attacker = Some(AttackerPresence {
+            addr: addrs::ATTACKER,
+            key_authorization: order.key_authorization.clone(),
+            intercepts: None,
+        });
+        let poisoned = vec![ResourceRecord::new(n("www.vict.im"), 300, RData::A(addrs::ATTACKER))];
+        let report = ca.issue(&order, &poisoned);
+        assert!(
+            matches!(report.outcome, IssuanceOutcome::Refused(RefusalReason::BogusCachedData { .. })),
+            "{report:?}"
+        );
+        assert_eq!(report.dns_upstream_queries, 0, "no fresh authoritative query launders the refusal");
+        assert_eq!(report.validation_packets, 0, "refusal happens before any validation traffic");
+    }
+
+    #[test]
+    fn genuine_signed_snapshot_passes_reverification() {
+        // The counterpart: the genuine signed RRset (with its RRSIG and the
+        // zone's DNSKEY material) re-verifies as Secure and issuance runs
+        // the normal pipeline.
+        let mut env_cfg =
+            VictimEnvConfig { zone_security: attacks::prelude::ZoneSecurity::signed_nsec(), ..Default::default() };
+        env_cfg.resolver.delegations.clear();
+        env_cfg.resolver =
+            env_cfg.resolver.with_delegation("vict.im", vec![addrs::NAMESERVER], true).with_dnssec_validation();
+        let zone = env_cfg.victim_zone();
+        let anchor = zone.trust_anchor().expect("signed zone publishes a DS");
+        env_cfg.resolver = env_cfg.resolver.with_trust_anchor("vict.im", anchor);
+        let mut snapshot = match zone.lookup(&n("www.vict.im"), RecordType::A) {
+            dns::zone::LookupResult::Records(rrs) => rrs,
+            other => panic!("unexpected {other:?}"),
+        };
+        snapshot.extend(zone.dnskey_records());
+        let mut cfg = CaConfig::from_env_config(&env_cfg, 2021);
+        cfg.zones = vec![zone];
+        let mut ca = CertificateAuthority::new(cfg);
+        let order = ca.order(&owner(), &n("www.vict.im"), ChallengeType::Http01);
+        ca.provision_http01(&order);
+        let report = ca.issue(&order, &snapshot);
+        assert!(report.outcome.issued(), "{report:?}");
     }
 
     #[test]

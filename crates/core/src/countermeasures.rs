@@ -56,6 +56,20 @@ pub enum Defence {
         /// primary validation before a certificate is issued.
         quorum: u8,
     },
+    /// The zone is DNSSEC signed but its DS record never made it into the
+    /// parent: validators have no chain of trust, validation degrades to
+    /// `Insecure`, and every forgery the baseline admits still lands. The
+    /// real-world "signed but unanchored" misdeployment the
+    /// downgrade-to-insecure vector targets.
+    DnssecNoDs,
+    /// DNSSEC with NSEC3 opt-out denial and a published DS. Zone walking is
+    /// blunted by hashing, but opt-out spans admit unsigned data as
+    /// `Insecure` — the opt-out abuse surface.
+    DnssecNsec3OptOut,
+    /// The hardened DNSSEC deployment: NSEC3 without opt-out, DS published,
+    /// and strict RFC 6781 rollover (retired ZSKs leave the DNSKEY RRset
+    /// immediately).
+    DnssecStrict,
 }
 
 impl Defence {
@@ -74,7 +88,16 @@ impl Defence {
             Defence::RouteOriginValidation,
             Defence::DnsOverTcp,
             Defence::multi_vantage(),
+            Defence::DnssecNoDs,
+            Defence::DnssecNsec3OptOut,
+            Defence::DnssecStrict,
         ]
+    }
+
+    /// The four signed-zone deployment shapes the DNSSEC attack matrix
+    /// evaluates as columns, weakest to strongest.
+    pub fn dnssec_profiles() -> [Defence; 4] {
+        [Defence::DnssecNoDs, Defence::Dnssec, Defence::DnssecNsec3OptOut, Defence::DnssecStrict]
     }
 
     /// The reference multi-vantage configuration used across the evaluation
@@ -104,15 +127,10 @@ impl Defence {
         match self {
             Defence::None => {}
             Defence::X20Encoding => cfg.resolver.use_0x20 = true,
-            Defence::Dnssec => {
-                cfg.zone_signed = true;
-                cfg.resolver.delegations.clear();
-                cfg.resolver = cfg
-                    .resolver
-                    .clone()
-                    .with_delegation("vict.im", vec![addrs::NAMESERVER], true)
-                    .with_dnssec_validation();
-            }
+            Defence::Dnssec => Self::apply_dnssec(cfg, ZoneSecurity::signed_nsec()),
+            Defence::DnssecNoDs => Self::apply_dnssec(cfg, ZoneSecurity::signed_no_ds()),
+            Defence::DnssecNsec3OptOut => Self::apply_dnssec(cfg, ZoneSecurity::signed_nsec3_opt_out()),
+            Defence::DnssecStrict => Self::apply_dnssec(cfg, ZoneSecurity::signed_strict()),
             Defence::FragmentFiltering => cfg.resolver.accept_fragments = false,
             Defence::PerDestinationIcmpLimit => {
                 cfg.resolver.icmp_rate_limit = IcmpRateLimitPolicy::PerDestination { capacity: 50, per_second: 50.0 }
@@ -127,6 +145,17 @@ impl Defence {
             }
             Defence::MultiVantageValidation { quorum } => cfg.vantage_quorum = Some(*quorum),
         }
+    }
+
+    /// Shared deployment of the DNSSEC-flavoured defences: sign the zone
+    /// under `security`, mark the delegation signed, and turn on validation
+    /// at the resolver. The trust anchor is installed by
+    /// `VictimEnvConfig::build` iff the profile published its DS.
+    fn apply_dnssec(cfg: &mut VictimEnvConfig, security: ZoneSecurity) {
+        cfg.zone_security = security;
+        cfg.resolver.delegations.clear();
+        cfg.resolver =
+            cfg.resolver.clone().with_delegation("vict.im", vec![addrs::NAMESERVER], true).with_dnssec_validation();
     }
 }
 

@@ -85,9 +85,10 @@ pub mod prelude {
     };
     pub use crate::report::{pct, TextTable};
     pub use crate::scenario::{
-        render_scenario_matrix, AttackPhase, CertIssuance, ExploitStage, ExploitVerdict, MailInterceptExploit,
-        MatrixTally, PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign, ScenarioMatrix,
-        ScenarioOutcome, ScenarioRun, SpfPolicyExploit, WebRedirectExploit, SCENARIO_GRID_SALT,
+        render_dnssec_matrix, render_scenario_matrix, AttackPhase, CertIssuance, ExploitStage, ExploitVerdict,
+        MailInterceptExploit, MatrixTally, PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign,
+        ScenarioMatrix, ScenarioOutcome, ScenarioRun, SpfPolicyExploit, WebRedirectExploit, DNSSEC_GRID_SALT,
+        SCENARIO_GRID_SALT,
     };
     pub use crate::taxonomy::{render_table1, render_table2};
     pub use crate::vulnscan::*;

@@ -488,6 +488,11 @@ pub fn run_cell(method: PoisonMethod, defence: Defence, seed: u64) -> ScenarioOu
 /// campaign derived from the same master seed.
 pub const SCENARIO_GRID_SALT: u64 = 0x5ce9_a210_77ac_4a11;
 
+/// Stream salt of the DNSSEC deployment matrix ([`ScenarioCampaign::dnssec_grid`]):
+/// a distinct stream so the DNSSEC rows can never collide with (or reseed)
+/// the classic grid's cells.
+pub const DNSSEC_GRID_SALT: u64 = 0xd5ec_5a17_9e0f_2b63;
+
 /// A (vector × defence × seed) grid of full attack simulations on the
 /// sharded campaign engine: `runs_per_cell` independently-seeded scenario
 /// runs per (methodology, defence) cell, folded into per-cell
@@ -508,6 +513,10 @@ pub struct ScenarioCampaign {
     pub defences: Vec<Defence>,
     /// Independently-seeded runs per (method, defence) cell.
     pub runs_per_cell: u64,
+    /// Stream salt of this grid's seed derivation. Distinct grids over the
+    /// same master seed (the classic matrix, the DNSSEC matrix) use distinct
+    /// salts so their cells draw from disjoint seed streams.
+    pub salt: u64,
 }
 
 /// One evaluated grid element.
@@ -556,7 +565,7 @@ impl GridCampaign for ScenarioCampaign {
         let defence_idx = cell % self.defences.len().max(1);
         // The per-run stream is salted by the cell *coordinates*, not the
         // flat grid index: growing the grid can never reseed existing cells.
-        let cell_salt = SCENARIO_GRID_SALT ^ ((method_idx as u64 + 1) << 40) ^ ((defence_idx as u64 + 1) << 48);
+        let cell_salt = self.salt ^ ((method_idx as u64 + 1) << 40) ^ ((defence_idx as u64 + 1) << 48);
         let seed = derive_seed(self.base_seed, cell_salt, run);
         let outcome = run_cell(self.methods[method_idx], self.defences[defence_idx], seed);
         ScenarioRun { method_idx, defence_idx, report: outcome.report }
@@ -605,6 +614,21 @@ impl ScenarioCampaign {
             methods: PoisonMethod::all().to_vec(),
             defences: Defence::all(),
             runs_per_cell: runs_per_cell.max(1),
+            salt: SCENARIO_GRID_SALT,
+        }
+    }
+
+    /// The DNSSEC deployment matrix: the four attacks against DNSSEC itself
+    /// ([`PoisonMethod::dnssec_suite`]) across the four deployment profiles
+    /// ([`Defence::dnssec_profiles`]), on its own seed stream
+    /// ([`DNSSEC_GRID_SALT`]).
+    pub fn dnssec_grid(base_seed: u64, runs_per_cell: u64) -> Self {
+        ScenarioCampaign {
+            base_seed,
+            methods: PoisonMethod::dnssec_suite().to_vec(),
+            defences: Defence::dnssec_profiles().to_vec(),
+            runs_per_cell: runs_per_cell.max(1),
+            salt: DNSSEC_GRID_SALT,
         }
     }
 
@@ -649,6 +673,46 @@ pub fn render_scenario_matrix(matrix: &ScenarioMatrix) -> String {
                         agg.total_bytes as f64 / runs / 1024.0,
                         agg.total_queries as f64 / runs,
                     )
+                }
+                _ => "-".into(),
+            });
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders the DNSSEC deployment matrix, transposed relative to
+/// [`render_scenario_matrix`]: the attack vectors are the *rows* (each row
+/// label starts its line, so reports can be grepped per vector) and the
+/// deployment profiles are the columns.
+pub fn render_dnssec_matrix(matrix: &ScenarioMatrix) -> String {
+    let mut headers: Vec<String> = vec!["Vector".into()];
+    headers.extend(matrix.defences.iter().map(|d| d.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut t = TextTable::new(
+        &format!(
+            "DNSSEC deployment matrix — attacks against the pipeline itself ({} seeds per cell)",
+            matrix.runs_per_cell
+        ),
+        &header_refs,
+    );
+    for (mi, method) in matrix.methods.iter().enumerate() {
+        let mut row = vec![method.name().to_string()];
+        for di in 0..matrix.defences.len() {
+            row.push(match matrix.cells.get(&(mi, di)) {
+                Some(agg) if agg.runs > 0 => {
+                    if agg.successes == 0 {
+                        format!("BLOCKED 0/{}", agg.runs)
+                    } else {
+                        format!(
+                            "{}/{} {:.0}pkt {:.1}q",
+                            agg.successes,
+                            agg.runs,
+                            agg.avg_packets(),
+                            agg.total_queries as f64 / agg.runs as f64
+                        )
+                    }
                 }
                 _ => "-".into(),
             });
@@ -736,6 +800,7 @@ mod tests {
             methods: vec![PoisonMethod::HijackDns, PoisonMethod::FragDns],
             defences: vec![Defence::None, Defence::FragmentFiltering],
             runs_per_cell: 2,
+            salt: SCENARIO_GRID_SALT,
         };
         assert_eq!(campaign.population(), 8);
         let matrix = campaign.run(1);
@@ -758,10 +823,54 @@ mod tests {
             methods: vec![PoisonMethod::HijackDns],
             defences: vec![Defence::None, Defence::Dnssec],
             runs_per_cell: 3,
+            salt: SCENARIO_GRID_SALT,
         };
         let reference = campaign.run(1);
         for workers in [2usize, 8] {
             assert_eq!(campaign.run(workers), reference, "workers={workers} changed the matrix");
+        }
+    }
+
+    #[test]
+    fn dnssec_matrix_means_what_the_paper_says() {
+        // One seed per cell keeps this fast; the 2-seed rendering is locked
+        // byte-for-byte by the golden suite.
+        let matrix = ScenarioCampaign::dnssec_grid(2021, 1).run(2);
+        let won = |m: PoisonMethod, d: Defence| matrix.cell(m, d).map(|agg| agg.successes > 0).unwrap();
+        use PoisonMethod::*;
+        // Unanchored (no DS in the parent): every vector wins — signing
+        // without a chain of trust defends nothing.
+        for m in PoisonMethod::dnssec_suite() {
+            assert!(won(m, Defence::DnssecNoDs), "{m} must win against an unanchored zone");
+        }
+        // Classic NSEC deployment: forgeries are blocked, but the rollover
+        // window and the walkable chain remain.
+        assert!(!won(DowngradeToInsecure, Defence::Dnssec));
+        assert!(!won(Nsec3OptOutAbuse, Defence::Dnssec));
+        assert!(won(RolloverForgery, Defence::Dnssec));
+        assert!(won(ZoneWalking, Defence::Dnssec));
+        // NSEC3 opt-out: walking is blunted, but opt-out spans admit
+        // unsigned insertions and the lenient rollover window stays open.
+        assert!(!won(DowngradeToInsecure, Defence::DnssecNsec3OptOut));
+        assert!(won(Nsec3OptOutAbuse, Defence::DnssecNsec3OptOut));
+        assert!(won(RolloverForgery, Defence::DnssecNsec3OptOut));
+        assert!(!won(ZoneWalking, Defence::DnssecNsec3OptOut));
+        // Hardened profile: everything blocked.
+        for m in PoisonMethod::dnssec_suite() {
+            assert!(!won(m, Defence::DnssecStrict), "{m} must be blocked by the strict profile");
+        }
+    }
+
+    #[test]
+    fn dnssec_matrix_is_worker_invariant() {
+        let campaign = ScenarioCampaign::dnssec_grid(7, 1);
+        let reference = campaign.run(1);
+        for workers in [2usize, 8] {
+            assert_eq!(campaign.run(workers), reference, "workers={workers} changed the DNSSEC matrix");
+        }
+        let rendered = render_dnssec_matrix(&reference);
+        for row in ["DowngradeToInsecure", "Nsec3OptOutAbuse", "RolloverForgery", "ZoneWalking"] {
+            assert!(rendered.lines().any(|l| l.starts_with(row)), "row {row} must start a line of the rendered matrix");
         }
     }
 }

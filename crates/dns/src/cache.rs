@@ -77,20 +77,22 @@ impl Cache {
         let mut grouped: HashMap<(DomainName, u16), Vec<ResourceRecord>> = HashMap::new();
         for rr in records {
             // RRSIGs ride along with the set they cover.
-            let rtype = match &rr.rdata {
-                RData::Rrsig { type_covered, .. } => *type_covered,
-                _ => rr.rtype(),
-            };
-            grouped.entry(Self::key(&rr.name, rtype)).or_default().push(rr.clone());
+            grouped.entry(Self::key(&rr.name, rr.rdata.covered_type())).or_default().push(rr.clone());
         }
         for (key, set) in grouped {
             let min_ttl = set.iter().map(|r| r.ttl).min().unwrap_or(0);
-            let entry = CacheEntry {
-                records: set,
-                expires: now + Duration::from_secs(u64::from(min_ttl)),
-                inserted: now,
-                from_any,
-            };
+            let mut expires = now + Duration::from_secs(u64::from(min_ttl));
+            // RFC 4035 §5.3.3: a signed set must not be served past its
+            // signature's expiration, whatever the record TTLs claim.
+            for rr in &set {
+                if let RData::Rrsig { expiration, .. } = &rr.rdata {
+                    let sig_expires = SimTime::from_secs(u64::from(*expiration));
+                    if sig_expires < expires {
+                        expires = sig_expires;
+                    }
+                }
+            }
+            let entry = CacheEntry { records: set, expires, inserted: now, from_any };
             self.entries.insert(key, entry);
             self.insertions += 1;
         }
@@ -303,17 +305,44 @@ mod tests {
         assert_eq!(c.len(), 2);
     }
 
+    fn rrsig(covered: RecordType, expiration: u32) -> ResourceRecord {
+        ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Rrsig {
+                type_covered: covered,
+                algorithm: crate::dnssec::SIM_ALGORITHM,
+                labels: 2,
+                original_ttl: 300,
+                expiration,
+                inception: 0,
+                key_tag: 1,
+                signer: n("vict.im"),
+                signature: vec![0; 16],
+            },
+        )
+    }
+
     #[test]
     fn rrsig_files_under_covered_type() {
         let mut c = Cache::new();
-        let rrsig = ResourceRecord::new(
-            n("vict.im"),
-            300,
-            RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true },
-        );
-        c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig], SimTime::ZERO, false);
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig(RecordType::A, 900)], SimTime::ZERO, false);
         let set = c.lookup(&n("vict.im"), RecordType::A, SimTime::ZERO).unwrap();
         assert_eq!(set.len(), 2, "A record and its RRSIG cached together");
+    }
+
+    #[test]
+    fn signature_expiration_caps_the_entry_ttl() {
+        let mut c = Cache::new();
+        // The record's TTL says 300s, but its signature dies at t=60s: the
+        // cache must not serve the set past the signature window.
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig(RecordType::A, 60)], SimTime::ZERO, false);
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::from_secs(59)).is_some());
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::from_secs(61)).is_none());
+        // A far-future expiration leaves the TTL alone.
+        c.insert_records(&[a("vict.im", 300, "30.0.0.25"), rrsig(RecordType::A, 1_000_000)], SimTime::ZERO, false);
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::from_secs(299)).is_some());
+        assert!(c.lookup(&n("vict.im"), RecordType::A, SimTime::from_secs(301)).is_none());
     }
 
     #[test]

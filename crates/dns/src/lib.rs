@@ -9,6 +9,9 @@
 //!   (A, NS, CNAME, SOA, MX, TXT, SRV, NAPTR, IPSECKEY, OPT/EDNS, ANY, ...);
 //! * [`zone`] — authoritative zone data with a builder covering every record
 //!   type used by the applications in Table 1;
+//! * [`dnssec`] — the deterministic signing pipeline: key management with
+//!   RFC 6781 rollover, RRSIG generation over canonical RRsets, NSEC/NSEC3
+//!   authenticated denial, and the DS-anchored validator;
 //! * [`cache`] — the resolver cache, TTLs, ANY-caching policies (Table 5) and
 //!   the poisoning-inspection helpers used by the attack harnesses;
 //! * [`nameserver`] — an authoritative server with RRL, PMTUD reaction,
@@ -59,6 +62,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod dnssec;
 pub mod farm;
 pub mod message;
 pub mod name;
@@ -73,6 +77,9 @@ pub mod zone;
 pub mod prelude {
     pub use crate::cache::{AnyCachingPolicy, Cache, CacheEntry, SharedCache};
     pub use crate::client::{CompletedLookup, StubClient};
+    pub use crate::dnssec::{
+        DenialConfig, DsAnchor, KeyManager, KeyPair, RolloverState, Signer, SigningPolicy, Validation, Validator,
+    };
     pub use crate::message::{frame_tcp, Header, Message, Question, Rcode, TcpFrameBuffer};
     pub use crate::name::DomainName;
     pub use crate::nameserver::{Nameserver, NameserverConfig, NameserverStats};

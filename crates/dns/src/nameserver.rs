@@ -159,6 +159,13 @@ impl Nameserver {
         &self.zones
     }
 
+    /// Mutable access to the zones served — used by rollover drills (and
+    /// rollover-abusing attack scenarios) that step a zone's keys and
+    /// re-sign it mid-simulation.
+    pub fn zones_mut(&mut self) -> &mut [Zone] {
+        &mut self.zones
+    }
+
     /// The current path MTU the server assumes towards `dst` — used by the
     /// vulnerability scanner to check whether a spoofed PTB was accepted.
     pub fn path_mtu_to(&self, dst: Ipv4Addr, now: SimTime) -> u16 {
@@ -184,42 +191,65 @@ impl Nameserver {
             response.header.rcode = Rcode::NotImp;
             return response;
         }
-        let mut matched: Option<LookupResult> = None;
+        let mut matched: Option<(&Zone, LookupResult)> = None;
         for zone in &self.zones {
             match zone.lookup(&question.name, question.qtype) {
                 LookupResult::OutOfZone => continue,
                 other => {
-                    matched = Some(other);
+                    matched = Some((zone, other));
                     break;
                 }
             }
         }
         match matched {
-            Some(LookupResult::Records(mut records)) => {
+            Some((zone, LookupResult::Records(mut records))) => {
                 if self.config.randomize_record_order {
                     records.shuffle(rng);
                 }
                 response.answers = records;
-                // Authority + glue for the first matching zone.
-                if let Some(zone) = self.zones.iter().find(|z| z.contains(&question.name)) {
-                    if let LookupResult::Records(ns) = zone.lookup(&zone.origin, RecordType::NS) {
-                        for rr in ns.iter().filter(|r| r.rtype() == RecordType::NS) {
-                            response.authorities.push(rr.clone());
-                            // Glue: the A record of the nameserver host.
-                            if let crate::rdata::RData::Ns(host) = &rr.rdata {
-                                if let LookupResult::Records(glue) = zone.lookup(host, RecordType::A) {
-                                    for g in glue.into_iter().filter(|g| g.rtype() == RecordType::A) {
-                                        response.additionals.push(g);
-                                    }
+                // Authority + glue. In a signed zone every RRset travels
+                // with its covering RRSIGs, or a validator would (rightly)
+                // call the response bogus.
+                if zone.is_signed() {
+                    response.authorities.extend(zone.rrset_with_sigs(&zone.origin, RecordType::NS));
+                    let hosts: Vec<crate::name::DomainName> = response
+                        .authorities
+                        .iter()
+                        .filter_map(|rr| match &rr.rdata {
+                            crate::rdata::RData::Ns(host) => Some(host.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    for host in hosts {
+                        response.additionals.extend(zone.rrset_with_sigs(&host, RecordType::A));
+                    }
+                } else if let LookupResult::Records(ns) = zone.lookup(&zone.origin, RecordType::NS) {
+                    for rr in ns.iter().filter(|r| r.rtype() == RecordType::NS) {
+                        response.authorities.push(rr.clone());
+                        // Glue: the A record of the nameserver host.
+                        if let crate::rdata::RData::Ns(host) = &rr.rdata {
+                            if let LookupResult::Records(glue) = zone.lookup(host, RecordType::A) {
+                                for g in glue.into_iter().filter(|g| g.rtype() == RecordType::A) {
+                                    response.additionals.push(g);
                                 }
                             }
                         }
                     }
                 }
+                // The apex DNSKEY RRset rides along so a validator can chain
+                // DS -> DNSKEY -> RRSIG without extra round trips.
+                response.additionals.extend(zone.dnskey_records());
             }
-            Some(LookupResult::NoData) => {}
-            Some(LookupResult::NxDomain) => response.header.rcode = Rcode::NxDomain,
-            Some(LookupResult::OutOfZone) | None => response.header.rcode = Rcode::Refused,
+            Some((zone, LookupResult::NoData)) => {
+                response.authorities.extend(zone.denial_records(&question.name));
+                response.additionals.extend(zone.dnskey_records());
+            }
+            Some((zone, LookupResult::NxDomain)) => {
+                response.header.rcode = Rcode::NxDomain;
+                response.authorities.extend(zone.denial_records(&question.name));
+                response.additionals.extend(zone.dnskey_records());
+            }
+            Some((_, LookupResult::OutOfZone)) | None => response.header.rcode = Rcode::Refused,
         }
         // Optional padding to force fragmentation (scanner behaviour).
         if let Some(target) = self.config.pad_responses_to {

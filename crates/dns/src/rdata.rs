@@ -40,10 +40,17 @@ pub enum RecordType {
     IPSECKEY,
     /// EDNS(0) pseudo-record.
     OPT,
-    /// DNSSEC: zone signing key (modelled, not cryptographically verified).
+    /// DNSSEC: delegation signer digest, the parent-side link of the chain
+    /// of trust (RFC 4034 §5).
+    DS,
+    /// DNSSEC: zone signing key (RFC 4034 §2).
     DNSKEY,
-    /// DNSSEC: signature (modelled, not cryptographically verified).
+    /// DNSSEC: signature over a canonical RRset (RFC 4034 §3).
     RRSIG,
+    /// DNSSEC: authenticated denial of existence (RFC 4034 §4).
+    NSEC,
+    /// DNSSEC: hashed authenticated denial of existence (RFC 5155).
+    NSEC3,
     /// Query-only meta type matching every record at a name.
     ANY,
     /// Any other type, carried by its numeric value.
@@ -64,9 +71,12 @@ impl RecordType {
             RecordType::SRV => 33,
             RecordType::NAPTR => 35,
             RecordType::OPT => 41,
+            RecordType::DS => 43,
             RecordType::IPSECKEY => 45,
             RecordType::RRSIG => 46,
+            RecordType::NSEC => 47,
             RecordType::DNSKEY => 48,
+            RecordType::NSEC3 => 50,
             RecordType::ANY => 255,
             RecordType::Unknown(n) => n,
         }
@@ -85,9 +95,12 @@ impl RecordType {
             33 => RecordType::SRV,
             35 => RecordType::NAPTR,
             41 => RecordType::OPT,
+            43 => RecordType::DS,
             45 => RecordType::IPSECKEY,
             46 => RecordType::RRSIG,
+            47 => RecordType::NSEC,
             48 => RecordType::DNSKEY,
+            50 => RecordType::NSEC3,
             255 => RecordType::ANY,
             other => RecordType::Unknown(other),
         }
@@ -175,19 +188,71 @@ pub enum RData {
         /// Public key bytes.
         public_key: Vec<u8>,
     },
-    /// DNSSEC key (modelled: opaque key tag only).
+    /// DNSSEC zone key (RFC 4034 §2). The `public_key` bytes are the keyed-
+    /// hash verification key of the simulation's crypto stand-in.
     Dnskey {
-        /// Key tag.
-        key_tag: u16,
+        /// Key flags: 256 = zone key (ZSK), 257 = zone key + SEP bit (KSK).
+        flags: u16,
+        /// Signing algorithm number (the simulation uses 253, PRIVATEDNS).
+        algorithm: u8,
+        /// Verification key bytes.
+        public_key: Vec<u8>,
     },
-    /// DNSSEC signature (modelled: covered type + signer + validity flag).
+    /// Delegation signer (RFC 4034 §5): a digest of the child zone's KSK,
+    /// published at the parent. Resolver trust anchors are DS records.
+    Ds {
+        /// Key tag of the DNSKEY this digest commits to.
+        key_tag: u16,
+        /// Signing algorithm of that key.
+        algorithm: u8,
+        /// Digest algorithm number.
+        digest_type: u8,
+        /// The digest bytes.
+        digest: Vec<u8>,
+    },
+    /// DNSSEC signature over one canonical RRset (RFC 4034 §3).
     Rrsig {
         /// The record type this signature covers.
         type_covered: RecordType,
+        /// Signing algorithm number.
+        algorithm: u8,
+        /// Label count of the owner name (no wildcard expansion modelled).
+        labels: u8,
+        /// Original TTL of the covered RRset (part of the signed data).
+        original_ttl: u32,
+        /// Expiration of the signature, in seconds of simulation time.
+        expiration: u32,
+        /// Inception of the signature, in seconds of simulation time.
+        inception: u32,
+        /// Key tag of the DNSKEY that produced the signature.
+        key_tag: u16,
         /// The zone that produced the signature.
         signer: DomainName,
-        /// Whether the (simulated) signature is cryptographically valid.
-        valid: bool,
+        /// The signature bytes (keyed hash over the canonical RRset).
+        signature: Vec<u8>,
+    },
+    /// Authenticated denial of existence (RFC 4034 §4): the next owner name
+    /// in canonical zone order and the types present at this owner.
+    Nsec {
+        /// Next owner name in the canonical chain (wraps to the apex).
+        next: DomainName,
+        /// Types present at this owner name.
+        types: Vec<RecordType>,
+    },
+    /// Hashed authenticated denial of existence (RFC 5155).
+    Nsec3 {
+        /// Hash algorithm number.
+        hash_algorithm: u8,
+        /// Flags; bit 0 is opt-out (spans may cover unsigned delegations).
+        flags: u8,
+        /// Extra hash iterations.
+        iterations: u16,
+        /// Hash salt.
+        salt: Vec<u8>,
+        /// Next hashed owner in hash order (wraps around).
+        next_hashed: Vec<u8>,
+        /// Types present at the owner this hash commits to.
+        types: Vec<RecordType>,
     },
     /// EDNS(0) OPT pseudo-record payload: requestor's UDP payload size.
     Opt {
@@ -213,7 +278,10 @@ impl RData {
             RData::Naptr { .. } => RecordType::NAPTR,
             RData::IpsecKey { .. } => RecordType::IPSECKEY,
             RData::Dnskey { .. } => RecordType::DNSKEY,
+            RData::Ds { .. } => RecordType::DS,
             RData::Rrsig { .. } => RecordType::RRSIG,
+            RData::Nsec { .. } => RecordType::NSEC,
+            RData::Nsec3 { .. } => RecordType::NSEC3,
             RData::Opt { .. } => RecordType::OPT,
             RData::Raw(_) => RecordType::Unknown(0),
         }
@@ -271,13 +339,52 @@ impl RData {
                 buf.extend_from_slice(&gateway.octets());
                 buf.extend_from_slice(public_key);
             }
-            RData::Dnskey { key_tag } => {
-                buf.extend_from_slice(&key_tag.to_be_bytes());
+            RData::Dnskey { flags, algorithm, public_key } => {
+                buf.extend_from_slice(&flags.to_be_bytes());
+                buf.push(3); // protocol: always 3 (RFC 4034 §2.1.2)
+                buf.push(*algorithm);
+                buf.extend_from_slice(public_key);
             }
-            RData::Rrsig { type_covered, signer, valid } => {
+            RData::Ds { key_tag, algorithm, digest_type, digest } => {
+                buf.extend_from_slice(&key_tag.to_be_bytes());
+                buf.push(*algorithm);
+                buf.push(*digest_type);
+                buf.extend_from_slice(digest);
+            }
+            RData::Rrsig {
+                type_covered,
+                algorithm,
+                labels,
+                original_ttl,
+                expiration,
+                inception,
+                key_tag,
+                signer,
+                signature,
+            } => {
                 buf.extend_from_slice(&type_covered.number().to_be_bytes());
-                buf.push(u8::from(*valid));
+                buf.push(*algorithm);
+                buf.push(*labels);
+                buf.extend_from_slice(&original_ttl.to_be_bytes());
+                buf.extend_from_slice(&expiration.to_be_bytes());
+                buf.extend_from_slice(&inception.to_be_bytes());
+                buf.extend_from_slice(&key_tag.to_be_bytes());
                 signer.encode(buf, None);
+                buf.extend_from_slice(signature);
+            }
+            RData::Nsec { next, types } => {
+                next.encode(buf, None);
+                encode_type_bitmap(types, buf);
+            }
+            RData::Nsec3 { hash_algorithm, flags, iterations, salt, next_hashed, types } => {
+                buf.push(*hash_algorithm);
+                buf.push(*flags);
+                buf.extend_from_slice(&iterations.to_be_bytes());
+                buf.push(salt.len() as u8);
+                buf.extend_from_slice(salt);
+                buf.push(next_hashed.len() as u8);
+                buf.extend_from_slice(next_hashed);
+                encode_type_bitmap(types, buf);
             }
             RData::Opt { udp_payload_size } => {
                 // OPT carries its payload size in the CLASS field; the RDATA
@@ -408,19 +515,74 @@ impl RData {
                 (RData::IpsecKey { precedence, gateway, public_key: slice[7..].to_vec() }, slice.len())
             }
             RecordType::DNSKEY => {
-                if slice.len() < 2 {
+                if slice.len() < 4 {
                     return Err(NameError::Truncated);
                 }
-                (RData::Dnskey { key_tag: u16::from_be_bytes([slice[0], slice[1]]) }, 2)
+                let flags = u16::from_be_bytes([slice[0], slice[1]]);
+                // slice[2] is the protocol octet; RFC 4034 fixes it at 3 and
+                // the canonical encoder always writes 3.
+                let algorithm = slice[3];
+                (RData::Dnskey { flags, algorithm, public_key: slice[4..].to_vec() }, slice.len())
+            }
+            RecordType::DS => {
+                if slice.len() < 4 {
+                    return Err(NameError::Truncated);
+                }
+                let key_tag = u16::from_be_bytes([slice[0], slice[1]]);
+                (
+                    RData::Ds { key_tag, algorithm: slice[2], digest_type: slice[3], digest: slice[4..].to_vec() },
+                    slice.len(),
+                )
             }
             RecordType::RRSIG => {
-                if slice.len() < 3 {
+                if slice.len() < 18 {
                     return Err(NameError::Truncated);
                 }
                 let type_covered = RecordType::from_number(u16::from_be_bytes([slice[0], slice[1]]));
-                let valid = slice[2] != 0;
-                let (signer, pos) = DomainName::decode(view, offset + 3)?;
-                (RData::Rrsig { type_covered, signer, valid }, pos - offset)
+                let g = |i: usize| u32::from_be_bytes([slice[i], slice[i + 1], slice[i + 2], slice[i + 3]]);
+                let (signer, pos) = DomainName::decode(view, offset + 18)?;
+                (
+                    RData::Rrsig {
+                        type_covered,
+                        algorithm: slice[2],
+                        labels: slice[3],
+                        original_ttl: g(4),
+                        expiration: g(8),
+                        inception: g(12),
+                        key_tag: u16::from_be_bytes([slice[16], slice[17]]),
+                        signer,
+                        signature: view[pos..end].to_vec(),
+                    },
+                    end - offset,
+                )
+            }
+            RecordType::NSEC => {
+                let (next, pos) = DomainName::decode(view, offset)?;
+                let types = decode_type_bitmap(&view[pos..end])?;
+                (RData::Nsec { next, types }, end - offset)
+            }
+            RecordType::NSEC3 => {
+                if slice.len() < 5 {
+                    return Err(NameError::Truncated);
+                }
+                let salt_len = slice[4] as usize;
+                let salt = slice.get(5..5 + salt_len).ok_or(NameError::Truncated)?.to_vec();
+                let hash_pos = 5 + salt_len;
+                let hash_len = *slice.get(hash_pos).ok_or(NameError::Truncated)? as usize;
+                let next_hashed =
+                    slice.get(hash_pos + 1..hash_pos + 1 + hash_len).ok_or(NameError::Truncated)?.to_vec();
+                let types = decode_type_bitmap(&slice[hash_pos + 1 + hash_len..])?;
+                (
+                    RData::Nsec3 {
+                        hash_algorithm: slice[0],
+                        flags: slice[1],
+                        iterations: u16::from_be_bytes([slice[2], slice[3]]),
+                        salt,
+                        next_hashed,
+                        types,
+                    },
+                    slice.len(),
+                )
             }
             RecordType::OPT => {
                 let size = if slice.len() >= 2 { u16::from_be_bytes([slice[0], slice[1]]) } else { 512 };
@@ -434,6 +596,16 @@ impl RData {
         Ok(out)
     }
 
+    /// For an RRSIG, the type it covers; otherwise the record's own type.
+    /// This is the key the cache files records under, so signatures travel
+    /// with the RRset they authenticate.
+    pub fn covered_type(&self) -> RecordType {
+        match self {
+            RData::Rrsig { type_covered, .. } => *type_covered,
+            other => other.record_type(),
+        }
+    }
+
     /// The IPv4 address carried by this record, when it has one.
     pub fn as_ipv4(&self) -> Option<Ipv4Addr> {
         match self {
@@ -442,6 +614,56 @@ impl RData {
             _ => None,
         }
     }
+}
+
+/// Encodes an NSEC/NSEC3 type bitmap (RFC 4034 §4.1.2): window blocks of up
+/// to 32 octets, one bit per type, high bit of the first octet = type 0.
+fn encode_type_bitmap(types: &[RecordType], buf: &mut Vec<u8>) {
+    let mut numbers: Vec<u16> = types.iter().map(|t| t.number()).collect();
+    numbers.sort_unstable();
+    numbers.dedup();
+    let mut i = 0;
+    while i < numbers.len() {
+        let window = (numbers[i] >> 8) as u8;
+        let mut octets = [0u8; 32];
+        let mut max_octet = 0usize;
+        while i < numbers.len() && (numbers[i] >> 8) as u8 == window {
+            let low = (numbers[i] & 0xff) as usize;
+            octets[low / 8] |= 0x80 >> (low % 8);
+            max_octet = max_octet.max(low / 8);
+            i += 1;
+        }
+        buf.push(window);
+        buf.push((max_octet + 1) as u8);
+        buf.extend_from_slice(&octets[..=max_octet]);
+    }
+}
+
+/// Decodes an NSEC/NSEC3 type bitmap. Lenient about window ordering and
+/// non-minimal octet counts (the result is re-encoded canonically), strict
+/// about structure: each block must declare 1..=32 octets and contain them.
+fn decode_type_bitmap(bytes: &[u8]) -> Result<Vec<RecordType>, NameError> {
+    let mut numbers = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let window = u16::from(bytes[pos]);
+        let count = *bytes.get(pos + 1).ok_or(NameError::Truncated)? as usize;
+        if count == 0 || count > 32 {
+            return Err(NameError::Truncated);
+        }
+        let octets = bytes.get(pos + 2..pos + 2 + count).ok_or(NameError::Truncated)?;
+        for (i, octet) in octets.iter().enumerate() {
+            for bit in 0..8u16 {
+                if octet & (0x80 >> bit) != 0 {
+                    numbers.push((window << 8) | (i as u16 * 8) | bit);
+                }
+            }
+        }
+        pos += 2 + count;
+    }
+    numbers.sort_unstable();
+    numbers.dedup();
+    Ok(numbers.into_iter().map(RecordType::from_number).collect())
 }
 
 /// A resource record: owner name, class/TTL and typed data.
@@ -593,12 +815,139 @@ mod tests {
             300,
             RData::IpsecKey { precedence: 10, gateway: "30.0.0.99".parse().unwrap(), public_key: vec![1, 2, 3, 4] },
         ));
-        roundtrip(ResourceRecord::new(n("vict.im"), 300, RData::Dnskey { key_tag: 12345 }));
         roundtrip(ResourceRecord::new(
             n("vict.im"),
             300,
-            RData::Rrsig { type_covered: RecordType::A, signer: n("vict.im"), valid: true },
+            RData::Dnskey { flags: 257, algorithm: 253, public_key: vec![9, 8, 7, 6, 5, 4, 3, 2] },
         ));
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Ds { key_tag: 12345, algorithm: 253, digest_type: 1, digest: vec![0xde, 0xad, 0xbe, 0xef] },
+        ));
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Rrsig {
+                type_covered: RecordType::A,
+                algorithm: 253,
+                labels: 2,
+                original_ttl: 300,
+                expiration: 86_400,
+                inception: 0,
+                key_tag: 12345,
+                signer: n("vict.im"),
+                signature: vec![1; 16],
+            },
+        ));
+    }
+
+    #[test]
+    fn nsec_roundtrip_and_bitmap_windows() {
+        roundtrip(ResourceRecord::new(
+            n("vict.im"),
+            300,
+            RData::Nsec {
+                next: n("www.vict.im"),
+                // ANY (255) forces a second bitmap window block.
+                types: vec![RecordType::A, RecordType::SOA, RecordType::RRSIG, RecordType::NSEC, RecordType::ANY],
+            },
+        ));
+        roundtrip(ResourceRecord::new(
+            n("deadbeef.vict.im"),
+            300,
+            RData::Nsec3 {
+                hash_algorithm: 1,
+                flags: 1,
+                iterations: 2,
+                salt: vec![0xab, 0xcd],
+                next_hashed: vec![7; 16],
+                types: vec![RecordType::A, RecordType::TXT],
+            },
+        ));
+        // An empty bitmap (opt-out span with no types) round-trips too.
+        roundtrip(ResourceRecord::new(
+            n("deadbeef.vict.im"),
+            300,
+            RData::Nsec3 {
+                hash_algorithm: 1,
+                flags: 1,
+                iterations: 0,
+                salt: Vec::new(),
+                next_hashed: vec![9; 16],
+                types: Vec::new(),
+            },
+        ));
+    }
+
+    #[test]
+    fn malformed_type_bitmap_rejected() {
+        // NSEC with a bitmap block claiming 0 octets: structurally invalid.
+        let mut buf = Vec::new();
+        n("x").encode(&mut buf, None);
+        buf.extend_from_slice(&RecordType::NSEC.number().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        let mut rdata = Vec::new();
+        n("y").encode(&mut rdata, None);
+        rdata.extend_from_slice(&[0x00, 0x00]); // window 0, count 0
+        buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&rdata);
+        assert!(ResourceRecord::decode(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn nsec3_length_octets_cannot_escape_rdlength() {
+        // Regression locks (fuzz: dns_rr_dnssec/nsec3_salt_escape.bin and
+        // dns_rr_dnssec/nsec3_hash_escape.bin): the salt and next-hash
+        // length octets are attacker bytes; a claim running past RDLENGTH
+        // must be a typed error, never a read into the neighbouring record.
+        let salt_escape = [1u8, 0, 0, 0, 200, 1, 2, 3, 4]; // salt claims 200, 4 present
+        assert_eq!(RData::decode(RecordType::NSEC3, &salt_escape, 0, salt_escape.len()), Err(NameError::Truncated));
+        let hash_escape = [1u8, 1, 0, 0, 2, 0xab, 0xcd, 30, 1, 2, 3, 4]; // hash claims 30, 4 present
+        assert_eq!(RData::decode(RecordType::NSEC3, &hash_escape, 0, hash_escape.len()), Err(NameError::Truncated));
+    }
+
+    #[test]
+    fn nsec_bitmap_disorder_is_canonicalised() {
+        // Regression lock (fuzz: dns_rr_dnssec/bitmap_window_disorder.bin):
+        // the decoder tolerates out-of-order windows and non-minimal octet
+        // counts, but must canonicalise on re-encode so the cache, the
+        // signer and the wire all agree on one form per value — the NSEC
+        // bitmap is signed data, and a second accepted spelling of the same
+        // RRset would split it from its RRSIG.
+        let mut rdata = Vec::new();
+        n("y").encode(&mut rdata, None);
+        rdata.extend_from_slice(&[0x01, 0x01, 0x40]); // window 1 first: type 257
+        rdata.extend_from_slice(&[0x00, 0x04, 0x40, 0x00, 0x00, 0x00]); // window 0, padded: type A
+        let decoded = RData::decode(RecordType::NSEC, &rdata, 0, rdata.len()).unwrap();
+        assert_eq!(decoded, RData::Nsec { next: n("y"), types: vec![RecordType::A, RecordType::Unknown(257)] });
+        let mut reencoded = Vec::new();
+        decoded.encode(&mut reencoded);
+        assert!(reencoded.len() < rdata.len(), "re-encoding drops the padding octets");
+        assert_eq!(RData::decode(RecordType::NSEC, &reencoded, 0, reencoded.len()).unwrap(), decoded);
+    }
+
+    #[test]
+    fn rrsig_signer_name_cannot_escape_rdlength() {
+        // Regression lock (fuzz: dns_rr_dnssec/rrsig_truncated_signer.bin):
+        // the signer name starts 18 bytes into the RRSIG rdata; when its
+        // inline labels run past the RDLENGTH window the decode must fail
+        // even though the buffer holds more bytes just past the window.
+        let mut buf = Vec::new();
+        n("x").encode(&mut buf, None);
+        buf.extend_from_slice(&RecordType::RRSIG.number().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        buf.extend_from_slice(&20u16.to_be_bytes()); // 18 fixed bytes + 2 of the name
+        buf.extend_from_slice(&[0, 1, 253, 1]); // type covered A, alg, labels
+        buf.extend_from_slice(&300u32.to_be_bytes()); // original ttl
+        buf.extend_from_slice(&86_400u32.to_be_bytes()); // expiration
+        buf.extend_from_slice(&0u32.to_be_bytes()); // inception
+        buf.extend_from_slice(&0x1234u16.to_be_bytes()); // key tag
+        buf.extend_from_slice(&[3, b'a']); // label claims 3 bytes, window ends
+        buf.extend_from_slice(&[b'b', b'c', 0]); // the rest lies outside RDLENGTH
+        assert_eq!(ResourceRecord::decode(&buf, 0), Err(NameError::Truncated));
     }
 
     #[test]
@@ -633,8 +982,11 @@ mod tests {
             RecordType::NAPTR,
             RecordType::IPSECKEY,
             RecordType::OPT,
+            RecordType::DS,
             RecordType::DNSKEY,
             RecordType::RRSIG,
+            RecordType::NSEC,
+            RecordType::NSEC3,
             RecordType::ANY,
         ] {
             assert_eq!(RecordType::from_number(t.number()), t);

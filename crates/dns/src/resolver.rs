@@ -79,9 +79,13 @@ pub struct Delegation {
     pub zone: DomainName,
     /// Authoritative nameserver addresses.
     pub nameservers: Vec<Ipv4Addr>,
-    /// Whether the zone is DNSSEC-signed (a validating resolver will reject
-    /// unsigned/forged data for it).
+    /// Whether the zone is DNSSEC-signed (a validating resolver will run
+    /// the full RRSIG/denial validation pipeline on its responses).
     pub signed: bool,
+    /// The DS trust anchor chaining the zone's KSK to this resolver. A
+    /// signed zone *without* an anchor validates as `Insecure` — the
+    /// downgrade gap the DowngradeToInsecure vector drives through.
+    pub trust_anchor: Option<crate::dnssec::DsAnchor>,
 }
 
 /// Configuration of a recursive resolver.
@@ -147,7 +151,21 @@ impl ResolverConfig {
 
     /// Adds a delegation.
     pub fn with_delegation(mut self, zone: &str, nameservers: Vec<Ipv4Addr>, signed: bool) -> Self {
-        self.delegations.push(Delegation { zone: zone.parse().expect("valid zone"), nameservers, signed });
+        self.delegations.push(Delegation {
+            zone: zone.parse().expect("valid zone"),
+            nameservers,
+            signed,
+            trust_anchor: None,
+        });
+        self
+    }
+
+    /// Installs a DS trust anchor for an already-added delegation.
+    pub fn with_trust_anchor(mut self, zone: &str, anchor: crate::dnssec::DsAnchor) -> Self {
+        let zone: DomainName = zone.parse().expect("valid zone");
+        if let Some(d) = self.delegations.iter_mut().find(|d| d.zone == zone) {
+            d.trust_anchor = Some(anchor);
+        }
         self
     }
 
@@ -221,6 +239,7 @@ struct Outstanding {
     nameserver: Ipv4Addr,
     bailiwick: DomainName,
     signed_zone: bool,
+    trust_anchor: Option<crate::dnssec::DsAnchor>,
     retries_left: u32,
     clients: Vec<ClientRef>,
     /// Original query type requested by the client (ANY handling).
@@ -406,13 +425,13 @@ impl Resolver {
     }
 
     fn start_recursion(&mut self, question: Question, client: Option<ClientRef>, ctx: &mut Ctx<'_>) {
-        let (nameserver, bailiwick, signed) = if let Some(upstream) = self.config.upstream {
-            (upstream, DomainName::root(), false)
+        let (nameserver, bailiwick, signed, anchor) = if let Some(upstream) = self.config.upstream {
+            (upstream, DomainName::root(), false, None)
         } else {
             match self.delegation_for(&question.name) {
                 Some(d) if !d.nameservers.is_empty() => {
                     let idx = ctx.rng().gen_range(0..d.nameservers.len());
-                    (d.nameservers[idx], d.zone.clone(), d.signed)
+                    (d.nameservers[idx], d.zone.clone(), d.signed, d.trust_anchor.clone())
                 }
                 _ => {
                     // No known nameserver: SERVFAIL immediately.
@@ -450,6 +469,7 @@ impl Resolver {
                 nameserver,
                 bailiwick,
                 signed_zone: signed,
+                trust_anchor: anchor,
                 retries_left: self.config.max_retries,
                 clients: client.into_iter().collect(),
                 client_qtype: question.qtype,
@@ -626,18 +646,19 @@ impl Resolver {
             }
         }
 
-        // DNSSEC validation (modelled): for signed zones a validating
-        // resolver requires valid RRSIGs covering the answer records. An
-        // *empty* answer needs authenticated denial of existence (RFC 4035
-        // §3.1.3); the model carries no NSEC records, so a bare empty
-        // response from a signed zone is never authenticated — which is what
-        // stops an off-path erasure forgery (`HijackForgery::EmptyAnswer`)
-        // cold at a validating resolver.
+        // DNSSEC validation: for signed zones a validating resolver runs the
+        // full RFC 4035 pipeline — the DNSKEY RRset must chain to the DS
+        // trust anchor, every RRset must carry a verifying RRSIG, and an
+        // *empty* answer needs authenticated denial of existence via
+        // NSEC/NSEC3 (RFC 4035 §3.1.3). A bogus response is dropped; an
+        // `Insecure` one (no anchor, or opt-out-covered) is accepted
+        // unauthenticated — the downgrade surface.
         if self.config.validate_dnssec && entry.signed_zone {
-            let all_signed_valid = !in_bailiwick.is_empty()
-                && in_bailiwick.iter().any(|r| matches!(r.rdata, RData::Rrsig { valid: true, .. }))
-                && in_bailiwick.iter().all(|r| !matches!(r.rdata, RData::Rrsig { valid: false, .. }));
-            if !all_signed_valid {
+            let now_secs = crate::dnssec::sim_secs(ctx.now());
+            let validator =
+                crate::dnssec::Validator::new(entry.bailiwick.clone(), entry.trust_anchor.clone(), now_secs);
+            let verdict = validator.validate(&in_bailiwick, &entry.question.name, entry.question.qtype);
+            if let crate::dnssec::Validation::Bogus(_) = verdict {
                 self.stats.rejected_dnssec += 1;
                 return;
             }
@@ -1067,9 +1088,12 @@ mod tests {
 
     #[test]
     fn dnssec_validation_rejects_unsigned_forgery_for_signed_zone() {
+        let anchor = crate::dnssec::KeyManager::new(7).anchor(&n("vict.im"));
         let cfg = ResolverConfig {
             port_policy: PortPolicy::Fixed(41000),
-            ..ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec![NS_ADDR], true)
+            ..ResolverConfig::new(RESOLVER_ADDR)
+                .with_delegation("vict.im", vec![NS_ADDR], true)
+                .with_trust_anchor("vict.im", anchor)
         }
         .with_dnssec_validation();
         let mut sim = Simulator::new(8);
@@ -1094,15 +1118,44 @@ mod tests {
 
     #[test]
     fn signed_zone_with_validation_accepts_genuine_signed_answer() {
-        let cfg =
-            ResolverConfig::new(RESOLVER_ADDR).with_delegation("vict.im", vec![NS_ADDR], true).with_dnssec_validation();
-        let mut s = setup(cfg, victim_zone().sign());
+        let zone = victim_zone().sign(
+            crate::dnssec::KeyManager::new(7),
+            crate::dnssec::SigningPolicy::default(),
+            SimTime::ZERO,
+        );
+        let anchor = zone.trust_anchor().expect("signed zone has an anchor");
+        let cfg = ResolverConfig::new(RESOLVER_ADDR)
+            .with_delegation("vict.im", vec![NS_ADDR], true)
+            .with_trust_anchor("vict.im", anchor)
+            .with_dnssec_validation();
+        let mut s = setup(cfg, zone);
         s.sim.inject(s.client, client_query("www.vict.im", RecordType::A, 1));
         s.sim.run();
         let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
         assert_eq!(r.stats.responses_accepted, 1);
         assert_eq!(r.stats.rejected_dnssec, 0);
         assert!(r.cache().cached_a(&n("www.vict.im"), s.sim.now()).is_some());
+    }
+
+    #[test]
+    fn signed_zone_negative_answer_requires_authenticated_denial() {
+        let zone = victim_zone().sign(
+            crate::dnssec::KeyManager::new(7),
+            crate::dnssec::SigningPolicy::default(),
+            SimTime::ZERO,
+        );
+        let anchor = zone.trust_anchor().unwrap();
+        let cfg = ResolverConfig::new(RESOLVER_ADDR)
+            .with_delegation("vict.im", vec![NS_ADDR], true)
+            .with_trust_anchor("vict.im", anchor)
+            .with_dnssec_validation();
+        let mut s = setup(cfg, zone);
+        // A genuine NXDOMAIN comes back with signed NSEC proofs and passes.
+        s.sim.inject(s.client, client_query("nope.vict.im", RecordType::A, 1));
+        s.sim.run();
+        let r = s.sim.node_ref::<Resolver>(s.resolver).unwrap();
+        assert_eq!(r.stats.rejected_dnssec, 0);
+        assert_eq!(r.stats.responses_accepted, 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 use ca::http::{parse_request, HttpResponseParser, RequestParse, MAX_HTTP_HEAD};
+use dns::dnssec::sign::sign_rrset_with_window;
 use dns::message::MAX_TCP_FRAME_LEN;
 use dns::prelude::*;
 use netsim::icmp::IcmpMessage;
@@ -59,6 +60,7 @@ pub fn targets() -> Vec<Target> {
         Target { name: "dns_message", seed: seed_message, run: run_dns_message },
         Target { name: "dns_name", seed: seed_name, run: run_dns_name },
         Target { name: "dns_rr", seed: seed_rr, run: run_dns_rr },
+        Target { name: "dns_rr_dnssec", seed: seed_rr_dnssec, run: run_dns_rr },
         Target { name: "tcp_frame", seed: seed_tcp_frame, run: run_tcp_frame },
         Target { name: "tcp_segment", seed: seed_tcp_segment, run: run_tcp_segment },
         Target { name: "ipv4", seed: seed_ipv4, run: run_ipv4 },
@@ -198,6 +200,24 @@ pub fn canonical_corpus() -> Vec<(&'static str, &'static str, Vec<u8>)> {
     // A-record RDATA of 4 bytes inside an RDLENGTH window of 5: one slack byte.
     let rdlen_slack = rr_bytes(RecordType::A, 5, &[192, 0, 2, 1, 0xaa]);
 
+    // NSEC3 whose salt (resp. next-hash) length octet claims bytes past the
+    // RDLENGTH window: typed error, never an out-of-window read.
+    let nsec3_salt_escape = rr_bytes(RecordType::NSEC3, 9, &[1, 0, 0, 0, 200, 1, 2, 3, 4]);
+    let nsec3_hash_escape = rr_bytes(RecordType::NSEC3, 12, &[1, 1, 0, 0, 2, 0xab, 0xcd, 30, 1, 2, 3, 4]);
+    // NSEC bitmap with its windows out of order and a padded octet count:
+    // accepted, but must canonicalise to one wire form on re-encode.
+    let bitmap_disorder =
+        rr_bytes(RecordType::NSEC, 12, &[1, b'y', 0, 0x01, 0x01, 0x40, 0x00, 0x04, 0x40, 0x00, 0x00, 0x00]);
+    // RRSIG whose signer name runs past the RDLENGTH window while the
+    // buffer continues: the clipped view must reject, not read onwards.
+    let mut rrsig_rdata = vec![0, 1, 253, 1];
+    rrsig_rdata.extend_from_slice(&300u32.to_be_bytes());
+    rrsig_rdata.extend_from_slice(&86_400u32.to_be_bytes());
+    rrsig_rdata.extend_from_slice(&0u32.to_be_bytes());
+    rrsig_rdata.extend_from_slice(&0x1234u16.to_be_bytes());
+    rrsig_rdata.extend_from_slice(&[3, b'a', b'b', b'c', 0]);
+    let rrsig_truncated_signer = rr_bytes(RecordType::RRSIG, 20, &rrsig_rdata);
+
     let mut ipv4_under = Ipv4Packet::new(ip_header(Protocol::Udp, 16), vec![0u8; 16]);
     ipv4_under.header.total_length = 8;
     let mut ipv4_past = Ipv4Packet::new(ip_header(Protocol::Udp, 16), vec![0u8; 16]);
@@ -217,6 +237,10 @@ pub fn canonical_corpus() -> Vec<(&'static str, &'static str, Vec<u8>)> {
         ("dns_message", "trailing_byte.bin", trailing),
         ("dns_rr", "rdlen_escape.bin", rdlen_escape),
         ("dns_rr", "rdlen_slack.bin", rdlen_slack),
+        ("dns_rr_dnssec", "nsec3_salt_escape.bin", nsec3_salt_escape),
+        ("dns_rr_dnssec", "nsec3_hash_escape.bin", nsec3_hash_escape),
+        ("dns_rr_dnssec", "bitmap_window_disorder.bin", bitmap_disorder),
+        ("dns_rr_dnssec", "rrsig_truncated_signer.bin", rrsig_truncated_signer),
         ("tcp_frame", "oversize_claim.bin", ((MAX_TCP_FRAME_LEN + 1) as u16).to_be_bytes().to_vec()),
         ("tcp_segment", "oversized.bin", vec![0u8; usize::from(u16::MAX) + 1]),
         ("ipv4", "len_under_header.bin", ipv4_under.encode()),
@@ -258,6 +282,9 @@ fn rtype_value(rtype: RecordType) -> u16 {
     match rtype {
         RecordType::A => 1,
         RecordType::NS => 2,
+        RecordType::RRSIG => 46,
+        RecordType::NSEC => 47,
+        RecordType::NSEC3 => 50,
         _ => panic!("extend rtype_value for {rtype:?}"),
     }
 }
@@ -299,7 +326,7 @@ fn random_name(rng: &mut ChaCha20Rng) -> DomainName {
 }
 
 fn random_rdata(rng: &mut ChaCha20Rng) -> RData {
-    match rng.gen_range(0u32..6) {
+    match rng.gen_range(0u32..7) {
         0 => RData::A(Ipv4Addr::from(rng.gen::<u32>())),
         1 => RData::Ns(random_name(rng)),
         2 => RData::Cname(random_name(rng)),
@@ -308,11 +335,61 @@ fn random_rdata(rng: &mut ChaCha20Rng) -> RData {
             let len = rng.gen_range(0usize..40);
             RData::Txt((0..len).map(|_| char::from(rng.gen_range(b' '..=b'~'))).collect())
         }
+        5 => random_dnssec_rdata(rng),
         _ => RData::Aaaa({
             let mut a = [0u8; 16];
             rng.fill(&mut a[..]);
             a
         }),
+    }
+}
+
+fn random_bytes(rng: &mut ChaCha20Rng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max);
+    let mut buf = vec![0u8; len];
+    rng.fill(&mut buf[..]);
+    buf
+}
+
+fn random_record_types(rng: &mut ChaCha20Rng) -> Vec<RecordType> {
+    // Spans several bitmap windows, including numbers the workspace has no
+    // named type for, so the window-block encoder gets exercised in full.
+    (0..rng.gen_range(0usize..6)).map(|_| RecordType::from_number(rng.gen_range(1u16..1024))).collect()
+}
+
+fn random_dnssec_rdata(rng: &mut ChaCha20Rng) -> RData {
+    match rng.gen_range(0u32..5) {
+        0 => RData::Dnskey {
+            flags: if rng.gen_bool(0.5) { 256 } else { 257 },
+            algorithm: 253,
+            public_key: random_bytes(rng, 40),
+        },
+        1 => RData::Ds {
+            key_tag: rng.gen(),
+            algorithm: 253,
+            digest_type: rng.gen_range(1u8..3),
+            digest: random_bytes(rng, 33),
+        },
+        2 => RData::Nsec { next: random_name(rng), types: random_record_types(rng) },
+        3 => RData::Nsec3 {
+            hash_algorithm: 1,
+            flags: u8::from(rng.gen_bool(0.5)),
+            iterations: rng.gen_range(0u16..16),
+            salt: random_bytes(rng, 9),
+            next_hashed: random_bytes(rng, 21),
+            types: random_record_types(rng),
+        },
+        _ => RData::Rrsig {
+            type_covered: RecordType::from_number(rng.gen_range(1u16..64)),
+            algorithm: 253,
+            labels: rng.gen_range(0u8..6),
+            original_ttl: rng.gen_range(0u32..86_400),
+            expiration: rng.gen(),
+            inception: rng.gen(),
+            key_tag: rng.gen(),
+            signer: random_name(rng),
+            signature: random_bytes(rng, 24),
+        },
     }
 }
 
@@ -337,6 +414,29 @@ fn seed_name(rng: &mut ChaCha20Rng) -> Vec<u8> {
 fn seed_rr(rng: &mut ChaCha20Rng) -> Vec<u8> {
     let mut buf = Vec::new();
     ResourceRecord::new(random_name(rng), rng.gen_range(0u32..86_400), random_rdata(rng)).encode(&mut buf, None);
+    buf
+}
+
+fn seed_rr_dnssec(rng: &mut ChaCha20Rng) -> Vec<u8> {
+    let record = if rng.gen_bool(0.25) {
+        // Real pipeline output: the actual key manager and signer, so seeds
+        // include genuine key tags, DS digests and RRSIG layouts rather than
+        // only random field soup.
+        let keys = KeyManager::new(rng.gen());
+        let origin = random_name(rng);
+        match rng.gen_range(0u32..3) {
+            0 => ResourceRecord::new(origin.clone(), 3600, keys.ksk().ds(&origin)),
+            1 => ResourceRecord::new(origin, 3600, keys.active_zsk().dnskey()),
+            _ => {
+                let rrset = [ResourceRecord::new(origin.clone(), 300, RData::A(Ipv4Addr::from(rng.gen::<u32>())))];
+                sign_rrset_with_window(keys.active_zsk(), &rrset, &origin, 0, rng.gen_range(1u32..100_000))
+            }
+        }
+    } else {
+        ResourceRecord::new(random_name(rng), rng.gen_range(0u32..86_400), random_dnssec_rdata(rng))
+    };
+    let mut buf = Vec::new();
+    record.encode(&mut buf, None);
     buf
 }
 

@@ -89,5 +89,7 @@ fn main() {
             cell.poisoned, cell.issued
         );
     }
-    println!("the interception hijack defeats the quorum — only DNSSEC (validating re-fetch) refuses all three");
+    println!(
+        "the interception hijack defeats the quorum — only DNSSEC (re-verifying the cached snapshot) refuses all three"
+    );
 }

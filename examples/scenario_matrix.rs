@@ -62,5 +62,10 @@ fn main() {
         baseline.runs,
         baseline.avg_queries_per_success()
     );
+    // The DNSSEC deployment grid: the four attacks against the signing
+    // pipeline itself, across the deployment profiles (no DS, NSEC, NSEC3
+    // opt-out, strict rollover).
+    let dnssec = ScenarioCampaign::dnssec_grid(args.seed, args.runs).run(args.workers);
+    println!("{}", render_dnssec_matrix(&dnssec));
     println!("matrix complete in {:.2?} (workers={})", started.elapsed(), args.workers);
 }

@@ -199,6 +199,7 @@ fn scenario_matrix_is_thread_count_invariant() {
         methods: PoisonMethod::all().to_vec(),
         defences: vec![Defence::None, Defence::X20Encoding, Defence::FragmentFiltering],
         runs_per_cell: 2,
+        salt: SCENARIO_GRID_SALT,
     };
     let reference = campaign.run(1);
     for workers in [2usize, 8] {
@@ -251,6 +252,7 @@ fn tcp_scenario_grid_is_thread_count_invariant() {
         methods: PoisonMethod::all().to_vec(),
         defences: vec![Defence::None, Defence::DnsOverTcp],
         runs_per_cell: 2,
+        salt: SCENARIO_GRID_SALT,
     };
     let reference = campaign.run(1);
     for workers in [2usize, 8] {
@@ -276,12 +278,14 @@ fn appending_a_defence_does_not_reseed_existing_cells() {
         methods: PoisonMethod::all().to_vec(),
         defences: vec![Defence::None],
         runs_per_cell: 2,
+        salt: SCENARIO_GRID_SALT,
     };
     let grown = ScenarioCampaign {
         base_seed: 2021,
         methods: PoisonMethod::all().to_vec(),
         defences: vec![Defence::None, Defence::X20Encoding, Defence::DnsOverTcp],
         runs_per_cell: 2,
+        salt: SCENARIO_GRID_SALT,
     };
     let small_matrix = small.run(1);
     let grown_matrix = grown.run(2);

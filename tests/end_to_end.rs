@@ -59,7 +59,7 @@ fn poisoned_cache_affects_every_application_sharing_the_resolver() {
 #[test]
 fn dnssec_protects_signed_domains_end_to_end() {
     let cfg = VictimEnvConfig {
-        zone_signed: true,
+        zone_security: attacks::env::ZoneSecurity::signed_nsec(),
         resolver: ResolverConfig::new(attacks::env::addrs::RESOLVER)
             .with_delegation("vict.im", vec![attacks::env::addrs::NAMESERVER], true)
             .with_dnssec_validation(),

@@ -155,6 +155,13 @@ fn golden_scenario_matrix() {
     out.push('\n');
     let issuance = cross_layer_attacks::ca::IssuanceCampaign::standard(GOLDEN_SEED, 2).run(golden_workers());
     out.push_str(&cross_layer_attacks::ca::render_issuance_matrix(&issuance));
+    out.push('\n');
+    // The DNSSEC deployment matrix rides in the same fixture: the four
+    // attacks against the DNSSEC pipeline itself across the four deployment
+    // profiles, on their own seed stream (DNSSEC_GRID_SALT) so appending
+    // this section could not reseed the grids above.
+    let dnssec = ScenarioCampaign::dnssec_grid(GOLDEN_SEED, 2).run(golden_workers());
+    out.push_str(&render_dnssec_matrix(&dnssec));
     check("scenario_matrix", &out);
 }
 

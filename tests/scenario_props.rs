@@ -44,6 +44,24 @@ fn run_concrete(method: PoisonMethod, seed: u64) -> AttackReport {
             let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
             vectors::fragdns().run(&mut sim, &env)
         }
+        // The DNSSEC vectors have no pre-pipeline era to reproduce; the
+        // hand-wiring is constructing the concrete driver directly.
+        PoisonMethod::DowngradeToInsecure => {
+            let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+            DowngradeToInsecureAttack::new(addrs::ATTACKER).execute(&mut sim, &env)
+        }
+        PoisonMethod::Nsec3OptOutAbuse => {
+            let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+            Nsec3OptOutAbuseAttack::new(addrs::ATTACKER).execute(&mut sim, &env)
+        }
+        PoisonMethod::RolloverForgery => {
+            let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+            RolloverForgeryAttack::new(addrs::ATTACKER).execute(&mut sim, &env)
+        }
+        PoisonMethod::ZoneWalking => {
+            let (mut sim, env) = VictimEnvConfig { seed, ..Default::default() }.build();
+            ZoneWalkingAttack::new().execute(&mut sim, &env)
+        }
     }
 }
 
@@ -65,6 +83,19 @@ proptest! {
                 direct,
                 "dyn AttackVector dispatch diverged from the concrete {} driver",
                 vector.method()
+            );
+        }
+        // Same contract for the DNSSEC suite, which is dispatched through
+        // `for_method` by the dedicated deployment grid.
+        for method in PoisonMethod::dnssec_suite() {
+            let vector = vectors::for_method(method);
+            let via_registry = run_via_registry(vector.as_ref(), seed);
+            let direct = run_concrete(method, seed);
+            prop_assert_eq!(
+                via_registry,
+                direct,
+                "dyn AttackVector dispatch diverged from the concrete {} driver",
+                method
             );
         }
     }
