@@ -189,41 +189,53 @@ impl Default for VictimEnvConfig {
     }
 }
 
+/// Builds the standard unsigned victim zone for `vict.im` — the
+/// seed-independent half of [`VictimEnvConfig::victim_zone`], shared with
+/// [`EnvTemplate`] so grid campaigns construct the record set once per cell
+/// instead of once per seed.
+fn unsigned_victim_zone() -> Zone {
+    let mut zone = Zone::new("vict.im".parse().expect("valid name"));
+    zone.add_ns("ns1.vict.im", addrs::NAMESERVER);
+    zone.add_a("vict.im", addrs::SERVICE);
+    zone.add_a("www.vict.im", addrs::SERVICE);
+    zone.add_a("login.vict.im", addrs::SERVICE);
+    zone.add_mx(10, "mail.vict.im", Ipv4Addr::new(30, 0, 0, 26));
+    zone.add_txt("vict.im", "v=spf1 ip4:30.0.0.0/22 include:_spf.mailhoster.example include:_spf.crm.example -all");
+    // Realistic apex TXT clutter (site verifications, key material): this
+    // is what pushes ANY responses past common fragmentation thresholds.
+    zone.add_txt(
+        "vict.im",
+        "google-site-verification=0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+    );
+    zone.add_txt("vict.im", "ms-domain-verification=fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210");
+    zone.add_txt(
+        "vict.im",
+        "apple-domain-verification=A1B2C3D4E5F60718293A4B5C6D7E8F90A1B2C3D4E5F60718293A4B5C6D7E8F90",
+    );
+    zone.add_txt("_dmarc.vict.im", "v=DMARC1; p=reject");
+    zone.add_txt(
+        "sel._domainkey.vict.im",
+        "v=DKIM1; k=rsa; p=MIIBIjANBgkqhkiG9w0BAQEFAAOCAQ8AMIIBCgKCAQEA0123456789abcdef0123456789abcdef",
+    );
+    zone.add_srv("_xmpp-server._tcp.vict.im", 5269, "xmpp.vict.im", Ipv4Addr::new(30, 0, 0, 27));
+    zone.add_naptr("aaa+auth:radius.tls.tcp", "_radiustls._tcp.vict.im");
+    zone.add_ipseckey("vpn.vict.im", Ipv4Addr::new(30, 0, 0, 99));
+    zone.add_a("ntp.vict.im", Ipv4Addr::new(30, 0, 0, 123));
+    zone.add_a("rpki.vict.im", Ipv4Addr::new(30, 0, 0, 124));
+    zone
+}
+
 impl VictimEnvConfig {
     /// Builds the standard victim zone for `vict.im`, rich enough that `ANY`
     /// responses exceed common fragmentation thresholds.
     pub fn victim_zone(&self) -> Zone {
-        let mut zone = Zone::new("vict.im".parse().expect("valid name"));
-        zone.add_ns("ns1.vict.im", addrs::NAMESERVER);
-        zone.add_a("vict.im", addrs::SERVICE);
-        zone.add_a("www.vict.im", addrs::SERVICE);
-        zone.add_a("login.vict.im", addrs::SERVICE);
-        zone.add_mx(10, "mail.vict.im", Ipv4Addr::new(30, 0, 0, 26));
-        zone.add_txt("vict.im", "v=spf1 ip4:30.0.0.0/22 include:_spf.mailhoster.example include:_spf.crm.example -all");
-        // Realistic apex TXT clutter (site verifications, key material): this
-        // is what pushes ANY responses past common fragmentation thresholds.
-        zone.add_txt(
-            "vict.im",
-            "google-site-verification=0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
-        );
-        zone.add_txt(
-            "vict.im",
-            "ms-domain-verification=fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210",
-        );
-        zone.add_txt(
-            "vict.im",
-            "apple-domain-verification=A1B2C3D4E5F60718293A4B5C6D7E8F90A1B2C3D4E5F60718293A4B5C6D7E8F90",
-        );
-        zone.add_txt("_dmarc.vict.im", "v=DMARC1; p=reject");
-        zone.add_txt(
-            "sel._domainkey.vict.im",
-            "v=DKIM1; k=rsa; p=MIIBIjANBgkqhkiG9w0BAQEFAAOCAQ8AMIIBCgKCAQEA0123456789abcdef0123456789abcdef",
-        );
-        zone.add_srv("_xmpp-server._tcp.vict.im", 5269, "xmpp.vict.im", Ipv4Addr::new(30, 0, 0, 27));
-        zone.add_naptr("aaa+auth:radius.tls.tcp", "_radiustls._tcp.vict.im");
-        zone.add_ipseckey("vpn.vict.im", Ipv4Addr::new(30, 0, 0, 99));
-        zone.add_a("ntp.vict.im", Ipv4Addr::new(30, 0, 0, 123));
-        zone.add_a("rpki.vict.im", Ipv4Addr::new(30, 0, 0, 124));
+        self.finish_zone(unsigned_victim_zone())
+    }
+
+    /// Applies this configuration's DNSSEC deployment to an unsigned zone:
+    /// the seed-dependent half of zone construction (signing keys derive
+    /// from the environment seed).
+    fn finish_zone(&self, zone: Zone) -> Zone {
         match &self.zone_security {
             ZoneSecurity::Unsigned => zone,
             ZoneSecurity::Signed(profile) => {
@@ -246,6 +258,13 @@ impl VictimEnvConfig {
     /// Constructs the simulator and environment.
     pub fn build(self) -> (Simulator, VictimEnv) {
         let zone = self.victim_zone();
+        self.build_with_zone(zone)
+    }
+
+    /// Constructs the simulator and environment around an already-finished
+    /// zone — the seed-dependent tail of [`build`](Self::build), shared with
+    /// [`EnvTemplate::build_at`].
+    fn build_with_zone(self, zone: Zone) -> (Simulator, VictimEnv) {
         let mut sim = Simulator::new(self.seed);
         let resolver_edns_size = self.resolver.edns_size;
         // An anchored signed zone hands its DS record to the resolver, like
@@ -286,6 +305,45 @@ impl VictimEnvConfig {
             vantage_quorum: self.vantage_quorum,
         };
         (sim, env)
+    }
+}
+
+/// A reusable snapshot of a fully-prepared environment configuration.
+///
+/// Grid campaigns evaluate many independently-seeded runs of the *same*
+/// (vector × defence) cell. Everything about the cell except the seed —
+/// the vector's `prepare_env` adjustments, the applied defences, and the
+/// unsigned victim zone's record set — is identical across those runs, so a
+/// template captures it once and [`build_at`](Self::build_at) stamps out a
+/// per-seed simulator from it. Only the seed-dependent work (zone signing,
+/// simulator RNG) runs per seed, which keeps `build_at(s)` byte-identical
+/// to `VictimEnvConfig { seed: s, .. }.build()` on the same configuration.
+#[derive(Debug, Clone)]
+pub struct EnvTemplate {
+    cfg: VictimEnvConfig,
+    unsigned_zone: Zone,
+}
+
+impl EnvTemplate {
+    /// Snapshots a prepared configuration (the template's seed field is
+    /// carried along but superseded by every `build_at` call).
+    pub fn new(cfg: VictimEnvConfig) -> Self {
+        EnvTemplate { cfg, unsigned_zone: unsigned_victim_zone() }
+    }
+
+    /// The captured configuration.
+    pub fn config(&self) -> &VictimEnvConfig {
+        &self.cfg
+    }
+
+    /// Builds the simulator and environment for one seed. Equivalent to
+    /// `cfg.build()` with `cfg.seed = seed`, without re-deriving the
+    /// seed-independent parts.
+    pub fn build_at(&self, seed: u64) -> (Simulator, VictimEnv) {
+        let mut cfg = self.cfg.clone();
+        cfg.seed = seed;
+        let zone = cfg.finish_zone(self.unsigned_zone.clone());
+        cfg.build_with_zone(zone)
     }
 }
 

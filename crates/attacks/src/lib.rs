@@ -44,7 +44,9 @@ pub mod prelude {
     pub use crate::dnssec_vectors::{
         DowngradeToInsecureAttack, Nsec3OptOutAbuseAttack, RolloverForgeryAttack, ZoneWalkingAttack,
     };
-    pub use crate::env::{addrs, QueryTrigger, SignedZoneProfile, VictimEnv, VictimEnvConfig, ZoneSecurity};
+    pub use crate::env::{
+        addrs, EnvTemplate, QueryTrigger, SignedZoneProfile, VictimEnv, VictimEnvConfig, ZoneSecurity,
+    };
     pub use crate::fragdns::{FragDnsAttack, FragDnsConfig};
     pub use crate::hijackdns::{HijackDnsAttack, HijackDnsConfig, HijackForgery, HijackKind};
     pub use crate::outcome::{AttackAggregate, AttackReport, FailureReason, PoisonMethod, Stealth};

@@ -185,12 +185,19 @@ impl SadDnsAttack {
     fn spray_txids(&self, sim: &mut Simulator, env: &VictimEnv, port: u16) {
         let cfg = &self.config;
         let space: u32 = if cfg.full_txid_sweep { 1 << 16 } else { 4096 };
+        // The 2^16 spoofed responses differ only in the DNS TXID (wire bytes
+        // 0-1) and the IP ID, so encode the message once and patch the TXID
+        // into a pooled copy per packet instead of re-encoding every time.
+        let mut template = Message::query(0, cfg.target_name.clone(), cfg.qtype);
+        template.header.is_response = true;
+        template.header.authoritative = true;
+        template.answers.push(ResourceRecord::new(cfg.target_name.clone(), 3600, RData::A(cfg.malicious_addr)));
+        let wire = template.encode();
         for txid in 0..space {
-            let mut response = Message::query(txid as u16, cfg.target_name.clone(), cfg.qtype);
-            response.header.is_response = true;
-            response.header.authoritative = true;
-            response.answers.push(ResourceRecord::new(cfg.target_name.clone(), 3600, RData::A(cfg.malicious_addr)));
-            let pkt = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, port, response.encode())
+            let mut payload = netsim::pool::take(wire.len());
+            payload.extend_from_slice(&wire);
+            payload[..2].copy_from_slice(&(txid as u16).to_be_bytes());
+            let pkt = UdpDatagram::new(env.nameserver_addr, env.resolver_addr, 53, port, payload)
                 .into_packet(txid as u16, 64);
             sim.inject(env.attacker, pkt);
         }

@@ -1,0 +1,90 @@
+//! Times the (vector × defence × seed) scenario matrix — the grid campaign
+//! the environment-template fast path (`PreparedCell` + `EnvTemplate`)
+//! accelerates — plus the grid *driver's* seed-derivation micro-costs, so a
+//! regression in either shows up as a number, not a feeling.
+//!
+//! The micro section prices one grid seed derivation both ways: the legacy
+//! per-index `derive_seed` (full mix chain per call) against the hoisted
+//! [`SeedStream`] (`cell_stream` prefix derived once per cell, `at(run)`
+//! per run). Both are nanoseconds against a millisecond-scale attack
+//! simulation — the numbers printed here prove the grid driver is not the
+//! bottleneck and keep it that way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use xl_bench::BENCH_SEED;
+use xlayer_core::campaign::{derive_seed, SeedStream};
+use xlayer_core::prelude::*;
+
+/// Runs per cell for the timed matrix — small enough for a bench iteration,
+/// large enough that template reuse (one prepared environment per cell,
+/// `runs` seeds stamped from it) is exercised.
+const RUNS_PER_CELL: u64 = 2;
+
+fn run_matrices(workers: usize) -> (ScenarioMatrix, ScenarioMatrix) {
+    let classic = ScenarioCampaign::full_grid(BENCH_SEED, RUNS_PER_CELL).run(workers);
+    let dnssec = ScenarioCampaign::dnssec_grid(BENCH_SEED, RUNS_PER_CELL).run(workers);
+    (classic, dnssec)
+}
+
+fn bench(c: &mut Criterion) {
+    let grid = ScenarioCampaign::full_grid(BENCH_SEED, RUNS_PER_CELL);
+    let sims = grid.population() + ScenarioCampaign::dnssec_grid(BENCH_SEED, RUNS_PER_CELL).population();
+    println!(
+        "scenario_matrix: {}x{} classic grid + DNSSEC grid, {RUNS_PER_CELL} runs/cell ({sims} simulations), \
+         {} hardware threads available",
+        grid.methods.len(),
+        grid.defences.len(),
+        available_workers()
+    );
+
+    // Wall-clock sweep with the determinism cross-check: every worker count
+    // must reproduce the workers=1 matrices byte-for-byte.
+    let t0 = Instant::now();
+    let reference = run_matrices(1);
+    let t1 = t0.elapsed();
+    println!("  workers=1   {t1:>10.3?}   (reference, {:.1} sims/s)", sims as f64 / t1.as_secs_f64());
+    for workers in [2usize, 4] {
+        let t0 = Instant::now();
+        let out = run_matrices(workers);
+        let t = t0.elapsed();
+        assert_eq!(out, reference, "worker count must never change the matrix");
+        println!(
+            "  workers={workers:<3} {t:>10.3?}   speedup {:.2}x   [output identical]",
+            t1.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+
+    // Grid-driver micro-bench: price of one per-run seed, derived the
+    // legacy way (full chain per index) vs the hoisted stream (prefix once,
+    // `at(run)` per run).
+    const SEEDS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..SEEDS {
+        acc ^= derive_seed(BENCH_SEED, 0x5ce9_a210, i);
+    }
+    let per_index = t0.elapsed();
+    let t0 = Instant::now();
+    let stream = SeedStream::new(BENCH_SEED, 0x5ce9_a210);
+    for i in 0..SEEDS {
+        acc ^= stream.at(i);
+    }
+    let hoisted = t0.elapsed();
+    assert_eq!(acc, 0, "SeedStream::at must reproduce derive_seed exactly (xor of equal streams cancels)");
+    println!(
+        "  seed derivation: per-index {:.1} ns, hoisted stream {:.1} ns (x{:.1}); \
+         driver overhead per ~ms simulation is negligible either way (streams identical)",
+        per_index.as_secs_f64() * 1e9 / SEEDS as f64,
+        hoisted.as_secs_f64() * 1e9 / SEEDS as f64,
+        per_index.as_secs_f64() / hoisted.as_secs_f64().max(1e-12),
+    );
+
+    let mut group = c.benchmark_group("scenario_matrix");
+    group.sample_size(10);
+    group.bench_function("full+dnssec_grid_2runs_workers1", |b| b.iter(|| run_matrices(1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::exploit::{
         attacker_account, ca_defences, ca_vector_for, render_issuance_ablation, render_issuance_matrix,
         run_issuance_ablation, run_issuance_cell, CertIssuanceExploit, IssuanceAggregate, IssuanceCampaign,
-        IssuanceCell, IssuanceMatrix, IssuanceRun, IssuanceTally, CA_GRID_SALT,
+        IssuanceCell, IssuanceMatrix, IssuanceRun, IssuanceTally, PreparedIssuanceCell, CA_GRID_SALT,
     };
     pub use crate::http::{http_get, http_response, ChallengeHost, HttpResponseParser};
     pub use crate::validator::ValidatorNode;

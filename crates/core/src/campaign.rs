@@ -95,13 +95,7 @@ fn mix64(mut z: u64) -> u64 {
 /// Because the derivation never involves worker identity or scheduling, the
 /// classification of profile `i` is a pure function of the seed.
 pub fn shard_rng(seed: u64, salt: u64, shard_id: u64) -> ChaCha20Rng {
-    let mut state = mix64(stream_state(seed, salt) ^ shard_id);
-    let mut key = [0u8; 32];
-    for chunk in key.chunks_exact_mut(8) {
-        state = mix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15));
-        chunk.copy_from_slice(&state.to_le_bytes());
-    }
-    ChaCha20Rng::from_seed(key)
+    SeedStream::new(seed, salt).shard(shard_id)
 }
 
 /// The shared `(seed, salt)` derivation prefix of [`shard_rng`] and
@@ -117,6 +111,40 @@ fn stream_state(seed: u64, salt: u64) -> u64 {
 /// rather than draws from a shard stream.
 pub fn derive_seed(seed: u64, salt: u64, index: u64) -> u64 {
     mix64(stream_state(seed, salt) ^ index)
+}
+
+/// A `(seed, salt)` pair with the shared derivation prefix precomputed, so a
+/// grid's inner loop pays one `mix64` per cell instead of re-deriving the
+/// invariant prefix every time. `SeedStream::new(seed, salt).at(i)` is
+/// definitionally [`derive_seed`]`(seed, salt, i)` — both call through the
+/// same private [`stream_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    state: u64,
+}
+
+impl SeedStream {
+    /// Precomputes the derivation prefix for `(seed, salt)`.
+    pub fn new(seed: u64, salt: u64) -> Self {
+        SeedStream { state: stream_state(seed, salt) }
+    }
+
+    /// The per-element seed at `index`; equal to [`derive_seed`].
+    pub fn at(&self, index: u64) -> u64 {
+        mix64(self.state ^ index)
+    }
+
+    /// The shard ChaCha20 stream at `shard_id`; equal to [`shard_rng`] —
+    /// which delegates here, so the two can never diverge.
+    pub fn shard(&self, shard_id: u64) -> ChaCha20Rng {
+        let mut state = mix64(self.state ^ shard_id);
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            state = mix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15));
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        ChaCha20Rng::from_seed(key)
+    }
 }
 
 /// An order-independent partial result folded per shard and merged across
@@ -153,6 +181,18 @@ pub trait Campaign: Sync {
 
     /// Creates an empty tally for one shard.
     fn new_tally(&self) -> Self::Tally;
+
+    /// Folds one shard's `count` draws into `tally`. The default draws and
+    /// observes one element at a time; campaigns with a columnar
+    /// (struct-of-arrays) fast path override it. An override must consume
+    /// the RNG stream exactly like `count` calls to [`Campaign::draw`] and
+    /// fold the identical elements — `tests/soa_equivalence.rs` locks this
+    /// for every overriding campaign.
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut Self::Tally) {
+        for _ in 0..count {
+            tally.observe(&self.draw(rng));
+        }
+    }
 }
 
 /// Runs `job` for every shard id in `0..shards` across `workers` threads and
@@ -199,13 +239,13 @@ where
 /// space, draws and observes every element shard-locally, and merges the
 /// per-shard tallies in ascending shard order.
 pub fn run_campaign<C: Campaign>(campaign: &C, n: usize, cfg: &CampaignConfig) -> C::Tally {
+    // The (seed, salt) derivation prefix is invariant across shards — derive
+    // it once here instead of per shard inside the fold.
+    let stream = SeedStream::new(cfg.seed, campaign.salt());
     let parts = run_shards(shard_count(n), cfg.workers, |shard| {
-        let mut rng = shard_rng(cfg.seed, campaign.salt(), shard as u64);
+        let mut rng = stream.shard(shard as u64);
         let mut tally = campaign.new_tally();
-        for _ in shard_range(n, shard) {
-            let profile = campaign.draw(&mut rng);
-            tally.observe(&profile);
-        }
+        campaign.fold_shard(&mut rng, shard_range(n, shard).len(), &mut tally);
         tally
     });
     let mut acc = campaign.new_tally();
@@ -235,6 +275,18 @@ pub trait GridCampaign: Sync {
     /// Evaluates the element at `index`. Must be pure in `index`.
     fn eval(&self, index: usize) -> Self::Profile;
 
+    /// Folds a contiguous block of indices into `tally`. The default calls
+    /// [`eval`](Self::eval) per index; campaigns whose consecutive indices
+    /// share expensive per-cell state (a prepared environment template, a
+    /// pre-built vector) override it. Overrides must tally exactly the
+    /// profiles `eval` would produce for the same indices — the grid's
+    /// worker-count determinism tests lock this.
+    fn eval_block(&self, indices: std::ops::Range<usize>, tally: &mut Self::Tally) {
+        for index in indices {
+            tally.observe(&self.eval(index));
+        }
+    }
+
     /// Creates an empty tally for one block.
     fn new_tally(&self) -> Self::Tally;
 
@@ -249,9 +301,7 @@ pub fn run_grid<C: GridCampaign>(campaign: &C, n: usize, workers: usize) -> C::T
     let block = campaign.block_size().max(1);
     let parts = run_shards(n.div_ceil(block), workers, |b| {
         let mut tally = campaign.new_tally();
-        for index in (b * block)..((b + 1) * block).min(n) {
-            tally.observe(&campaign.eval(index));
-        }
+        campaign.eval_block((b * block)..((b + 1) * block).min(n), &mut tally);
         tally
     });
     let mut acc = campaign.new_tally();
@@ -294,8 +344,17 @@ pub struct Histogram {
 impl Histogram {
     /// Records one observation.
     pub fn add(&mut self, value: u32) {
-        *self.counts.entry(value).or_insert(0) += 1;
-        self.total += 1;
+        self.add_many(value, 1);
+    }
+
+    /// Records `count` observations of `value` in one tree probe — the bulk
+    /// entry point for columnar folds that pre-count a shard's column.
+    pub fn add_many(&mut self, value: u32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += count;
+        self.total += count;
     }
 
     /// Merges another histogram into this one.

@@ -8,7 +8,7 @@
 //! scans parallelise while staying byte-identical at any worker count.
 
 use crate::campaign::{run_campaign, Campaign, CampaignConfig, Histogram, Tally};
-use crate::population::{self, DatasetSpec, DomainProfile, ResolverProfile};
+use crate::population::{self, DatasetSpec, DomainBlock, DomainProfile, ResolverBlock, ResolverProfile};
 use crate::report::TextTable;
 use crate::vulnscan;
 use rand_chacha::ChaCha20Rng;
@@ -59,6 +59,30 @@ pub struct ResolverHist {
     pub hist: Histogram,
 }
 
+impl ResolverHist {
+    /// Folds a columnar block: prefix lengths are pre-counted into a flat
+    /// array (≤ 256 values) and bulk-added, EDNS sizes are scanned straight
+    /// off the contiguous column.
+    fn observe_block(&mut self, b: &ResolverBlock) {
+        match self.metric {
+            ResolverMetric::PrefixLen => {
+                let mut counts = [0u64; 256];
+                for &len in &b.announced_prefix_len {
+                    counts[usize::from(len)] += 1;
+                }
+                for (len, &count) in counts.iter().enumerate() {
+                    self.hist.add_many(len as u32, count);
+                }
+            }
+            ResolverMetric::EdnsSize => {
+                for &size in &b.edns_size {
+                    self.hist.add(u32::from(size));
+                }
+            }
+        }
+    }
+}
+
 impl Tally for ResolverHist {
     type Profile = ResolverProfile;
 
@@ -97,6 +121,12 @@ impl Campaign for ResolverScan<'_> {
     fn new_tally(&self) -> ResolverHist {
         ResolverHist { metric: self.metric, hist: Histogram::default() }
     }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut ResolverHist) {
+        let mut block = ResolverBlock::with_capacity(count);
+        population::fill_resolver_block(self.spec, rng, count, &mut block);
+        tally.observe_block(&block);
+    }
 }
 
 /// Which scalar a domain CDF scan extracts.
@@ -115,6 +145,30 @@ pub struct DomainHist {
     metric: DomainMetric,
     /// The accumulated histogram.
     pub hist: Histogram,
+}
+
+impl DomainHist {
+    /// Columnar sibling of [`ResolverHist::observe_block`].
+    fn observe_block(&mut self, b: &DomainBlock) {
+        match self.metric {
+            DomainMetric::PrefixLen => {
+                let mut counts = [0u64; 256];
+                for &len in &b.announced_prefix_len {
+                    counts[usize::from(len)] += 1;
+                }
+                for (len, &count) in counts.iter().enumerate() {
+                    self.hist.add_many(len as u32, count);
+                }
+            }
+            DomainMetric::MinFragmentSize => {
+                for (&frag, &size) in b.fragments_any.iter().zip(&b.min_fragment_size) {
+                    if frag {
+                        self.hist.add(u32::from(size));
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Tally for DomainHist {
@@ -158,6 +212,12 @@ impl Campaign for DomainScan<'_> {
 
     fn new_tally(&self) -> DomainHist {
         DomainHist { metric: self.metric, hist: Histogram::default() }
+    }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut DomainHist) {
+        let mut block = DomainBlock::with_capacity(count);
+        population::fill_domain_block(self.spec, rng, count, &mut block);
+        tally.observe_block(&block);
     }
 }
 
@@ -286,6 +346,21 @@ impl VennCounts {
 #[derive(Debug, Clone, Default)]
 pub struct ResolverVennTally(pub VennCounts);
 
+impl ResolverVennTally {
+    /// Folds a columnar block by scanning the three predicate columns in one
+    /// zipped pass (predicates mirror `vulnscan::resolver_*`).
+    fn observe_block(&mut self, b: &ResolverBlock) {
+        for i in 0..b.len() {
+            let alive = b.alive[i];
+            self.0.add(
+                b.announced_prefix_len[i] < 24,
+                alive && b.global_icmp_limit[i],
+                alive && b.accepts_fragments[i],
+            );
+        }
+    }
+}
+
 impl Tally for ResolverVennTally {
     type Profile = ResolverProfile;
 
@@ -305,6 +380,15 @@ impl Tally for ResolverVennTally {
 /// Venn tally over domain profiles.
 #[derive(Debug, Clone, Default)]
 pub struct DomainVennTally(pub VennCounts);
+
+impl DomainVennTally {
+    /// Columnar sibling of [`ResolverVennTally::observe_block`].
+    fn observe_block(&mut self, b: &DomainBlock) {
+        for i in 0..b.len() {
+            self.0.add(vulnscan::prefix_hijackable(b.announced_prefix_len[i]), b.ns_rate_limits[i], b.fragments_any[i]);
+        }
+    }
+}
 
 impl Tally for DomainVennTally {
     type Profile = DomainProfile;
@@ -340,6 +424,12 @@ impl Campaign for ResolverOverlap<'_> {
     fn new_tally(&self) -> ResolverVennTally {
         ResolverVennTally::default()
     }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut ResolverVennTally) {
+        let mut block = ResolverBlock::with_capacity(count);
+        population::fill_resolver_block(self.0, rng, count, &mut block);
+        tally.observe_block(&block);
+    }
 }
 
 /// The Figure 5b overlap campaign over one domain dataset.
@@ -359,6 +449,12 @@ impl Campaign for DomainOverlap<'_> {
 
     fn new_tally(&self) -> DomainVennTally {
         DomainVennTally::default()
+    }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut DomainVennTally) {
+        let mut block = DomainBlock::with_capacity(count);
+        population::fill_domain_block(self.0, rng, count, &mut block);
+        tally.observe_block(&block);
     }
 }
 

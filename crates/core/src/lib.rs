@@ -57,7 +57,8 @@ pub mod prelude {
     pub use crate::anycache::{render_table5, run_table5, AnyCachingResult};
     pub use crate::campaign::{
         available_workers, derive_seed, generate_population, run_campaign, run_grid, run_shards, shard_count,
-        shard_range, shard_ranges, shard_rng, Campaign, CampaignConfig, GridCampaign, Histogram, Tally, SHARD_SIZE,
+        shard_range, shard_ranges, shard_rng, Campaign, CampaignConfig, GridCampaign, Histogram, SeedStream, Tally,
+        SHARD_SIZE,
     };
     pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
     pub use crate::crosslayer::{
@@ -80,15 +81,16 @@ pub mod prelude {
         ResolverDatasetResult, DEFAULT_SAMPLE_CAP,
     };
     pub use crate::population::{
-        draw_domain, draw_resolver, generate_domains, generate_domains_with, generate_resolvers,
-        generate_resolvers_with, table3_datasets, table4_datasets, DatasetSpec, DomainProfile, ResolverProfile,
+        draw_domain, draw_resolver, fill_domain_block, fill_resolver_block, generate_domains, generate_domains_with,
+        generate_resolvers, generate_resolvers_with, table3_datasets, table4_datasets, DatasetSpec, DomainBlock,
+        DomainProfile, ResolverBlock, ResolverProfile,
     };
     pub use crate::report::{pct, TextTable};
     pub use crate::scenario::{
         render_dnssec_matrix, render_scenario_matrix, AttackPhase, CertIssuance, ExploitStage, ExploitVerdict,
-        MailInterceptExploit, MatrixTally, PasswordRecoveryExploit, RpkiDowngradeExploit, Scenario, ScenarioCampaign,
-        ScenarioMatrix, ScenarioOutcome, ScenarioRun, SpfPolicyExploit, WebRedirectExploit, DNSSEC_GRID_SALT,
-        SCENARIO_GRID_SALT,
+        MailInterceptExploit, MatrixTally, PasswordRecoveryExploit, PreparedCell, RpkiDowngradeExploit, Scenario,
+        ScenarioCampaign, ScenarioMatrix, ScenarioOutcome, ScenarioRun, SpfPolicyExploit, WebRedirectExploit,
+        DNSSEC_GRID_SALT, SCENARIO_GRID_SALT,
     };
     pub use crate::taxonomy::{render_table1, render_table2};
     pub use crate::vulnscan::*;

@@ -11,7 +11,7 @@
 //! reference run.
 
 use crate::campaign::{self, Campaign, CampaignConfig, Tally};
-use crate::population::{self, DatasetSpec, DomainProfile, ResolverProfile};
+use crate::population::{self, DatasetSpec, DomainBlock, DomainProfile, ResolverBlock, ResolverProfile};
 use crate::report::{pct, TextTable};
 use crate::vulnscan;
 use rand_chacha::ChaCha20Rng;
@@ -77,6 +77,18 @@ pub struct ResolverClassCounts {
     pub frag: u64,
 }
 
+impl ResolverClassCounts {
+    /// Folds a columnar block: one contiguous scan per class, equivalent to
+    /// observing every row (`tests/soa_equivalence.rs`). The per-column
+    /// predicates mirror `vulnscan::resolver_*`.
+    pub fn observe_block(&mut self, b: &ResolverBlock) {
+        self.n += b.len() as u64;
+        self.hijack += b.announced_prefix_len.iter().filter(|&&len| len < 24).count() as u64;
+        self.saddns += b.alive.iter().zip(&b.global_icmp_limit).filter(|&(&alive, &icmp)| alive && icmp).count() as u64;
+        self.frag += b.alive.iter().zip(&b.accepts_fragments).filter(|&(&alive, &frag)| alive && frag).count() as u64;
+    }
+}
+
 impl Tally for ResolverClassCounts {
     type Profile = ResolverProfile;
 
@@ -111,6 +123,21 @@ pub struct DomainClassCounts {
     pub frag_global: u64,
     /// DNSSEC-signed elements.
     pub dnssec: u64,
+}
+
+impl DomainClassCounts {
+    /// Folds a columnar block: one contiguous scan per class, equivalent to
+    /// observing every row (`tests/soa_equivalence.rs`). The per-column
+    /// predicates mirror `vulnscan::domain_*`.
+    pub fn observe_block(&mut self, b: &DomainBlock) {
+        self.n += b.len() as u64;
+        self.hijack += b.announced_prefix_len.iter().filter(|&&len| vulnscan::prefix_hijackable(len)).count() as u64;
+        self.saddns += b.ns_rate_limits.iter().filter(|&&rrl| rrl).count() as u64;
+        self.frag_any += b.fragments_any.iter().filter(|&&frag| frag).count() as u64;
+        self.frag_global +=
+            b.fragments_any.iter().zip(&b.global_ipid).filter(|&(&frag, &ipid)| frag && ipid).count() as u64;
+        self.dnssec += b.dnssec_signed.iter().filter(|&&signed| signed).count() as u64;
+    }
 }
 
 impl Tally for DomainClassCounts {
@@ -161,6 +188,12 @@ impl Campaign for ResolverCampaign<'_> {
     fn new_tally(&self) -> ResolverClassCounts {
         ResolverClassCounts::default()
     }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut ResolverClassCounts) {
+        let mut block = ResolverBlock::with_capacity(count);
+        population::fill_resolver_block(self.0, rng, count, &mut block);
+        tally.observe_block(&block);
+    }
 }
 
 /// The Table 4 classification campaign over one domain dataset.
@@ -180,6 +213,12 @@ impl Campaign for DomainCampaign<'_> {
 
     fn new_tally(&self) -> DomainClassCounts {
         DomainClassCounts::default()
+    }
+
+    fn fold_shard(&self, rng: &mut ChaCha20Rng, count: usize, tally: &mut DomainClassCounts) {
+        let mut block = DomainBlock::with_capacity(count);
+        population::fill_domain_block(self.0, rng, count, &mut block);
+        tally.observe_block(&block);
     }
 }
 

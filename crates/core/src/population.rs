@@ -302,29 +302,32 @@ pub fn table4_datasets() -> Vec<DatasetSpec> {
     ]
 }
 
+/// Prefix-length weights for hijackable elements, skewed towards the middle
+/// of the distribution in Figure 3. Shared by the scalar weighted scan in
+/// [`draw_prefix_len`] and the expanded lookup table the columnar fill uses.
+const PREFIX_LEN_WEIGHTS: [(u8, u32); 13] = [
+    (11, 1),
+    (12, 2),
+    (13, 2),
+    (14, 3),
+    (15, 4),
+    (16, 8),
+    (17, 6),
+    (18, 7),
+    (19, 10),
+    (20, 12),
+    (21, 12),
+    (22, 16),
+    (23, 10),
+];
+
 /// Draws an announced prefix length: hijackable elements get lengths /11–/23
 /// (weighted towards /16–/22 as in Figure 3), others get /24.
 fn draw_prefix_len<R: Rng>(rng: &mut R, hijackable: bool) -> u8 {
     if hijackable {
-        // Skew towards the middle of the distribution in Figure 3.
-        let weights: [(u8, u32); 13] = [
-            (11, 1),
-            (12, 2),
-            (13, 2),
-            (14, 3),
-            (15, 4),
-            (16, 8),
-            (17, 6),
-            (18, 7),
-            (19, 10),
-            (20, 12),
-            (21, 12),
-            (22, 16),
-            (23, 10),
-        ];
-        let total: u32 = weights.iter().map(|(_, w)| w).sum();
+        let total: u32 = PREFIX_LEN_WEIGHTS.iter().map(|(_, w)| w).sum();
         let mut pick = rng.gen_range(0..total);
-        for (len, w) in weights {
+        for (len, w) in PREFIX_LEN_WEIGHTS {
             if pick < w {
                 return len;
             }
@@ -398,6 +401,267 @@ pub fn draw_domain<R: Rng>(spec: &DatasetSpec, rng: &mut R) -> DomainProfile {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Struct-of-arrays fast path
+//
+// The classify campaigns draw hundreds of thousands of profiles whose fields
+// are then scanned one predicate at a time. The blocks below hold one
+// shard's profiles in columnar layout so those scans run over contiguous
+// arrays, and the fill functions draw directly into the columns using
+// integer-domain equivalents of the `gen_bool` / `gen_range` calls in
+// [`draw_resolver`] / [`draw_domain`]. Equivalence is exact, not
+// approximate — see `bool_threshold` — and locked by the unit tests here
+// plus `tests/soa_equivalence.rs` at the workspace root.
+// ---------------------------------------------------------------------------
+
+/// Integer threshold equivalent of `gen_bool(p)`.
+///
+/// The `rand` shim's `gen_bool` computes `(next_u64() >> 11) as f64 * 2⁻⁵³
+/// < p`. The 53-bit integer is exactly representable as `f64` and scaling
+/// by a power of two is exact, so the comparison equals the real-number
+/// test `i < p·2⁵³`, i.e. the integer test `i < ceil(p·2⁵³)` (`p·2⁵³` is an
+/// exact `f64` for every `p ∈ [0, 1]` — only the exponent changes).
+fn bool_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// The 53-bit draw `gen_bool` compares against its threshold.
+#[inline]
+fn draw53<R: Rng>(rng: &mut R) -> u64 {
+    rng.next_u64() >> 11
+}
+
+/// Integer equivalent of `gen_range(0..n)` for integer `n`: the shim scales
+/// one `next_u64` into the span with a 128-bit multiply; this is that exact
+/// computation.
+#[inline]
+fn draw_range<R: Rng>(rng: &mut R, n: u64) -> usize {
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as usize
+}
+
+/// Expanded lookup table for [`draw_prefix_len`]'s weighted scan: entry `j`
+/// is the prefix length the scan returns for `pick = j`.
+fn prefix_len_lut() -> [u8; 93] {
+    let mut lut = [0u8; 93];
+    let mut next = 0usize;
+    for (len, w) in PREFIX_LEN_WEIGHTS {
+        for _ in 0..w {
+            lut[next] = len;
+            next += 1;
+        }
+    }
+    assert_eq!(next, lut.len(), "weight total matches draw_prefix_len's range");
+    lut
+}
+
+/// One shard's resolver profiles in struct-of-arrays (columnar) layout.
+#[derive(Debug, Clone, Default)]
+pub struct ResolverBlock {
+    /// Column of [`ResolverProfile::announced_prefix_len`].
+    pub announced_prefix_len: Vec<u8>,
+    /// Column of [`ResolverProfile::global_icmp_limit`].
+    pub global_icmp_limit: Vec<bool>,
+    /// Column of [`ResolverProfile::accepts_fragments`].
+    pub accepts_fragments: Vec<bool>,
+    /// Column of [`ResolverProfile::edns_size`].
+    pub edns_size: Vec<u16>,
+    /// Column of [`ResolverProfile::validates_dnssec`].
+    pub validates_dnssec: Vec<bool>,
+    /// Column of [`ResolverProfile::alive`].
+    pub alive: Vec<bool>,
+    /// Column of [`ResolverProfile::implementation`].
+    pub implementation: Vec<ResolverImplementation>,
+}
+
+impl ResolverBlock {
+    /// An empty block with room for `n` profiles per column.
+    pub fn with_capacity(n: usize) -> Self {
+        ResolverBlock {
+            announced_prefix_len: Vec::with_capacity(n),
+            global_icmp_limit: Vec::with_capacity(n),
+            accepts_fragments: Vec::with_capacity(n),
+            edns_size: Vec::with_capacity(n),
+            validates_dnssec: Vec::with_capacity(n),
+            alive: Vec::with_capacity(n),
+            implementation: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of profiles in the block.
+    pub fn len(&self) -> usize {
+        self.announced_prefix_len.len()
+    }
+
+    /// Whether the block holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.announced_prefix_len.is_empty()
+    }
+
+    /// Reconstructs the row at `i` as a plain [`ResolverProfile`].
+    pub fn profile(&self, i: usize) -> ResolverProfile {
+        ResolverProfile {
+            announced_prefix_len: self.announced_prefix_len[i],
+            global_icmp_limit: self.global_icmp_limit[i],
+            accepts_fragments: self.accepts_fragments[i],
+            edns_size: self.edns_size[i],
+            validates_dnssec: self.validates_dnssec[i],
+            alive: self.alive[i],
+            implementation: self.implementation[i],
+        }
+    }
+}
+
+/// One shard's domain profiles in struct-of-arrays (columnar) layout.
+#[derive(Debug, Clone, Default)]
+pub struct DomainBlock {
+    /// Column of [`DomainProfile::announced_prefix_len`].
+    pub announced_prefix_len: Vec<u8>,
+    /// Column of [`DomainProfile::ns_rate_limits`].
+    pub ns_rate_limits: Vec<bool>,
+    /// Column of [`DomainProfile::fragments_any`].
+    pub fragments_any: Vec<bool>,
+    /// Column of [`DomainProfile::fragments_a_or_mx`].
+    pub fragments_a_or_mx: Vec<bool>,
+    /// Column of [`DomainProfile::global_ipid`].
+    pub global_ipid: Vec<bool>,
+    /// Column of [`DomainProfile::min_fragment_size`].
+    pub min_fragment_size: Vec<u16>,
+    /// Column of [`DomainProfile::dnssec_signed`].
+    pub dnssec_signed: Vec<bool>,
+}
+
+impl DomainBlock {
+    /// An empty block with room for `n` profiles per column.
+    pub fn with_capacity(n: usize) -> Self {
+        DomainBlock {
+            announced_prefix_len: Vec::with_capacity(n),
+            ns_rate_limits: Vec::with_capacity(n),
+            fragments_any: Vec::with_capacity(n),
+            fragments_a_or_mx: Vec::with_capacity(n),
+            global_ipid: Vec::with_capacity(n),
+            min_fragment_size: Vec::with_capacity(n),
+            dnssec_signed: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of profiles in the block.
+    pub fn len(&self) -> usize {
+        self.announced_prefix_len.len()
+    }
+
+    /// Whether the block holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.announced_prefix_len.is_empty()
+    }
+
+    /// Reconstructs the row at `i` as a plain [`DomainProfile`].
+    pub fn profile(&self, i: usize) -> DomainProfile {
+        DomainProfile {
+            announced_prefix_len: self.announced_prefix_len[i],
+            ns_rate_limits: self.ns_rate_limits[i],
+            fragments_any: self.fragments_any[i],
+            fragments_a_or_mx: self.fragments_a_or_mx[i],
+            global_ipid: self.global_ipid[i],
+            min_fragment_size: self.min_fragment_size[i],
+            dnssec_signed: self.dnssec_signed[i],
+        }
+    }
+}
+
+/// Draws `count` resolver profiles straight into `block`'s columns.
+///
+/// Consumes the RNG stream exactly like `count` calls to [`draw_resolver`]
+/// and appends the identical field values (same draws, integer-domain
+/// comparisons — see [`bool_threshold`]).
+pub fn fill_resolver_block<R: Rng>(spec: &DatasetSpec, rng: &mut R, count: usize, block: &mut ResolverBlock) {
+    let t_hijack = bool_threshold(spec.p_subprefix_hijackable);
+    let t_saddns = bool_threshold(spec.p_saddns);
+    let t_frag = bool_threshold(spec.p_frag);
+    let t_dnssec = bool_threshold(spec.p_dnssec);
+    let t_alive = bool_threshold(0.97);
+    let t_edns_512 = bool_threshold(0.40);
+    let t_edns_mid = bool_threshold(0.50);
+    let edns_mid = [1232u16, 1400, 1452, 2048];
+    let prefix_lut = prefix_len_lut();
+    let implementations = ResolverImplementation::all();
+    // Extend every column up front and write by index: one length/capacity
+    // update per column instead of seven per row.
+    let start = block.len();
+    let end = start + count;
+    block.announced_prefix_len.resize(end, 0);
+    block.global_icmp_limit.resize(end, false);
+    block.accepts_fragments.resize(end, false);
+    block.edns_size.resize(end, 0);
+    block.validates_dnssec.resize(end, false);
+    block.alive.resize(end, false);
+    block.implementation.resize(end, implementations[0]);
+    for i in start..end {
+        let hijackable = draw53(rng) < t_hijack;
+        block.announced_prefix_len[i] =
+            if hijackable { prefix_lut[draw_range(rng, prefix_lut.len() as u64)] } else { 24 };
+        block.global_icmp_limit[i] = draw53(rng) < t_saddns;
+        block.accepts_fragments[i] = draw53(rng) < t_frag;
+        let p = draw53(rng);
+        block.edns_size[i] = if p < t_edns_512 {
+            512
+        } else if p < t_edns_mid {
+            edns_mid[draw_range(rng, edns_mid.len() as u64)]
+        } else {
+            4096
+        };
+        block.validates_dnssec[i] = draw53(rng) < t_dnssec;
+        block.alive[i] = draw53(rng) < t_alive;
+        block.implementation[i] = implementations[draw_range(rng, implementations.len() as u64)];
+    }
+}
+
+/// Draws `count` domain profiles straight into `block`'s columns; the
+/// columnar sibling of [`draw_domain`], with the identical stream contract
+/// as [`fill_resolver_block`].
+pub fn fill_domain_block<R: Rng>(spec: &DatasetSpec, rng: &mut R, count: usize, block: &mut DomainBlock) {
+    let t_hijack = bool_threshold(spec.p_subprefix_hijackable);
+    let t_saddns = bool_threshold(spec.p_saddns);
+    let t_frag = bool_threshold(spec.p_frag);
+    let t_dnssec = bool_threshold(spec.p_dnssec);
+    let t_a_or_mx = bool_threshold(0.1);
+    let t_global_ipid = bool_threshold(spec.p_global_ipid.min(1.0));
+    let t_frag_292 = bool_threshold(0.07);
+    let t_frag_548 = bool_threshold(0.07 + 0.832);
+    let prefix_lut = prefix_len_lut();
+    let start = block.len();
+    let end = start + count;
+    block.announced_prefix_len.resize(end, 0);
+    block.ns_rate_limits.resize(end, false);
+    block.fragments_any.resize(end, false);
+    block.fragments_a_or_mx.resize(end, false);
+    block.global_ipid.resize(end, false);
+    block.min_fragment_size.resize(end, 0);
+    block.dnssec_signed.resize(end, false);
+    for i in start..end {
+        let hijackable = draw53(rng) < t_hijack;
+        let fragments_any = draw53(rng) < t_frag;
+        block.announced_prefix_len[i] =
+            if hijackable { prefix_lut[draw_range(rng, prefix_lut.len() as u64)] } else { 24 };
+        block.ns_rate_limits[i] = draw53(rng) < t_saddns;
+        block.fragments_any[i] = fragments_any;
+        block.fragments_a_or_mx[i] = fragments_any && draw53(rng) < t_a_or_mx;
+        block.global_ipid[i] = fragments_any && draw53(rng) < t_global_ipid;
+        block.min_fragment_size[i] = if !fragments_any {
+            1500
+        } else {
+            let p = draw53(rng);
+            if p < t_frag_292 {
+                292
+            } else if p < t_frag_548 {
+                548
+            } else {
+                1280
+            }
+        };
+        block.dnssec_signed[i] = draw53(rng) < t_dnssec;
+    }
+}
+
 /// Generates the resolver population for a dataset (single-threaded
 /// reference path; identical output to any parallel run).
 pub fn generate_resolvers(spec: &DatasetSpec, cap: u64, seed: u64) -> Vec<ResolverProfile> {
@@ -437,7 +701,7 @@ pub fn generate_domains_with(spec: &DatasetSpec, cfg: &CampaignConfig) -> Vec<Do
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rand_chacha::ChaCha20Rng;
 
     #[test]
@@ -509,6 +773,53 @@ mod tests {
         for _ in 0..100 {
             assert!(draw_prefix_len(&mut rng, true) < 24);
             assert_eq!(draw_prefix_len(&mut rng, false), 24);
+        }
+    }
+
+    #[test]
+    fn resolver_block_fill_equals_scalar_draws() {
+        // The columnar fill must consume the RNG stream exactly like the
+        // scalar draw loop and produce the identical field values, for every
+        // dataset's probability mix.
+        for (i, spec) in table3_datasets().iter().enumerate() {
+            let mut scalar_rng = ChaCha20Rng::seed_from_u64(2021 + i as u64);
+            let mut block_rng = scalar_rng.clone();
+            let mut block = ResolverBlock::with_capacity(500);
+            fill_resolver_block(spec, &mut block_rng, 500, &mut block);
+            assert_eq!(block.len(), 500);
+            for j in 0..block.len() {
+                assert_eq!(block.profile(j), draw_resolver(spec, &mut scalar_rng), "{} row {j}", spec.name);
+            }
+            // Both paths must leave the stream at the same position.
+            assert_eq!(scalar_rng.next_u64(), block_rng.next_u64(), "{} stream position", spec.name);
+        }
+    }
+
+    #[test]
+    fn domain_block_fill_equals_scalar_draws() {
+        for (i, spec) in table4_datasets().iter().enumerate() {
+            let mut scalar_rng = ChaCha20Rng::seed_from_u64(4242 + i as u64);
+            let mut block_rng = scalar_rng.clone();
+            let mut block = DomainBlock::with_capacity(500);
+            fill_domain_block(spec, &mut block_rng, 500, &mut block);
+            assert_eq!(block.len(), 500);
+            for j in 0..block.len() {
+                assert_eq!(block.profile(j), draw_domain(spec, &mut scalar_rng), "{} row {j}", spec.name);
+            }
+            assert_eq!(scalar_rng.next_u64(), block_rng.next_u64(), "{} stream position", spec.name);
+        }
+    }
+
+    #[test]
+    fn bool_threshold_matches_gen_bool_on_boundary_draws() {
+        // gen_bool(p) ⟺ (next_u64() >> 11) < ceil(p · 2⁵³): spot-check the
+        // identity over a dense probability sweep with a shared stream.
+        let mut a = ChaCha20Rng::seed_from_u64(7);
+        let mut b = a.clone();
+        for step in 0..=1000u64 {
+            let p = step as f64 / 1000.0;
+            let t = bool_threshold(p);
+            assert_eq!(a.gen_bool(p), (b.next_u64() >> 11) < t, "p={p}");
         }
     }
 }

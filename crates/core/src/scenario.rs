@@ -43,7 +43,7 @@
 //! assert_eq!(outcome.exploit, Some(ExploitVerdict::Web(WebAccess::AttackerSite)));
 //! ```
 
-use crate::campaign::{derive_seed, run_grid, GridCampaign, Tally};
+use crate::campaign::{run_grid, GridCampaign, SeedStream, Tally};
 use crate::countermeasures::Defence;
 use crate::report::TextTable;
 use apps::prelude::*;
@@ -431,19 +431,47 @@ impl Scenario {
         self
     }
 
-    /// Runs the pipeline.
+    /// The environment configuration `run` will build: the base config after
+    /// the vector's `prepare_env` and every defence's `apply`. This is the
+    /// seed-independent part of a run — snapshot it in an
+    /// [`EnvTemplate`](attacks::prelude::EnvTemplate) to stamp out many
+    /// independently-seeded runs of the same cell via [`run_in`](Self::run_in).
     ///
     /// # Panics
     /// When no attack vector was set.
-    pub fn run(mut self) -> ScenarioOutcome {
-        let vector = self.vector.take().expect("Scenario requires an attack vector (call .vector(...))");
+    pub fn prepared_config(&self) -> VictimEnvConfig {
+        let vector = self.vector.as_ref().expect("Scenario requires an attack vector (call .vector(...))");
         let mut cfg = self.env_cfg.clone();
         vector.prepare_env(&mut cfg);
         for defence in &self.defences {
             defence.apply(&mut cfg);
         }
+        cfg
+    }
 
-        let (mut sim, mut env) = cfg.clone().build();
+    /// Runs the pipeline.
+    ///
+    /// # Panics
+    /// When no attack vector was set.
+    pub fn run(self) -> ScenarioOutcome {
+        let template = EnvTemplate::new(self.prepared_config());
+        let seed = template.config().seed;
+        self.run_in(&template, seed)
+    }
+
+    /// Runs the pipeline inside an already-prepared environment template,
+    /// seeding the simulator with `seed`. Byte-identical to [`run`](Self::run)
+    /// when `template` snapshots this scenario's [`prepared_config`]
+    /// (locked by the template-equivalence tests): only the seed-independent
+    /// derivation is skipped. The packet trace is disabled — a
+    /// [`ScenarioOutcome`] never exposes it, and grid campaigns would
+    /// otherwise pay a formatted trace entry per simulated packet.
+    ///
+    /// [`prepared_config`]: Self::prepared_config
+    pub fn run_in(mut self, template: &EnvTemplate, seed: u64) -> ScenarioOutcome {
+        let vector = self.vector.take().expect("Scenario requires an attack vector (call .vector(...))");
+        let (mut sim, mut env) = template.build_at(seed);
+        sim.trace_mut().enabled = false;
         let before = self.exploit.as_mut().map(|stage| {
             let (name, qtype) = stage.lookup();
             env.trigger_query(&mut sim, self.trigger, &name, qtype, 1);
@@ -458,9 +486,8 @@ impl Scenario {
                 }
             }
             AttackPhase::FreshEnvironment { seed_bump } => {
-                let mut fresh = cfg;
-                fresh.seed = fresh.seed.wrapping_add(seed_bump);
-                (sim, env) = fresh.build();
+                (sim, env) = template.build_at(seed.wrapping_add(seed_bump));
+                sim.trace_mut().enabled = false;
             }
         }
 
@@ -482,6 +509,37 @@ pub fn run_cell(method: PoisonMethod, defence: Defence, seed: u64) -> ScenarioOu
         .vector(attacks::vectors::quick_for(method))
         .defences(&[defence])
         .run()
+}
+
+/// One prepared (methodology × defence) grid cell: the post-`prepare_env`,
+/// post-defence configuration and the victim zone's record set are derived
+/// once, then [`run_at`](Self::run_at) stamps out the independently-seeded
+/// runs. `run_at(m, d, s)` is byte-identical to [`run_cell`]`(m, d, s)` —
+/// locked by the template-equivalence tests — so grid campaigns can reuse a
+/// cell across its `runs_per_cell` seeds without changing a single outcome.
+pub struct PreparedCell {
+    method: PoisonMethod,
+    defence: Defence,
+    template: EnvTemplate,
+}
+
+impl PreparedCell {
+    /// Prepares the cell: builds the quick vector, applies the defence, and
+    /// snapshots the resulting configuration in an [`EnvTemplate`].
+    pub fn new(method: PoisonMethod, defence: Defence) -> Self {
+        let scenario =
+            Scenario::new(VictimEnvConfig::default()).vector(attacks::vectors::quick_for(method)).defences(&[defence]);
+        let template = EnvTemplate::new(scenario.prepared_config());
+        PreparedCell { method, defence, template }
+    }
+
+    /// Runs the cell at one seed.
+    pub fn run_at(&self, seed: u64) -> ScenarioOutcome {
+        Scenario::new(VictimEnvConfig { seed, ..Default::default() })
+            .vector(attacks::vectors::quick_for(self.method))
+            .defences(&[self.defence])
+            .run_in(&self.template, seed)
+    }
 }
 
 /// Stream salt separating the scenario grid's per-run seeds from every other
@@ -558,28 +616,44 @@ impl GridCampaign for ScenarioCampaign {
     type Tally = MatrixTally;
 
     fn eval(&self, index: usize) -> ScenarioRun {
-        let runs = self.runs_per_cell.max(1) as usize;
-        let cell = index / runs;
-        let run = (index % runs) as u64;
-        let method_idx = cell / self.defences.len().max(1);
-        let defence_idx = cell % self.defences.len().max(1);
-        // The per-run stream is salted by the cell *coordinates*, not the
-        // flat grid index: growing the grid can never reseed existing cells.
-        let cell_salt = self.salt ^ ((method_idx as u64 + 1) << 40) ^ ((defence_idx as u64 + 1) << 48);
-        let seed = derive_seed(self.base_seed, cell_salt, run);
+        let (method_idx, defence_idx, run) = self.coords(index);
+        let seed = self.cell_stream(method_idx, defence_idx).at(run);
         let outcome = run_cell(self.methods[method_idx], self.defences[defence_idx], seed);
         ScenarioRun { method_idx, defence_idx, report: outcome.report }
+    }
+
+    /// Consecutive indices walk the runs of one cell, so the block fold
+    /// prepares each cell once ([`PreparedCell`]) and stamps out its seeds
+    /// from the shared template instead of re-deriving the environment per
+    /// run. Tallies exactly what the per-index `eval` would.
+    fn eval_block(&self, indices: std::ops::Range<usize>, tally: &mut MatrixTally) {
+        let mut prepared: Option<(usize, usize, PreparedCell, SeedStream)> = None;
+        for index in indices {
+            let (method_idx, defence_idx, run) = self.coords(index);
+            match &prepared {
+                Some((mi, di, ..)) if (*mi, *di) == (method_idx, defence_idx) => {}
+                _ => {
+                    let cell = PreparedCell::new(self.methods[method_idx], self.defences[defence_idx]);
+                    let stream = self.cell_stream(method_idx, defence_idx);
+                    prepared = Some((method_idx, defence_idx, cell, stream));
+                }
+            }
+            let (_, _, cell, stream) = prepared.as_ref().expect("cell prepared above");
+            let outcome = cell.run_at(stream.at(run));
+            tally.observe(&ScenarioRun { method_idx, defence_idx, report: outcome.report });
+        }
     }
 
     fn new_tally(&self) -> MatrixTally {
         MatrixTally::default()
     }
 
-    /// Attack simulations are millisecond-scale, so the work unit is a small
-    /// block of runs rather than a 4096-element shard — a 60-element grid
-    /// still spreads across a 4-worker pool.
+    /// Attack simulations are millisecond-scale, so the work unit is one
+    /// cell's worth of runs rather than a 4096-element shard — blocks align
+    /// with cells (maximising template reuse in `eval_block`) and a
+    /// 60-element grid still spreads across a 4-worker pool.
     fn block_size(&self) -> usize {
-        4
+        self.runs_per_cell.max(1) as usize
     }
 }
 
@@ -635,6 +709,22 @@ impl ScenarioCampaign {
     /// Total number of grid elements.
     pub fn population(&self) -> usize {
         self.methods.len() * self.defences.len() * self.runs_per_cell.max(1) as usize
+    }
+
+    /// Decomposes a flat grid index into (method index, defence index, run).
+    fn coords(&self, index: usize) -> (usize, usize, u64) {
+        let runs = self.runs_per_cell.max(1) as usize;
+        let cell = index / runs;
+        let run = (index % runs) as u64;
+        (cell / self.defences.len().max(1), cell % self.defences.len().max(1), run)
+    }
+
+    /// The seed stream of cell `(method_idx, defence_idx)`. The per-run
+    /// stream is salted by the cell *coordinates*, not the flat grid index:
+    /// growing the grid can never reseed existing cells.
+    fn cell_stream(&self, method_idx: usize, defence_idx: usize) -> SeedStream {
+        let cell_salt = self.salt ^ ((method_idx as u64 + 1) << 40) ^ ((defence_idx as u64 + 1) << 48);
+        SeedStream::new(self.base_seed, cell_salt)
     }
 
     /// Evaluates the grid across `workers` threads.

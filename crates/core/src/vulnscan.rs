@@ -36,9 +36,16 @@ pub fn resolver_frag_vulnerable(profile: &ResolverProfile) -> bool {
     profile.alive && profile.accepts_fragments
 }
 
+/// Classification: is an announced prefix of this length sub-prefix
+/// hijackable? The scalar predicate behind [`domain_hijackable`], also used
+/// directly by the columnar classify scans.
+pub fn prefix_hijackable(len: u8) -> bool {
+    subprefix_hijackable(Prefix::new(Ipv4Addr::new(123, 0, 0, 0), len))
+}
+
 /// Classification: is the domain sub-prefix hijackable?
 pub fn domain_hijackable(profile: &DomainProfile) -> bool {
-    subprefix_hijackable(Prefix::new(Ipv4Addr::new(123, 0, 0, 0), profile.announced_prefix_len))
+    prefix_hijackable(profile.announced_prefix_len)
 }
 
 /// Classification: is the domain's nameserver mutable for SadDNS?

@@ -285,7 +285,9 @@ impl Message {
 
     /// Serialises the message (with name compression in owner names).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(512);
+        // Pooled, pre-sized: the wire image usually rides straight into a
+        // `UdpDatagram`, whose `into_packet` recycles it.
+        let mut buf = netsim::pool::take(512);
         let mut compression: HashMap<String, u16> = HashMap::new();
         buf.extend_from_slice(&self.header.id.to_be_bytes());
         let mut flags: u16 = 0;

@@ -166,22 +166,35 @@ impl DomainName {
     /// When `compression` is provided, suffixes already present in the map
     /// are replaced by compression pointers and new suffix offsets are
     /// recorded (offsets must fit in 14 bits).
-    pub fn encode(&self, buf: &mut Vec<u8>, mut compression: Option<&mut std::collections::HashMap<String, u16>>) {
-        for i in 0..self.labels.len() {
-            let suffix: String = self.labels[i..].join(".").to_ascii_lowercase();
-            if let Some(map) = compression.as_deref_mut() {
-                if let Some(&offset) = map.get(&suffix) {
-                    buf.extend_from_slice(&(0xC000u16 | offset).to_be_bytes());
-                    return;
-                }
-                let here = buf.len();
-                if here <= 0x3FFF {
-                    map.insert(suffix, here as u16);
-                }
+    pub fn encode(&self, buf: &mut Vec<u8>, compression: Option<&mut std::collections::HashMap<String, u16>>) {
+        let Some(map) = compression else {
+            // No compression map: the name is straight label copies.
+            for label in &self.labels {
+                buf.push(label.len() as u8);
+                buf.extend_from_slice(label.as_bytes());
             }
-            let label = &self.labels[i];
+            buf.push(0);
+            return;
+        };
+        // One lowercase pass over the whole name: every candidate suffix is
+        // a slice of `full` (label lengths are byte lengths, separators one
+        // byte), so lookups allocate nothing and only suffixes newly
+        // recorded in the map are copied out.
+        let full = self.labels.join(".").to_ascii_lowercase();
+        let mut off = 0;
+        for label in &self.labels {
+            let suffix = &full[off..];
+            if let Some(&offset) = map.get(suffix) {
+                buf.extend_from_slice(&(0xC000u16 | offset).to_be_bytes());
+                return;
+            }
+            let here = buf.len();
+            if here <= 0x3FFF {
+                map.insert(suffix.to_owned(), here as u16);
+            }
             buf.push(label.len() as u8);
             buf.extend_from_slice(label.as_bytes());
+            off += label.len() + 1;
         }
         buf.push(0);
     }

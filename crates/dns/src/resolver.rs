@@ -30,6 +30,7 @@ use crate::cache::{AnyCachingPolicy, Cache, SharedCache};
 use crate::message::{frame_tcp, Message, Question, Rcode, TcpFrameBuffer};
 use crate::name::DomainName;
 use crate::rdata::{RData, RecordType, ResourceRecord};
+use netsim::fasthash::FastHashMap;
 use netsim::ipv4::Protocol;
 use netsim::prelude::*;
 use rand::Rng;
@@ -261,14 +262,14 @@ pub struct Resolver {
     /// Client-facing UDP socket (port 53).
     client_sock: Box<dyn Socket>,
     /// One ephemeral UDP socket per outstanding UDP upstream query.
-    upstream_socks: HashMap<u16, Box<dyn Socket>>,
+    upstream_socks: FastHashMap<u16, Box<dyn Socket>>,
     /// The upstream TCP client socket (all connections share
     /// [`RESOLVER_TCP_PORT`]; one connection per nameserver, reused).
     tcp: Box<dyn Socket>,
     /// Per-nameserver reassembly of length-prefixed TCP answers.
     tcp_rx: HashMap<Endpoint, TcpFrameBuffer>,
-    outstanding: HashMap<u64, Outstanding>,
-    port_to_token: HashMap<u16, u64>,
+    outstanding: FastHashMap<u64, Outstanding>,
+    port_to_token: FastHashMap<u16, u64>,
     next_token: u64,
     next_sequential_port: u16,
     /// Counters.
@@ -303,11 +304,11 @@ impl Resolver {
             config,
             cache,
             client_sock,
-            upstream_socks: HashMap::new(),
+            upstream_socks: FastHashMap::default(),
             tcp,
             tcp_rx: HashMap::new(),
-            outstanding: HashMap::new(),
-            port_to_token: HashMap::new(),
+            outstanding: FastHashMap::default(),
+            port_to_token: FastHashMap::default(),
             next_token: 1,
             next_sequential_port,
             stats: ResolverStats::default(),
@@ -569,6 +570,27 @@ impl Resolver {
     /// ephemeral port.
     fn handle_upstream_response(&mut self, dgram: &UdpDatagram, ctx: &mut Ctx<'_>) {
         let Some(&token) = self.port_to_token.get(&dgram.dst_port) else { return };
+        // Fast header peek before the full parse: the TXID and QR bit sit at
+        // fixed offsets, so off-path floods sweeping the TXID space (SadDNS
+        // sprays 2^16 responses per round) are rejected without decoding
+        // names and records. Anything that passes the peek takes the
+        // identical full-decode path as before.
+        match dgram.payload.get(..3) {
+            Some(&[id_hi, id_lo, flags_hi]) => {
+                if flags_hi & 0x80 == 0 {
+                    // QR clear: a query, not a response. Silently ignored,
+                    // exactly like the decoded `!is_response` path.
+                    return;
+                }
+                if let Some(entry) = self.outstanding.get(&token) {
+                    if u16::from_be_bytes([id_hi, id_lo]) != entry.txid {
+                        self.stats.rejected_txid += 1;
+                        return;
+                    }
+                }
+            }
+            _ => return, // shorter than a header: Message::decode would fail
+        }
         let Ok(response) = Message::decode(&dgram.payload) else { return };
         if !response.header.is_response {
             return;

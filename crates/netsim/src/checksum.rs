@@ -8,9 +8,26 @@
 
 /// Running one's-complement sum used to compute RFC 1071 checksums over
 /// multiple buffers (e.g. a pseudo-header followed by a payload).
+///
+/// Bytes are summed in 8-byte machine words (RFC 1071 §2's "sum in larger
+/// units" trick): each chunk contributes its two 32-bit halves to a 64-bit
+/// accumulator, and all carries are folded once at [`finish`](Self::finish).
+/// A 64-bit accumulator absorbs over 2³² halves before it could wrap, far
+/// beyond any 64 KiB datagram.
+///
+/// Feeding is byte-exact across calls: an odd-length `add_bytes` leaves the
+/// accumulator mid-word, and the next `add_bytes` completes that word, so
+/// chunked feeding at *any* split point equals a single-shot sum over the
+/// concatenated bytes. [`add_u16`](Self::add_u16)/[`add_u32`](Self::add_u32)
+/// feed word-aligned values regardless of the current byte phase (one's
+/// complement addition is commutative, so an aligned word can join the sum
+/// at any point).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checksum {
-    sum: u32,
+    sum: u64,
+    /// Set when an odd number of bytes have been fed: the last byte occupies
+    /// the high half of a pending 16-bit word awaiting its low byte.
+    odd: bool,
 }
 
 impl Checksum {
@@ -19,29 +36,55 @@ impl Checksum {
         Self::default()
     }
 
-    /// Feeds a byte slice into the accumulator. Odd-length slices are padded
-    /// with a trailing zero byte, as required by RFC 1071.
+    /// Feeds a byte slice into the accumulator. A trailing odd byte is held
+    /// as the high half of a pending word: completed by the next `add_bytes`
+    /// call, or zero-padded at `finish` as required by RFC 1071.
     pub fn add_bytes(&mut self, data: &[u8]) -> &mut Self {
-        let mut chunks = data.chunks_exact(2);
-        for chunk in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        let mut data = data;
+        if self.odd {
+            let Some((&first, rest)) = data.split_first() else {
+                return self;
+            };
+            // Complete the pending word: its high byte was added as `b << 8`,
+            // so the low byte joins unshifted.
+            self.sum += u64::from(first);
+            self.odd = false;
+            data = rest;
         }
-        if let Some(&last) = chunks.remainder().first() {
-            self.sum += u32::from(u16::from_be_bytes([last, 0]));
+        let mut wide = data.chunks_exact(8);
+        for chunk in &mut wide {
+            let v = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+            // Two 32-bit halves, each a pair of big-endian 16-bit words;
+            // carries accumulate in the upper bits and fold at `finish`.
+            self.sum += (v >> 32) + (v & 0xffff_ffff);
+        }
+        let mut rest = wide.remainder();
+        if rest.len() >= 4 {
+            let v = u32::from_be_bytes(rest[..4].try_into().expect("4-byte chunk"));
+            self.sum += u64::from(v);
+            rest = &rest[4..];
+        }
+        if rest.len() >= 2 {
+            self.sum += u64::from(u16::from_be_bytes([rest[0], rest[1]]));
+            rest = &rest[2..];
+        }
+        if let Some(&last) = rest.first() {
+            self.sum += u64::from(last) << 8;
+            self.odd = true;
         }
         self
     }
 
-    /// Feeds a single big-endian 16-bit word.
+    /// Feeds a single big-endian 16-bit word (always word-aligned,
+    /// independent of the current byte phase).
     pub fn add_u16(&mut self, word: u16) -> &mut Self {
-        self.sum += u32::from(word);
+        self.sum += u64::from(word);
         self
     }
 
     /// Feeds a 32-bit value as two 16-bit words (e.g. an IPv4 address).
     pub fn add_u32(&mut self, value: u32) -> &mut Self {
-        self.add_u16((value >> 16) as u16);
-        self.add_u16((value & 0xffff) as u16);
+        self.sum += u64::from(value >> 16) + u64::from(value & 0xffff);
         self
     }
 
@@ -125,19 +168,64 @@ mod tests {
 
     #[test]
     fn incremental_equals_single_shot() {
+        // Chunked feeding equals the single-shot sum at EVERY split point —
+        // including odd offsets, where the accumulator carries a half-filled
+        // word across the call boundary.
         let data = b"the quick brown fox jumps over the lazy dog";
         let single = checksum(data);
+        for split in 0..=data.len() {
+            let mut c = Checksum::new();
+            c.add_bytes(&data[..split]);
+            c.add_bytes(&data[split..]);
+            assert_eq!(c.finish(), single, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn three_way_odd_splits_equal_single_shot() {
+        let data: Vec<u8> = (0u8..=50).collect();
+        let single = checksum(&data);
+        for a in [1usize, 3, 5, 7, 9, 11] {
+            for b in [13usize, 17, 23, 29, 41] {
+                let mut c = Checksum::new();
+                c.add_bytes(&data[..a]);
+                c.add_bytes(&data[a..b]);
+                c.add_bytes(&data[b..]);
+                assert_eq!(c.finish(), single, "splits at {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_adds_preserve_the_pending_odd_byte() {
         let mut c = Checksum::new();
-        c.add_bytes(&data[..7]);
-        c.add_bytes(&data[7..]);
-        // Splitting at an odd offset is NOT equivalent under RFC 1071 (word
-        // alignment matters), so split at an even offset for this check.
-        let mut c2 = Checksum::new();
-        c2.add_bytes(&data[..8]);
-        c2.add_bytes(&data[8..]);
-        assert_eq!(c2.finish(), single);
-        // Odd split differs in general; just ensure it completes.
-        let _ = c.finish();
+        c.add_bytes(&[0x01, 0x02, 0x03]);
+        c.add_bytes(&[]);
+        c.add_bytes(&[]);
+        // Pending byte 0x03 is still open: 0x04 completes the word 0x0304.
+        c.add_bytes(&[0x04]);
+        assert_eq!(c.finish(), checksum(&[0x01, 0x02, 0x03, 0x04]));
+    }
+
+    #[test]
+    fn wide_word_matches_scalar_reference_on_long_buffers() {
+        // Exercise every remainder class of the 8-byte main loop against the
+        // definitional word-at-a-time sum.
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i.wrapping_mul(0x9e37) >> 3) as u8).collect();
+            let mut reference: u32 = 0;
+            let mut words = data.chunks_exact(2);
+            for w in &mut words {
+                reference += u32::from(u16::from_be_bytes([w[0], w[1]]));
+            }
+            if let Some(&last) = words.remainder().first() {
+                reference += u32::from(u16::from_be_bytes([last, 0]));
+            }
+            while reference >> 16 != 0 {
+                reference = (reference & 0xffff) + (reference >> 16);
+            }
+            assert_eq!(checksum(&data), !(reference as u16), "len {len}");
+        }
     }
 
     #[test]

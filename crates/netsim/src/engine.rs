@@ -27,6 +27,7 @@
 //! `(SimTime, seq)` — identical pop order to the old binary heap, `O(1)`
 //! scheduling.
 
+use crate::fasthash::FastHashMap;
 use crate::ipv4::{Ipv4Packet, Protocol};
 use crate::link::Link;
 use crate::pool;
@@ -39,7 +40,6 @@ use crate::{frag, icmp::IcmpMessage};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use std::any::Any;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Identifier of a node registered with a [`Simulator`].
@@ -340,9 +340,9 @@ enum EventKind {
 /// The simulation engine. See the [module documentation](self) for an overview.
 pub struct Simulator {
     nodes: Vec<NodeSlot>,
-    addr_map: HashMap<Ipv4Addr, NodeId>,
+    addr_map: FastHashMap<Ipv4Addr, NodeId>,
     route_overrides: Vec<(Prefix, NodeId)>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: FastHashMap<(NodeId, NodeId), Link>,
     default_link: Link,
     stub_link: Link,
     stub_blocks: Vec<StubBlock>,
@@ -363,9 +363,9 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             nodes: Vec::new(),
-            addr_map: HashMap::new(),
+            addr_map: FastHashMap::default(),
             route_overrides: Vec::new(),
-            links: HashMap::new(),
+            links: FastHashMap::default(),
             default_link: Link::default(),
             stub_link: Link::default(),
             stub_blocks: Vec::new(),

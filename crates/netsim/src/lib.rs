@@ -56,6 +56,7 @@
 
 pub mod checksum;
 pub mod engine;
+pub mod fasthash;
 pub mod frag;
 pub mod icmp;
 pub mod ipv4;

@@ -136,7 +136,8 @@ impl UdpDatagram {
         if declared < UDP_HEADER_LEN || declared > pkt.payload.len() {
             return Err(UdpError::BadLength);
         }
-        let payload = pkt.payload[UDP_HEADER_LEN..declared].to_vec();
+        let mut payload = pool::take(declared - UDP_HEADER_LEN);
+        payload.extend_from_slice(&pkt.payload[UDP_HEADER_LEN..declared]);
         let dgram = UdpDatagram {
             src: pkt.header.src,
             dst: pkt.header.dst,

@@ -1,0 +1,139 @@
+//! The campaign-layer performance baseline: the classification fast path
+//! (Table 3 + Table 4 on the struct-of-arrays columns) in profiles/sec and
+//! the scenario-matrix fast path (one prepared [`EnvTemplate`] per grid
+//! cell) in wall-clock seconds, rendered as the committed
+//! `BENCH_campaign.json`.
+//!
+//! ```text
+//! cargo run --release --example campaign_perf -- \
+//!     [--seed N] [--cap N] [--runs N] [--repeats N] [--workers N] \
+//!     [--check-workers N] [--write-bench PATH]
+//! ```
+//!
+//! Every timed quantity is the **minimum over `--repeats` passes** — the
+//! shortest pass is the closest to the machine's true cost; the rest is
+//! scheduler noise — and the results are asserted identical across passes
+//! (and across `--check-workers`, the engine's determinism contract).
+//!
+//! [`EnvTemplate`]: cross_layer_attacks::attacks::prelude::EnvTemplate
+
+use cross_layer_attacks::xlayer_core::prelude::*;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    cap: u64,
+    runs: u64,
+    repeats: u32,
+    workers: usize,
+    check_workers: Option<usize>,
+    write_bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { seed: 2021, cap: 200_000, runs: 3, repeats: 3, workers: 1, check_workers: None, write_bench: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--write-bench" {
+            args.write_bench = Some(it.next().expect("--write-bench requires a path"));
+            continue;
+        }
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} requires a value")).parse::<u64>().unwrap_or_else(|e| {
+                panic!("invalid value for {name}: {e}");
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = grab("--seed"),
+            "--cap" => args.cap = grab("--cap").max(1),
+            "--runs" => args.runs = grab("--runs").max(1),
+            "--repeats" => args.repeats = grab("--repeats").max(1) as u32,
+            "--workers" => args.workers = grab("--workers").max(1) as usize,
+            "--check-workers" => args.check_workers = Some(grab("--check-workers").max(1) as usize),
+            other => panic!(
+                "unknown flag {other} \
+                 (expected --seed/--cap/--runs/--repeats/--workers/--check-workers/--write-bench)"
+            ),
+        }
+    }
+    args
+}
+
+/// Times `job` `repeats` times, asserting every pass produces the same
+/// output, and returns the minimum wall clock with that output.
+fn time_min<T: PartialEq + std::fmt::Debug>(repeats: u32, job: impl Fn() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let reference = job();
+    let mut best = t0.elapsed();
+    for _ in 1..repeats {
+        let t0 = Instant::now();
+        let again = job();
+        best = best.min(t0.elapsed());
+        assert_eq!(again, reference, "a timing pass changed the output");
+    }
+    (best, reference)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --- Classification fast path: Table 3 + Table 4, single-threaded. ---
+    let classify_profiles: u64 = table3_datasets()
+        .iter()
+        .map(|s| s.sample_size(args.cap) as u64)
+        .chain(table4_datasets().iter().map(|s| s.sample_size(args.cap) as u64))
+        .sum();
+    let cfg = CampaignConfig::new(args.seed, args.cap);
+    let (classify_wall, _) = time_min(args.repeats, || (run_table3_with(&cfg), run_table4_with(&cfg)));
+    let classify_rate = classify_profiles as f64 / classify_wall.as_secs_f64().max(1e-9);
+    println!(
+        "classify: {classify_profiles} profiles in {classify_wall:.3?} (min of {}) = {:.1} M profiles/s",
+        args.repeats,
+        classify_rate / 1e6
+    );
+
+    // --- Scenario-matrix fast path: classic + DNSSEC grids. ---
+    let matrix_sims = (ScenarioCampaign::full_grid(args.seed, args.runs).population()
+        + ScenarioCampaign::dnssec_grid(args.seed, args.runs).population()) as u64;
+    let run_matrices = |workers: usize| {
+        (
+            ScenarioCampaign::full_grid(args.seed, args.runs).run(workers),
+            ScenarioCampaign::dnssec_grid(args.seed, args.runs).run(workers),
+        )
+    };
+    let (matrix_wall, reference) = time_min(args.repeats, || run_matrices(args.workers));
+    let matrix_rate = matrix_sims as f64 / matrix_wall.as_secs_f64().max(1e-9);
+    println!(
+        "matrix: {matrix_sims} attack simulations in {matrix_wall:.3?} (min of {}, workers={}) = {:.1} sims/s",
+        args.repeats, args.workers, matrix_rate
+    );
+
+    if let Some(check) = args.check_workers {
+        assert_eq!(run_matrices(check), reference, "workers={check} changed the matrix vs workers={}", args.workers);
+        println!("determinism: workers={check} reproduces workers={} byte-for-byte", args.workers);
+    }
+
+    if let Some(path) = args.write_bench {
+        let json = format!(
+            "{{\n  \"bench\": \"campaign_perf\",\n  \"seed\": {},\n  \"repeats\": {},\n  \
+             \"classify_cap\": {},\n  \"classify_profiles\": {},\n  \"classify_wall_seconds\": {:.3},\n  \
+             \"classify_profiles_per_sec\": {:.0},\n  \"matrix_runs_per_cell\": {},\n  \
+             \"matrix_workers\": {},\n  \"matrix_simulations\": {},\n  \"matrix_wall_seconds\": {:.3},\n  \
+             \"matrix_sims_per_sec\": {:.1}\n}}\n",
+            args.seed,
+            args.repeats,
+            args.cap,
+            classify_profiles,
+            classify_wall.as_secs_f64(),
+            classify_rate,
+            args.runs,
+            args.workers,
+            matrix_sims,
+            matrix_wall.as_secs_f64(),
+            matrix_rate,
+        );
+        std::fs::write(&path, json).expect("write bench file");
+        println!("wrote {path}");
+    }
+}

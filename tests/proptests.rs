@@ -2,6 +2,7 @@
 //! invariants of the workspace.
 
 use cross_layer_attacks::dns::prelude::*;
+use cross_layer_attacks::netsim::checksum::{self, Checksum};
 use cross_layer_attacks::netsim::prelude::*;
 use proptest::prelude::*;
 
@@ -304,5 +305,56 @@ proptest! {
         let delivered_data = reaction.events.iter().any(|e| matches!(e, SocketEvent::Data { .. }));
         prop_assert!(!delivered_data);
         prop_assert_eq!(server.bytes_received, 0);
+    }
+}
+
+/// The textbook RFC 1071 sum: one 16-bit word at a time, zero-padding a
+/// trailing odd byte — the reference the wide-word accumulator must match.
+fn scalar_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    for chunk in data.chunks(2) {
+        let word = if chunk.len() == 2 { u16::from_be_bytes([chunk[0], chunk[1]]) } else { (chunk[0] as u16) << 8 };
+        sum += u32::from(word);
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The 8-byte-word checksum accumulator equals the per-word scalar sum
+    /// on arbitrary buffers, including odd lengths.
+    #[test]
+    fn wide_checksum_equals_scalar(data in proptest::collection::vec(any::<u8>(), 0..700)) {
+        prop_assert_eq!(checksum::checksum(&data), scalar_checksum(&data));
+    }
+
+    /// Feeding a buffer in two chunks at *any* split point — including
+    /// splits that leave a pending odd byte mid-stream — equals the
+    /// single-shot sum.
+    #[test]
+    fn chunked_checksum_is_split_invariant(data in proptest::collection::vec(any::<u8>(), 0..700),
+                                           split in any::<usize>()) {
+        let at = split % (data.len() + 1);
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..at]);
+        c.add_bytes(&data[at..]);
+        prop_assert_eq!(c.finish(), scalar_checksum(&data));
+    }
+
+    /// Many-way chunked feeding (every piece a random size, odd pieces
+    /// everywhere) still equals the single-shot sum.
+    #[test]
+    fn multi_chunk_checksum_matches(pieces in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..40), 0..12)) {
+        let mut c = Checksum::new();
+        for piece in &pieces {
+            c.add_bytes(piece);
+        }
+        let flat: Vec<u8> = pieces.concat();
+        prop_assert_eq!(c.finish(), scalar_checksum(&flat));
     }
 }

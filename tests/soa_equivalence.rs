@@ -1,0 +1,128 @@
+//! Regression guard on the struct-of-arrays classification fast path: the
+//! columnar `fill_resolver_block` / `fill_domain_block` fills and the
+//! per-column `observe_block` folds must be **exactly** equivalent to the
+//! legacy per-element path (`draw_resolver` / `draw_domain` + `observe`) —
+//! same RNG stream consumption, same field values, same tallies. The
+//! campaigns' `fold_shard` overrides ride on this invariant; the doc
+//! comments in `population.rs` / `measurements.rs` point here.
+
+use cross_layer_attacks::xlayer_core::prelude::*;
+use rand::RngCore;
+
+const SAMPLE: usize = 10_000;
+const SEED: u64 = 0x50ae_9202_1eed;
+
+/// The columnar resolver fill draws field-identical profiles to the scalar
+/// path and leaves the RNG at the exact same stream position.
+#[test]
+fn resolver_block_matches_scalar_draws() {
+    for spec in &table3_datasets() {
+        let mut rng_block = shard_rng(SEED, spec.resolver_stream_salt(), 0);
+        let mut rng_scalar = rng_block.clone();
+
+        let mut block = ResolverBlock::with_capacity(SAMPLE);
+        fill_resolver_block(spec, &mut rng_block, SAMPLE, &mut block);
+
+        let mut soa = ResolverClassCounts::default();
+        soa.observe_block(&block);
+
+        let mut legacy = ResolverClassCounts::default();
+        for i in 0..SAMPLE {
+            let p = draw_resolver(spec, &mut rng_scalar);
+            assert_eq!(block.announced_prefix_len[i], p.announced_prefix_len, "{}: prefix_len @ {i}", spec.name);
+            assert_eq!(block.global_icmp_limit[i], p.global_icmp_limit, "{}: icmp @ {i}", spec.name);
+            assert_eq!(block.accepts_fragments[i], p.accepts_fragments, "{}: frag @ {i}", spec.name);
+            assert_eq!(block.edns_size[i], p.edns_size, "{}: edns @ {i}", spec.name);
+            assert_eq!(block.validates_dnssec[i], p.validates_dnssec, "{}: dnssec @ {i}", spec.name);
+            assert_eq!(block.alive[i], p.alive, "{}: alive @ {i}", spec.name);
+            assert_eq!(block.implementation[i], p.implementation, "{}: impl @ {i}", spec.name);
+            legacy.observe(&p);
+        }
+        assert_eq!(soa, legacy, "{}: columnar tally diverged from per-element observe", spec.name);
+        assert_eq!(
+            rng_block.next_u64(),
+            rng_scalar.next_u64(),
+            "{}: columnar fill consumed a different number of draws",
+            spec.name
+        );
+    }
+}
+
+/// The columnar domain fill is stream- and field-identical to the scalar
+/// path, and the per-column fold matches per-element observation.
+#[test]
+fn domain_block_matches_scalar_draws() {
+    for spec in &table4_datasets() {
+        let mut rng_block = shard_rng(SEED, spec.domain_stream_salt(), 0);
+        let mut rng_scalar = rng_block.clone();
+
+        let mut block = DomainBlock::with_capacity(SAMPLE);
+        fill_domain_block(spec, &mut rng_block, SAMPLE, &mut block);
+
+        let mut soa = DomainClassCounts::default();
+        soa.observe_block(&block);
+
+        let mut legacy = DomainClassCounts::default();
+        for i in 0..SAMPLE {
+            let p = draw_domain(spec, &mut rng_scalar);
+            assert_eq!(block.announced_prefix_len[i], p.announced_prefix_len, "{}: prefix_len @ {i}", spec.name);
+            assert_eq!(block.ns_rate_limits[i], p.ns_rate_limits, "{}: rrl @ {i}", spec.name);
+            assert_eq!(block.fragments_any[i], p.fragments_any, "{}: frag_any @ {i}", spec.name);
+            assert_eq!(block.fragments_a_or_mx[i], p.fragments_a_or_mx, "{}: frag_a_mx @ {i}", spec.name);
+            assert_eq!(block.global_ipid[i], p.global_ipid, "{}: ipid @ {i}", spec.name);
+            assert_eq!(block.min_fragment_size[i], p.min_fragment_size, "{}: min_frag @ {i}", spec.name);
+            assert_eq!(block.dnssec_signed[i], p.dnssec_signed, "{}: signed @ {i}", spec.name);
+            legacy.observe(&p);
+        }
+        assert_eq!(soa, legacy, "{}: columnar tally diverged from per-element observe", spec.name);
+        assert_eq!(
+            rng_block.next_u64(),
+            rng_scalar.next_u64(),
+            "{}: columnar fill consumed a different number of draws",
+            spec.name
+        );
+    }
+}
+
+/// The campaigns' `fold_shard` overrides (SoA blocks) produce the identical
+/// tally to the trait's default per-element fold over the same shard
+/// streams, at any worker count.
+#[test]
+fn campaign_fold_override_matches_default_fold() {
+    let specs = table3_datasets();
+    let spec = &specs[7];
+    let campaign = ResolverCampaign(spec);
+
+    // The default fold, hand-rolled: per shard, draw and observe one
+    // element at a time from the shard's stream.
+    let mut legacy = ResolverClassCounts::default();
+    for shard in 0..shard_count(SAMPLE) {
+        let mut rng = shard_rng(SEED, campaign.salt(), shard as u64);
+        let mut part = ResolverClassCounts::default();
+        for _ in shard_range(SAMPLE, shard) {
+            part.observe(&campaign.draw(&mut rng));
+        }
+        legacy.merge(part);
+    }
+
+    for workers in [1usize, 2, 8] {
+        let cfg = CampaignConfig::new(SEED, SAMPLE as u64).with_workers(workers);
+        let soa = run_campaign(&campaign, SAMPLE, &cfg);
+        assert_eq!(soa, legacy, "SoA fold diverged from the default fold at workers={workers}");
+    }
+
+    let domain_specs = table4_datasets();
+    let dspec = &domain_specs[0];
+    let dcampaign = DomainCampaign(dspec);
+    let mut dlegacy = DomainClassCounts::default();
+    for shard in 0..shard_count(SAMPLE) {
+        let mut rng = shard_rng(SEED, dcampaign.salt(), shard as u64);
+        let mut part = DomainClassCounts::default();
+        for _ in shard_range(SAMPLE, shard) {
+            part.observe(&dcampaign.draw(&mut rng));
+        }
+        dlegacy.merge(part);
+    }
+    let dsoa = run_campaign(&dcampaign, SAMPLE, &CampaignConfig::new(SEED, SAMPLE as u64).with_workers(4));
+    assert_eq!(dsoa, dlegacy, "domain SoA fold diverged from the default fold");
+}
