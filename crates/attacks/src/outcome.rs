@@ -65,6 +65,20 @@ impl PoisonMethod {
             PoisonMethod::ZoneWalking => "ZoneWalking",
         }
     }
+
+    /// Snake-case slug used as the metric-name segment for this method
+    /// (`attacks.<slug>.*` in telemetry snapshots).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            PoisonMethod::HijackDns => "hijackdns",
+            PoisonMethod::SadDns => "saddns",
+            PoisonMethod::FragDns => "fragdns",
+            PoisonMethod::DowngradeToInsecure => "downgrade_to_insecure",
+            PoisonMethod::Nsec3OptOutAbuse => "nsec3_optout_abuse",
+            PoisonMethod::RolloverForgery => "rollover_forgery",
+            PoisonMethod::ZoneWalking => "zone_walking",
+        }
+    }
 }
 
 impl std::fmt::Display for PoisonMethod {
@@ -125,6 +139,12 @@ pub struct AttackReport {
     pub attacker_bytes: u64,
     /// Queries the attacker had to trigger at the victim resolver.
     pub queries_triggered: u64,
+    /// Port-scan probes the attacker sent (SadDNS; zero for other methods).
+    pub probes_sent: u64,
+    /// Scan windows in which an open port was detected (SadDNS).
+    pub windows_hit: u64,
+    /// Spoofed responses sprayed at guessed TXIDs (SadDNS spray size).
+    pub spray_responses: u64,
     /// Free-form notes (e.g. "IPID predicted exactly", "port found after 3 batches").
     pub notes: Vec<String>,
 }
@@ -143,6 +163,9 @@ impl AttackReport {
             attacker_packets: 0,
             attacker_bytes: 0,
             queries_triggered: 0,
+            probes_sent: 0,
+            windows_hit: 0,
+            spray_responses: 0,
             notes: Vec::new(),
         }
     }
@@ -191,6 +214,12 @@ pub struct AttackAggregate {
     pub total_bytes: u64,
     /// Total queries triggered across runs.
     pub total_queries: u64,
+    /// Total port-scan probes across runs.
+    pub total_probes: u64,
+    /// Total scan windows hit across runs.
+    pub total_windows_hit: u64,
+    /// Total sprayed responses across runs.
+    pub total_spray_responses: u64,
 }
 
 impl AttackAggregate {
@@ -205,6 +234,9 @@ impl AttackAggregate {
         self.total_packets += report.attacker_packets;
         self.total_bytes += report.attacker_bytes;
         self.total_queries += report.queries_triggered;
+        self.total_probes += report.probes_sent;
+        self.total_windows_hit += report.windows_hit;
+        self.total_spray_responses += report.spray_responses;
     }
 
     /// Merges another aggregate into this one. Pure addition, so the merge
@@ -218,6 +250,27 @@ impl AttackAggregate {
         self.total_packets += other.total_packets;
         self.total_bytes += other.total_bytes;
         self.total_queries += other.total_queries;
+        self.total_probes += other.total_probes;
+        self.total_windows_hit += other.total_windows_hit;
+        self.total_spray_responses += other.total_spray_responses;
+    }
+
+    /// Exports the aggregate into a telemetry snapshot under
+    /// `attacks.<slug>.*` for the given method. Pure counters only, so the
+    /// export commutes with [`AttackAggregate::merge`]: exporting a merged
+    /// aggregate equals merging exported snapshots.
+    pub fn export_metrics(&self, method: PoisonMethod, m: &mut telemetry::MetricsSnapshot) {
+        let slug = method.slug();
+        m.incr(&format!("attacks.{slug}.runs"), self.runs);
+        m.incr(&format!("attacks.{slug}.successes"), self.successes);
+        m.incr(&format!("attacks.{slug}.iterations"), self.total_iterations);
+        m.incr(&format!("attacks.{slug}.packets"), self.total_packets);
+        m.incr(&format!("attacks.{slug}.bytes"), self.total_bytes);
+        m.incr(&format!("attacks.{slug}.queries_triggered"), self.total_queries);
+        m.incr(&format!("attacks.{slug}.probes_sent"), self.total_probes);
+        m.incr(&format!("attacks.{slug}.windows_hit"), self.total_windows_hit);
+        m.incr(&format!("attacks.{slug}.spray_responses"), self.total_spray_responses);
+        m.incr(&format!("attacks.{slug}.duration_ns_total"), self.total_duration.as_nanos());
     }
 
     /// Success rate over runs.
@@ -323,5 +376,43 @@ mod tests {
         assert_eq!(PoisonMethod::HijackDns.name(), "HijackDNS");
         assert_eq!(PoisonMethod::all().len(), 3);
         assert_eq!(format!("{}", PoisonMethod::FragDns), "FragDNS");
+        assert_eq!(PoisonMethod::SadDns.slug(), "saddns");
+        assert_eq!(PoisonMethod::Nsec3OptOutAbuse.slug(), "nsec3_optout_abuse");
+    }
+
+    #[test]
+    fn export_commutes_with_merge() {
+        let mut r1 = AttackReport::new(PoisonMethod::SadDns, &name(), "6.6.6.6".parse().unwrap());
+        r1.probes_sent = 100;
+        r1.windows_hit = 2;
+        r1.spray_responses = 4096;
+        r1.success = true;
+        let mut r2 = AttackReport::new(PoisonMethod::SadDns, &name(), "6.6.6.6".parse().unwrap());
+        r2.probes_sent = 50;
+        r2.duration = Duration::from_secs(3);
+
+        let mut shard_a = AttackAggregate::default();
+        shard_a.add(&r1);
+        let mut shard_b = AttackAggregate::default();
+        shard_b.add(&r2);
+
+        // Export-then-merge equals merge-then-export.
+        let mut merged_first = shard_a.clone();
+        merged_first.merge(shard_b.clone());
+        let mut m1 = telemetry::MetricsSnapshot::new();
+        merged_first.export_metrics(PoisonMethod::SadDns, &mut m1);
+
+        let mut m2 = telemetry::MetricsSnapshot::new();
+        shard_a.export_metrics(PoisonMethod::SadDns, &mut m2);
+        let mut m2b = telemetry::MetricsSnapshot::new();
+        shard_b.export_metrics(PoisonMethod::SadDns, &mut m2b);
+        m2.merge(&m2b);
+
+        assert_eq!(m1, m2);
+        assert_eq!(m1.counter("attacks.saddns.probes_sent"), 150);
+        assert_eq!(m1.counter("attacks.saddns.windows_hit"), 2);
+        assert_eq!(m1.counter("attacks.saddns.spray_responses"), 4096);
+        assert_eq!(m1.counter("attacks.saddns.runs"), 2);
+        assert_eq!(m1.counter("attacks.saddns.successes"), 1);
     }
 }

@@ -139,18 +139,25 @@ impl SadDnsAttack {
         report: &mut AttackReport,
     ) -> Option<u16> {
         let cfg = &self.config;
+        // Every probe_set call sends exactly batch_size spoofed probes plus
+        // one verification probe, counted here (the oracle test calls
+        // probe_set directly and is not part of an attack's accounting).
+        let probes_per_set = u64::from(cfg.batch_size) + 1;
         let (lo, hi) = cfg.scan_range;
         let mut batch_start = lo as u32;
         while batch_start <= hi as u32 && sim.now() < deadline {
             let batch_end = (batch_start + cfg.batch_size as u32 - 1).min(hi as u32);
             let ports: Vec<u16> = (batch_start..=batch_end).map(|p| p as u16).collect();
+            report.probes_sent += probes_per_set;
             if self.probe_set(sim, env, &ports) {
+                report.windows_hit += 1;
                 report.notes.push(format!("open port detected in [{batch_start}, {batch_end}]"));
                 // Divide and conquer inside the batch.
                 let mut candidates = ports;
                 while candidates.len() > 1 && sim.now() < deadline {
                     let mid = candidates.len() / 2;
                     let (left, right) = candidates.split_at(mid);
+                    report.probes_sent += probes_per_set;
                     if self.probe_set(sim, env, left) {
                         candidates = left.to_vec();
                     } else {
@@ -182,7 +189,8 @@ impl SadDnsAttack {
     }
 
     /// Sprays spoofed responses over the TXID space at the identified port.
-    fn spray_txids(&self, sim: &mut Simulator, env: &VictimEnv, port: u16) {
+    /// Returns the spray size (number of forged responses sent).
+    fn spray_txids(&self, sim: &mut Simulator, env: &VictimEnv, port: u16) -> u64 {
         let cfg = &self.config;
         let space: u32 = if cfg.full_txid_sweep { 1 << 16 } else { 4096 };
         // The 2^16 spoofed responses differ only in the DNS TXID (wire bytes
@@ -202,10 +210,24 @@ impl SadDnsAttack {
             sim.inject(env.attacker, pkt);
         }
         sim.run_for(Duration::from_millis(200));
+        u64::from(space)
     }
 
     /// Runs the attack.
     pub fn run(&self, sim: &mut Simulator, env: &VictimEnv) -> AttackReport {
+        self.run_recorded(sim, env, None)
+    }
+
+    /// Runs the attack, optionally recording phase spans (mute, scan, spray)
+    /// into a flight recorder at sim-time resolution. With `None` this is
+    /// exactly [`SadDnsAttack::run`] — the recording branches compile to a
+    /// cheap `Option` check per phase, not per packet.
+    pub fn run_recorded(
+        &self,
+        sim: &mut Simulator,
+        env: &VictimEnv,
+        mut rec: Option<&mut telemetry::FlightRecorder>,
+    ) -> AttackReport {
         let cfg = &self.config;
         let mut report = AttackReport::new(PoisonMethod::SadDns, &cfg.target_name, cfg.malicious_addr);
         let start = sim.now();
@@ -244,7 +266,19 @@ impl SadDnsAttack {
         for iteration in 0..cfg.max_iterations {
             report.iterations += 1;
             // 1. Mute the nameserver.
+            if let Some(r) = rec.as_deref_mut() {
+                telemetry::span!(
+                    r,
+                    sim.now().as_nanos(),
+                    "saddns.mute",
+                    "iteration {iteration}: {} spoofed queries",
+                    cfg.mute_queries
+                );
+            }
             self.mute_nameserver(sim, env);
+            if let Some(r) = rec.as_deref_mut() {
+                r.exit(sim.now().as_nanos(), "saddns.mute");
+            }
             // 2. Trigger the query.
             env.trigger_query(sim, cfg.trigger, &cfg.target_name, cfg.qtype, 0x4000 + iteration as u16);
             report.queries_triggered += 1;
@@ -257,7 +291,21 @@ impl SadDnsAttack {
             sim.run_for(cfg.batch_interval);
 
             // 3. Scan for the open ephemeral port.
-            let Some(port) = self.scan_for_port(sim, env, window_end, &mut report) else {
+            if let Some(r) = rec.as_deref_mut() {
+                telemetry::span!(
+                    r,
+                    sim.now().as_nanos(),
+                    "saddns.scan",
+                    "iteration {iteration}: range [{}, {}]",
+                    cfg.scan_range.0,
+                    cfg.scan_range.1
+                );
+            }
+            let found = self.scan_for_port(sim, env, window_end, &mut report);
+            if let Some(r) = rec.as_deref_mut() {
+                r.exit(sim.now().as_nanos(), "saddns.scan");
+            }
+            let Some(port) = found else {
                 report.notes.push(format!("iteration {iteration}: port not found within the window"));
                 // Let the current query expire before the next iteration.
                 sim.run_for(resolver_timeout.saturating_mul(u64::from(retries) + 1));
@@ -270,7 +318,13 @@ impl SadDnsAttack {
                 report.notes.push("window closed before the TXID sweep".into());
                 continue;
             }
-            self.spray_txids(sim, env, port);
+            if let Some(r) = rec.as_deref_mut() {
+                telemetry::span!(r, sim.now().as_nanos(), "saddns.spray", "iteration {iteration}: port {port}");
+            }
+            report.spray_responses += self.spray_txids(sim, env, port);
+            if let Some(r) = rec.as_deref_mut() {
+                r.exit(sim.now().as_nanos(), "saddns.spray");
+            }
             sim.run_for(Duration::from_millis(100));
 
             if env.poisoned(sim, &cfg.target_name, cfg.malicious_addr) {
@@ -350,6 +404,35 @@ mod tests {
         // paper reports ~1M for the full 64K-port space).
         assert!(report.attacker_packets > 10_000, "only {} packets", report.attacker_packets);
         assert!(report.duration > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn recorded_run_counts_probes_and_spans_phases() {
+        let (mut sim, env) = saddns_env(false, false, true);
+        let mut rec = telemetry::FlightRecorder::new(64);
+        let report = SadDnsAttack::new(attack_cfg()).run_recorded(&mut sim, &env, Some(&mut rec));
+        assert!(report.success, "SadDNS failed: {:?}", report.notes);
+        assert!(report.probes_sent > 0, "scan probes are accounted");
+        assert_eq!(report.probes_sent % (u64::from(ICMP_PROBE_BATCH) + 1), 0, "probes come in batch+verify sets");
+        assert_eq!(report.windows_hit, 1, "one scan window contained the open port");
+        assert_eq!(report.spray_responses, 1 << 16, "full TXID sweep sprayed the whole space");
+        let names: Vec<&str> = rec.events().map(|e| e.name).collect();
+        assert!(names.contains(&"saddns.mute"));
+        assert!(names.contains(&"saddns.scan"));
+        assert!(names.contains(&"saddns.spray"));
+        let dump = rec.dump_last(64);
+        assert!(dump.contains("> saddns.scan"));
+        assert!(dump.contains("< saddns.spray"));
+    }
+
+    #[test]
+    fn run_and_run_recorded_agree() {
+        let (mut sim_a, env_a) = saddns_env(false, false, true);
+        let plain = SadDnsAttack::new(attack_cfg()).run(&mut sim_a, &env_a);
+        let (mut sim_b, env_b) = saddns_env(false, false, true);
+        let mut rec = telemetry::FlightRecorder::default();
+        let recorded = SadDnsAttack::new(attack_cfg()).run_recorded(&mut sim_b, &env_b, Some(&mut rec));
+        assert_eq!(plain, recorded, "recording must not perturb the attack");
     }
 
     #[test]

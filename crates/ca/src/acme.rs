@@ -234,6 +234,31 @@ impl IssuanceReport {
     pub fn render_traffic(&self) -> String {
         self.ca_traffic.render("ca", &self.flows)
     }
+
+    /// Exports the report into a telemetry snapshot under `ca.*`: order and
+    /// issuance counts, refusals broken down by [`RefusalReason`] variant,
+    /// and validation traffic totals. All keys are registered even at zero so
+    /// the rendered key set is stable; counters add when per-order snapshots
+    /// merge across shards.
+    pub fn export_metrics(&self, m: &mut telemetry::MetricsSnapshot) {
+        m.incr("ca.issuance.orders", 1);
+        m.incr("ca.issuance.issued", u64::from(self.outcome.issued()));
+        let (mismatch, quorum, bogus) = match &self.outcome {
+            IssuanceOutcome::Refused(RefusalReason::ChallengeMismatch { .. }) => (1, 0, 0),
+            IssuanceOutcome::Refused(RefusalReason::QuorumNotMet { .. }) => (0, 1, 0),
+            IssuanceOutcome::Refused(RefusalReason::BogusCachedData { .. }) => (0, 0, 1),
+            IssuanceOutcome::Issued(_) => (0, 0, 0),
+        };
+        m.incr("ca.issuance.refused.challenge_mismatch", mismatch);
+        m.incr("ca.issuance.refused.quorum_not_met", quorum);
+        m.incr("ca.issuance.refused.bogus_cached_data", bogus);
+        m.incr("ca.validation.packets", self.validation_packets);
+        m.incr("ca.validation.bytes", self.validation_bytes);
+        m.incr("ca.validation.dns_upstream_queries", self.dns_upstream_queries);
+        m.incr("ca.validation.vantage_attempts", self.vantage.len() as u64);
+        m.incr("ca.validation.vantage_matched", self.vantage.iter().filter(|v| v.matched).count() as u64);
+        m.observe_ns("ca.issuance.duration_ns", self.duration.as_nanos());
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +316,47 @@ mod tests {
         let refused = IssuanceOutcome::Refused(RefusalReason::QuorumNotMet { agreed: 1, required: 2 });
         assert!(!refused.issued());
         assert_eq!(refused.certificate(), None);
+    }
+
+    fn report_with(outcome: IssuanceOutcome) -> IssuanceReport {
+        let account = AcmeAccount::new("owner@vict.im");
+        let order = Order::new(&account, &n("www.vict.im"), ChallengeType::Http01, 1);
+        IssuanceReport {
+            order,
+            outcome,
+            primary: ValidationResult {
+                vantage: "ca".into(),
+                as_number: None,
+                challenge: ChallengeType::Http01,
+                resolved: None,
+                observed: None,
+                matched: false,
+                completed: true,
+                finished_at: Some(SimTime::ZERO),
+            },
+            vantage: Vec::new(),
+            duration: Duration::from_millis(120),
+            validation_packets: 10,
+            validation_bytes: 900,
+            dns_upstream_queries: 2,
+            flows: Vec::new(),
+            ca_traffic: TrafficStats::default(),
+        }
+    }
+
+    #[test]
+    fn export_metrics_breaks_down_refusals() {
+        let mut m = telemetry::MetricsSnapshot::new();
+        report_with(IssuanceOutcome::Refused(RefusalReason::QuorumNotMet { agreed: 1, required: 2 }))
+            .export_metrics(&mut m);
+        report_with(IssuanceOutcome::Refused(RefusalReason::BogusCachedData { detail: "expired RRSIG".into() }))
+            .export_metrics(&mut m);
+        assert_eq!(m.counter("ca.issuance.orders"), 2);
+        assert_eq!(m.counter("ca.issuance.issued"), 0);
+        assert_eq!(m.counter("ca.issuance.refused.quorum_not_met"), 1);
+        assert_eq!(m.counter("ca.issuance.refused.bogus_cached_data"), 1);
+        assert_eq!(m.counter("ca.issuance.refused.challenge_mismatch"), 0);
+        assert_eq!(m.counter("ca.validation.packets"), 20);
+        assert_eq!(m.histogram("ca.issuance.duration_ns").unwrap().count, 2);
     }
 }

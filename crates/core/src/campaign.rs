@@ -193,6 +193,26 @@ pub trait Campaign: Sync {
             tally.observe(&self.draw(rng));
         }
     }
+
+    /// Like [`fold_shard`](Self::fold_shard), but with a per-shard metrics
+    /// snapshot the campaign may record into. The default ignores the
+    /// snapshot entirely, so campaigns that don't opt in pay nothing — the
+    /// hot fold paths keep running branch-free.
+    fn fold_shard_recorded(
+        &self,
+        rng: &mut ChaCha20Rng,
+        count: usize,
+        tally: &mut Self::Tally,
+        _metrics: &mut telemetry::MetricsSnapshot,
+    ) {
+        self.fold_shard(rng, count, tally);
+    }
+
+    /// Exports campaign-level metrics derived from the **final merged**
+    /// tally. Called exactly once per run (never per shard), so exported
+    /// values are pure functions of the deterministic tally and therefore
+    /// byte-identical at any worker count. The default exports nothing.
+    fn export_metrics(&self, _tally: &Self::Tally, _metrics: &mut telemetry::MetricsSnapshot) {}
 }
 
 /// Runs `job` for every shard id in `0..shards` across `workers` threads and
@@ -255,6 +275,37 @@ pub fn run_campaign<C: Campaign>(campaign: &C, n: usize, cfg: &CampaignConfig) -
     acc
 }
 
+/// Runs a campaign like [`run_campaign`] and additionally returns a merged
+/// [`telemetry::MetricsSnapshot`]. Per-shard snapshots (filled by
+/// [`Campaign::fold_shard_recorded`]) are merged in ascending shard order,
+/// then [`Campaign::export_metrics`] runs once over the final merged tally.
+/// Because snapshot merging is commutative and the shard fold order is
+/// fixed, the snapshot is byte-identical at any worker count.
+pub fn run_campaign_with_metrics<C: Campaign>(
+    campaign: &C,
+    n: usize,
+    cfg: &CampaignConfig,
+) -> (C::Tally, telemetry::MetricsSnapshot) {
+    let stream = SeedStream::new(cfg.seed, campaign.salt());
+    let parts = run_shards(shard_count(n), cfg.workers, |shard| {
+        let mut rng = stream.shard(shard as u64);
+        let mut tally = campaign.new_tally();
+        let mut metrics = telemetry::MetricsSnapshot::new();
+        campaign.fold_shard_recorded(&mut rng, shard_range(n, shard).len(), &mut tally, &mut metrics);
+        (tally, metrics)
+    });
+    let mut acc = campaign.new_tally();
+    let mut metrics = telemetry::MetricsSnapshot::new();
+    for (tally, part_metrics) in parts {
+        acc.merge(tally);
+        metrics.merge(&part_metrics);
+    }
+    metrics.incr("campaign.population", n as u64);
+    metrics.incr("campaign.shards", shard_count(n) as u64);
+    campaign.export_metrics(&acc, &mut metrics);
+    (acc, metrics)
+}
+
 /// A campaign over a grid whose element at `index` is a **pure function of
 /// the index** — typically a full attack simulation seeded via
 /// [`derive_seed`] — rather than a cheap draw from a shard stream.
@@ -287,6 +338,24 @@ pub trait GridCampaign: Sync {
         }
     }
 
+    /// Like [`eval_block`](Self::eval_block), but with a per-block metrics
+    /// snapshot the campaign may record into (simulator counters, resolver
+    /// stats, attack aggregates). The default ignores the snapshot and
+    /// delegates, so non-instrumented grids pay nothing.
+    fn eval_block_recorded(
+        &self,
+        indices: std::ops::Range<usize>,
+        tally: &mut Self::Tally,
+        _metrics: &mut telemetry::MetricsSnapshot,
+    ) {
+        self.eval_block(indices, tally);
+    }
+
+    /// Exports grid-level metrics derived from the **final merged** tally.
+    /// Called exactly once per run, after all blocks merged. The default
+    /// exports nothing.
+    fn export_metrics(&self, _tally: &Self::Tally, _metrics: &mut telemetry::MetricsSnapshot) {}
+
     /// Creates an empty tally for one block.
     fn new_tally(&self) -> Self::Tally;
 
@@ -309,6 +378,35 @@ pub fn run_grid<C: GridCampaign>(campaign: &C, n: usize, workers: usize) -> C::T
         acc.merge(part);
     }
     acc
+}
+
+/// Runs a grid campaign like [`run_grid`] and additionally returns a merged
+/// [`telemetry::MetricsSnapshot`]. Per-block snapshots (filled by
+/// [`GridCampaign::eval_block_recorded`]) are merged in ascending block
+/// order, then [`GridCampaign::export_metrics`] runs once over the final
+/// merged tally — so the snapshot is byte-identical at any worker count.
+pub fn run_grid_with_metrics<C: GridCampaign>(
+    campaign: &C,
+    n: usize,
+    workers: usize,
+) -> (C::Tally, telemetry::MetricsSnapshot) {
+    let block = campaign.block_size().max(1);
+    let parts = run_shards(n.div_ceil(block), workers, |b| {
+        let mut tally = campaign.new_tally();
+        let mut metrics = telemetry::MetricsSnapshot::new();
+        campaign.eval_block_recorded((b * block)..((b + 1) * block).min(n), &mut tally, &mut metrics);
+        (tally, metrics)
+    });
+    let mut acc = campaign.new_tally();
+    let mut metrics = telemetry::MetricsSnapshot::new();
+    for (tally, part_metrics) in parts {
+        acc.merge(tally);
+        metrics.merge(&part_metrics);
+    }
+    metrics.incr("campaign.grid.cells", n as u64);
+    metrics.incr("campaign.grid.blocks", n.div_ceil(block) as u64);
+    campaign.export_metrics(&acc, &mut metrics);
+    (acc, metrics)
 }
 
 /// Generates a population of `n` profiles on the sharded engine, preserving

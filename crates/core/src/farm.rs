@@ -72,6 +72,35 @@ pub fn run_farm_campaign(cfg: &FarmCampaignConfig) -> FarmStats {
     merged
 }
 
+/// Runs the farm population like [`run_farm_campaign`] and additionally
+/// returns the merged telemetry snapshot (`dns.farm.*`). Per-shard snapshots
+/// are exported shard-locally and merged in shard order; because every
+/// exported farm counter is additive (and `dns.farm.sim_end_ns` is a max
+/// gauge, matching [`FarmStats::merge`]), the snapshot is byte-identical at
+/// any worker count.
+pub fn run_farm_campaign_with_metrics(cfg: &FarmCampaignConfig) -> (FarmStats, telemetry::MetricsSnapshot) {
+    let shards = cfg.shards.max(1) as usize;
+    let parts = run_shards(shards, cfg.workers, |shard| {
+        let shard_cfg = FarmConfig {
+            seed: derive_seed(cfg.seed, FARM_SALT, shard as u64),
+            clients: shard_clients(cfg.hosts, shards as u32, shard as u32),
+            ..cfg.shard.clone()
+        };
+        let stats = run_farm_shard(shard_cfg);
+        let mut metrics = telemetry::MetricsSnapshot::new();
+        stats.export_metrics(&mut metrics);
+        (stats, metrics)
+    });
+    let mut merged = FarmStats::default();
+    let mut metrics = telemetry::MetricsSnapshot::new();
+    for (stats, part_metrics) in &parts {
+        merged.merge(stats);
+        metrics.merge(part_metrics);
+    }
+    metrics.incr("campaign.farm.shards", shards as u64);
+    (merged, metrics)
+}
+
 /// The committed benchmark record: deterministic counters plus the measured
 /// throughput of the machine that produced them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -135,6 +164,15 @@ pub struct LoadedSadDnsReport {
     pub background_upstream: u64,
     /// Total packets delivered in the simulation.
     pub packets_delivered: u64,
+    /// Flight-recorder dump of the last 64 span events, present only when
+    /// the attack chain failed — the post-mortem of what the attack was
+    /// doing, in sim time, when it died.
+    pub flight_log: Option<String>,
+    /// Telemetry of the loaded run: resolver counters (`dns.*`), engine
+    /// counters (`engine.*`) and — because this experiment is single-threaded
+    /// on one simulator — the thread-local buffer-pool delta
+    /// (`engine.pool.*`) accumulated between build and teardown.
+    pub metrics: telemetry::MetricsSnapshot,
 }
 
 /// Runs SadDNS against the standard victim environment while `clients`
@@ -166,6 +204,10 @@ pub fn saddns_under_load_with_warmup(seed: u64, clients: u32, warmup: Duration) 
     cfg.resolver.port_range = (40000, 40255);
     cfg.resolver.query_timeout = Duration::from_secs(30);
     cfg.resolver.max_retries = 0;
+    // Pool counters are thread-local; this experiment runs one simulator on
+    // one thread, so a reset-before/read-after delta is well-defined here
+    // (unlike in sharded campaigns, where shards share worker threads).
+    netsim::pool::reset_counters();
     let (mut sim, env) = cfg.build();
     sim.trace_mut().enabled = false;
 
@@ -199,7 +241,18 @@ pub fn saddns_under_load_with_warmup(seed: u64, clients: u32, warmup: Duration) 
     attack_cfg.scan_range = (40000, 40255);
     attack_cfg.max_iterations = 2;
     let baseline = env.resolver(&sim).stats.clone();
-    let report = SadDnsAttack::new(attack_cfg).run(&mut sim, &env);
+    let mut recorder = telemetry::FlightRecorder::new(256);
+    let report = SadDnsAttack::new(attack_cfg).run_recorded(&mut sim, &env, Some(&mut recorder));
+    let flight_log = if report.success { None } else { Some(recorder.dump_last(64)) };
+
+    let mut metrics = telemetry::MetricsSnapshot::new();
+    env.resolver(&sim).export_metrics(&mut metrics);
+    sim.export_metrics(&mut metrics);
+    let pool = netsim::pool::counters();
+    metrics.incr("engine.pool.hits", pool.hits);
+    metrics.incr("engine.pool.misses", pool.misses);
+    metrics.incr("engine.pool.returned", pool.returned);
+    metrics.incr("engine.pool.dropped", pool.dropped);
 
     let rs = env.resolver(&sim).stats.clone();
     let block = sim.stub_block_stats(first).clone();
@@ -215,6 +268,8 @@ pub fn saddns_under_load_with_warmup(seed: u64, clients: u32, warmup: Duration) 
         background_cache_answers: rs.cache_answers - baseline.cache_answers,
         background_upstream: rs.upstream_queries - baseline.upstream_queries,
         packets_delivered,
+        flight_log,
+        metrics,
     }
 }
 
@@ -256,6 +311,19 @@ mod tests {
     }
 
     #[test]
+    fn farm_metrics_match_stats_and_are_worker_invariant() {
+        let (one_stats, one_metrics) = run_farm_campaign_with_metrics(&tiny());
+        let (four_stats, four_metrics) = run_farm_campaign_with_metrics(&FarmCampaignConfig { workers: 4, ..tiny() });
+        assert_eq!(one_stats, four_stats);
+        assert_eq!(one_stats, run_farm_campaign(&tiny()), "recorded run tallies exactly what the plain run does");
+        assert_eq!(one_metrics.render(), four_metrics.render(), "snapshot must be byte-identical across workers");
+        assert_eq!(one_metrics.counter("dns.farm.queries_sent"), one_stats.queries_sent);
+        assert_eq!(one_metrics.counter("dns.farm.clients"), one_stats.clients);
+        assert_eq!(one_metrics.gauge("dns.farm.sim_end_ns"), one_stats.sim_end_ns);
+        assert_eq!(one_metrics.counter("campaign.farm.shards"), 4);
+    }
+
+    #[test]
     fn bench_json_is_wellformed_enough() {
         let stats = run_farm_campaign(&tiny());
         let bench = FarmBench { config: tiny(), stats, wall_seconds: 1.5, packets_per_sec: 12345.0 };
@@ -277,6 +345,11 @@ mod tests {
         // window — must be present, unlike in the warmed run.
         let loaded = saddns_under_load_with_warmup(21, 300, Duration::ZERO);
         assert!(loaded.background_upstream > 0, "background cache misses open competing ephemeral ports");
+        assert_eq!(
+            loaded.flight_log.is_some(),
+            !loaded.report.success,
+            "the flight recorder dumps exactly when the chain fails"
+        );
     }
 
     #[test]
@@ -286,5 +359,12 @@ mod tests {
         assert!(loaded.background_queries > 0, "the resolver actually served load");
         assert!(loaded.background_cache_answers > 0, "warm cache serves the background stream");
         assert!(loaded.packets_delivered > loaded.report.attacker_packets, "load adds traffic beyond the attack");
+        assert!(loaded.flight_log.is_none(), "a successful chain leaves no post-mortem dump");
+        assert!(loaded.metrics.counter("engine.events.popped") > 0, "engine counters exported");
+        assert!(loaded.metrics.counter("dns.resolver.client_queries") > 0, "resolver counters exported");
+        assert!(
+            loaded.metrics.counter("engine.pool.hits") + loaded.metrics.counter("engine.pool.misses") > 0,
+            "the pool delta of the single-threaded run is exported"
+        );
     }
 }

@@ -56,9 +56,9 @@ pub mod prelude {
     };
     pub use crate::anycache::{render_table5, run_table5, AnyCachingResult};
     pub use crate::campaign::{
-        available_workers, derive_seed, generate_population, run_campaign, run_grid, run_shards, shard_count,
-        shard_range, shard_ranges, shard_rng, Campaign, CampaignConfig, GridCampaign, Histogram, SeedStream, Tally,
-        SHARD_SIZE,
+        available_workers, derive_seed, generate_population, run_campaign, run_campaign_with_metrics, run_grid,
+        run_grid_with_metrics, run_shards, shard_count, shard_range, shard_ranges, shard_rng, Campaign, CampaignConfig,
+        GridCampaign, Histogram, SeedStream, Tally, SHARD_SIZE,
     };
     pub use crate::countermeasures::{evaluate_cell, render_ablation, run_ablation, AblationCell, Defence};
     pub use crate::crosslayer::{
@@ -67,8 +67,8 @@ pub mod prelude {
         SpfDowngradeOutcome,
     };
     pub use crate::farm::{
-        render_bench_json, run_farm_campaign, saddns_under_load, FarmBench, FarmCampaignConfig, LoadedSadDnsReport,
-        FARM_SALT,
+        render_bench_json, run_farm_campaign, run_farm_campaign_with_metrics, saddns_under_load,
+        saddns_under_load_with_warmup, FarmBench, FarmCampaignConfig, LoadedSadDnsReport, FARM_SALT,
     };
     pub use crate::figures::{
         figure3_prefix_distributions, figure3_prefix_distributions_with, figure4_edns_vs_fragment,

@@ -43,7 +43,7 @@
 //! assert_eq!(outcome.exploit, Some(ExploitVerdict::Web(WebAccess::AttackerSite)));
 //! ```
 
-use crate::campaign::{run_grid, GridCampaign, SeedStream, Tally};
+use crate::campaign::{run_grid, run_grid_with_metrics, GridCampaign, SeedStream, Tally};
 use crate::countermeasures::Defence;
 use crate::report::TextTable;
 use apps::prelude::*;
@@ -468,7 +468,22 @@ impl Scenario {
     /// otherwise pay a formatted trace entry per simulated packet.
     ///
     /// [`prepared_config`]: Self::prepared_config
-    pub fn run_in(mut self, template: &EnvTemplate, seed: u64) -> ScenarioOutcome {
+    pub fn run_in(self, template: &EnvTemplate, seed: u64) -> ScenarioOutcome {
+        self.run_in_recorded(template, seed, None)
+    }
+
+    /// Like [`run_in`](Self::run_in), but optionally exporting the run's
+    /// telemetry — the victim resolver's counters (`dns.*`) and the
+    /// simulator's engine counters (`engine.*`) — into `metrics` after the
+    /// pipeline completes. The outcome is byte-identical to `run_in`; the
+    /// export is a pure read of counters the run maintained anyway, so
+    /// passing `None` costs nothing.
+    pub fn run_in_recorded(
+        mut self,
+        template: &EnvTemplate,
+        seed: u64,
+        metrics: Option<&mut telemetry::MetricsSnapshot>,
+    ) -> ScenarioOutcome {
         let vector = self.vector.take().expect("Scenario requires an attack vector (call .vector(...))");
         let (mut sim, mut env) = template.build_at(seed);
         sim.trace_mut().enabled = false;
@@ -493,6 +508,10 @@ impl Scenario {
 
         let report = vector.execute(&mut sim, &env);
         let exploit = self.exploit.as_mut().map(|stage| stage.observe(&sim, &env));
+        if let Some(m) = metrics {
+            env.resolver(&sim).export_metrics(m);
+            sim.export_metrics(m);
+        }
         ScenarioOutcome { defences: self.defences, report, before, exploit }
     }
 }
@@ -535,10 +554,17 @@ impl PreparedCell {
 
     /// Runs the cell at one seed.
     pub fn run_at(&self, seed: u64) -> ScenarioOutcome {
+        self.run_at_recorded(seed, None)
+    }
+
+    /// Runs the cell at one seed, optionally exporting the run's resolver
+    /// and engine telemetry (see [`Scenario::run_in_recorded`]). The
+    /// outcome is byte-identical to [`run_at`](Self::run_at).
+    pub fn run_at_recorded(&self, seed: u64, metrics: Option<&mut telemetry::MetricsSnapshot>) -> ScenarioOutcome {
         Scenario::new(VictimEnvConfig { seed, ..Default::default() })
             .vector(attacks::vectors::quick_for(self.method))
             .defences(&[self.defence])
-            .run_in(&self.template, seed)
+            .run_in_recorded(&self.template, seed, metrics)
     }
 }
 
@@ -644,6 +670,40 @@ impl GridCampaign for ScenarioCampaign {
         }
     }
 
+    /// The recorded twin of [`eval_block`](Self::eval_block): same template
+    /// reuse, same tallied profiles, plus each run's resolver and engine
+    /// telemetry folded into the per-block snapshot.
+    fn eval_block_recorded(
+        &self,
+        indices: std::ops::Range<usize>,
+        tally: &mut MatrixTally,
+        metrics: &mut telemetry::MetricsSnapshot,
+    ) {
+        let mut prepared: Option<(usize, usize, PreparedCell, SeedStream)> = None;
+        for index in indices {
+            let (method_idx, defence_idx, run) = self.coords(index);
+            match &prepared {
+                Some((mi, di, ..)) if (*mi, *di) == (method_idx, defence_idx) => {}
+                _ => {
+                    let cell = PreparedCell::new(self.methods[method_idx], self.defences[defence_idx]);
+                    let stream = self.cell_stream(method_idx, defence_idx);
+                    prepared = Some((method_idx, defence_idx, cell, stream));
+                }
+            }
+            let (_, _, cell, stream) = prepared.as_ref().expect("cell prepared above");
+            let outcome = cell.run_at_recorded(stream.at(run), Some(metrics));
+            tally.observe(&ScenarioRun { method_idx, defence_idx, report: outcome.report });
+        }
+    }
+
+    /// Exports the per-methodology attack aggregates (`attacks.<slug>.*`),
+    /// summed across the defence rows, from the final merged matrix tally.
+    fn export_metrics(&self, tally: &MatrixTally, metrics: &mut telemetry::MetricsSnapshot) {
+        for (&(method_idx, _), agg) in &tally.cells {
+            agg.export_metrics(self.methods[method_idx], metrics);
+        }
+    }
+
     fn new_tally(&self) -> MatrixTally {
         MatrixTally::default()
     }
@@ -730,6 +790,38 @@ impl ScenarioCampaign {
     /// Evaluates the grid across `workers` threads.
     pub fn run(&self, workers: usize) -> ScenarioMatrix {
         let tally = run_grid(self, self.population(), workers);
+        self.matrix_from(tally)
+    }
+
+    /// Evaluates the grid across `workers` threads and returns the merged
+    /// telemetry snapshot next to the matrix: every run's resolver and
+    /// engine counters (`dns.*`, `engine.*`) plus the per-methodology attack
+    /// aggregates (`attacks.<slug>.*`). Per-block snapshots are merged in
+    /// block order, so the snapshot — like the matrix — is byte-identical at
+    /// any worker count.
+    ///
+    /// ```
+    /// use xlayer_core::prelude::*;
+    /// use attacks::prelude::*;
+    ///
+    /// let campaign = ScenarioCampaign {
+    ///     base_seed: 7,
+    ///     methods: vec![PoisonMethod::HijackDns],
+    ///     defences: vec![Defence::None],
+    ///     runs_per_cell: 1,
+    ///     salt: SCENARIO_GRID_SALT,
+    /// };
+    /// let (_matrix, metrics) = campaign.run_with_metrics(2);
+    /// assert_eq!(metrics.counter("attacks.hijackdns.runs"), 1);
+    /// assert!(metrics.counter("engine.events.popped") > 0);
+    /// assert!(metrics.render().contains("dns.resolver.client_queries"));
+    /// ```
+    pub fn run_with_metrics(&self, workers: usize) -> (ScenarioMatrix, telemetry::MetricsSnapshot) {
+        let (tally, metrics) = run_grid_with_metrics(self, self.population(), workers);
+        (self.matrix_from(tally), metrics)
+    }
+
+    fn matrix_from(&self, tally: MatrixTally) -> ScenarioMatrix {
         ScenarioMatrix {
             methods: self.methods.clone(),
             defences: self.defences.clone(),
@@ -904,6 +996,25 @@ mod tests {
         assert!(rendered.contains("FragmentFiltering"));
         assert!(rendered.contains("2/2"));
         assert!(rendered.contains("0/2"));
+    }
+
+    #[test]
+    fn scenario_metrics_match_matrix() {
+        let campaign = ScenarioCampaign {
+            base_seed: 7,
+            methods: vec![PoisonMethod::HijackDns],
+            defences: vec![Defence::None],
+            runs_per_cell: 2,
+            salt: SCENARIO_GRID_SALT,
+        };
+        let (matrix, metrics) = campaign.run_with_metrics(1);
+        assert_eq!(matrix, campaign.run(1), "the recorded grid tallies exactly what the plain grid does");
+        let agg = matrix.cell(PoisonMethod::HijackDns, Defence::None).unwrap();
+        assert_eq!(metrics.counter("attacks.hijackdns.runs"), agg.runs);
+        assert_eq!(metrics.counter("attacks.hijackdns.successes"), agg.successes);
+        assert!(metrics.counter("dns.resolver.client_queries") > 0, "per-run resolver counters folded in");
+        assert!(metrics.counter("engine.events.popped") > 0, "per-run engine counters folded in");
+        assert_eq!(metrics.counter("campaign.grid.cells"), 2);
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct Cache {
     pub hits: u64,
     /// Total number of cache misses (metrics).
     pub misses: u64,
+    /// Misses caused by an entry that was present but past its expiry
+    /// (a subset of `misses`).
+    pub expired: u64,
 }
 
 impl Cache {
@@ -112,6 +115,11 @@ impl Cache {
             Some(entry) if entry.expires > now && (allow_any_derived || !entry.from_any) => {
                 self.hits += 1;
                 Some(entry.records.clone())
+            }
+            Some(entry) if entry.expires <= now => {
+                self.expired += 1;
+                self.misses += 1;
+                None
             }
             _ => {
                 self.misses += 1;
@@ -259,6 +267,11 @@ mod tests {
         let after = SimTime::ZERO + Duration::from_secs(61);
         assert!(c.lookup(&n("vict.im"), RecordType::A, before).is_some());
         assert!(c.lookup(&n("vict.im"), RecordType::A, after).is_none());
+        assert_eq!(c.expired, 1, "the stale entry counts as an expired miss");
+        assert_eq!(c.misses, 1);
+        assert!(c.lookup(&n("other.example"), RecordType::A, after).is_none());
+        assert_eq!(c.expired, 1, "a plain absent-key miss is not an expired miss");
+        assert_eq!(c.misses, 2);
         assert_eq!(c.len_at(after), 0);
         c.evict_expired(after);
         assert!(c.is_empty());

@@ -129,6 +129,23 @@ impl FarmStats {
         self.bytes_delivered += other.bytes_delivered;
         self.sim_end_ns = self.sim_end_ns.max(other.sim_end_ns);
     }
+
+    /// Exports the farm counters into a telemetry snapshot under
+    /// `dns.farm.*`. Counters add on merge; the simulated end time exports as
+    /// a max-merged gauge, matching [`FarmStats::merge`].
+    pub fn export_metrics(&self, m: &mut telemetry::MetricsSnapshot) {
+        m.incr("dns.farm.clients", self.clients);
+        m.incr("dns.farm.queries_sent", self.queries_sent);
+        m.incr("dns.farm.responses", self.responses);
+        m.incr("dns.farm.error_responses", self.error_responses);
+        m.incr("dns.farm.cache_answers", self.cache_answers);
+        m.incr("dns.farm.upstream_queries", self.upstream_queries);
+        m.incr("dns.farm.servfails", self.servfails);
+        m.incr("dns.farm.cache_entries", self.cache_entries);
+        m.incr("dns.farm.packets_delivered", self.packets_delivered);
+        m.incr("dns.farm.bytes_delivered", self.bytes_delivered);
+        m.gauge_max("dns.farm.sim_end_ns", self.sim_end_ns);
+    }
 }
 
 /// The shared behaviour of every background client: think (exponential),

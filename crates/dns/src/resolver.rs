@@ -223,6 +223,27 @@ pub struct ResolverStats {
     pub servfails: u64,
 }
 
+impl ResolverStats {
+    /// Exports the counters into a telemetry snapshot under `dns.resolver.*`.
+    /// Every key is registered even at zero so the rendered key set is stable
+    /// across runs (CI greps for specific metric lines).
+    pub fn export_metrics(&self, m: &mut telemetry::MetricsSnapshot) {
+        m.incr("dns.resolver.client_queries", self.client_queries);
+        m.incr("dns.resolver.cache_answers", self.cache_answers);
+        m.incr("dns.resolver.upstream_queries.udp", self.upstream_queries - self.tcp_upstream_queries);
+        m.incr("dns.resolver.upstream_queries.tcp", self.tcp_upstream_queries);
+        m.incr("dns.resolver.tc_fallbacks", self.tcp_fallbacks);
+        m.incr("dns.resolver.responses_accepted", self.responses_accepted);
+        m.incr("dns.resolver.rejected.txid", self.rejected_txid);
+        m.incr("dns.resolver.rejected.question", self.rejected_question);
+        m.incr("dns.resolver.rejected.bailiwick_records", self.rejected_bailiwick_records);
+        m.incr("dns.resolver.bogus_dropped", self.rejected_dnssec);
+        m.incr("dns.resolver.truncated_responses", self.truncated_responses);
+        m.incr("dns.resolver.timeouts", self.timeouts);
+        m.incr("dns.resolver.servfails", self.servfails);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Outstanding {
     txid: u16,
@@ -333,6 +354,18 @@ impl Resolver {
     /// The shareable cache handle (clone it into sibling frontends).
     pub fn shared_cache(&self) -> SharedCache {
         self.cache.clone()
+    }
+
+    /// Exports this resolver's deterministic counters into a telemetry
+    /// snapshot: `dns.resolver.*` (see [`ResolverStats::export_metrics`])
+    /// plus the cache's `dns.cache.*` hit/miss/expired/insertion counters.
+    pub fn export_metrics(&self, m: &mut telemetry::MetricsSnapshot) {
+        self.stats.export_metrics(m);
+        let cache = self.cache.borrow();
+        m.incr("dns.cache.hits", cache.hits);
+        m.incr("dns.cache.misses", cache.misses);
+        m.incr("dns.cache.expired", cache.expired);
+        m.incr("dns.cache.insertions", cache.insertions);
     }
 
     /// Read access to the configuration.

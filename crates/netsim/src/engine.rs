@@ -337,6 +337,27 @@ enum EventKind {
     StubTimer { stub: StubId, timer: StubTimer },
 }
 
+/// Engine-level event and packet-verdict counters, updated on the same code
+/// paths that decide each [`TraceVerdict`]. Unlike the packet [`Trace`] these
+/// are always on (a handful of integer adds per packet) and unlike the pool
+/// counters they live on the simulator itself, so they are deterministic per
+/// seed and safe to fold into shard-merged telemetry snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events popped from the time wheel by [`Simulator::step`].
+    pub events_popped: u64,
+    /// Packets delivered to a node or stub client.
+    pub delivered: u64,
+    /// Packets dropped because no host owns the destination address.
+    pub no_route: u64,
+    /// Packets dropped by link loss.
+    pub link_loss: u64,
+    /// Spoofed packets dropped by egress filtering.
+    pub egress_filtered: u64,
+    /// Packets dropped for exceeding the link MTU with DF set.
+    pub mtu_exceeded: u64,
+}
+
 /// The simulation engine. See the [module documentation](self) for an overview.
 pub struct Simulator {
     nodes: Vec<NodeSlot>,
@@ -355,6 +376,7 @@ pub struct Simulator {
     seq: u64,
     rng: ChaCha20Rng,
     trace: Trace,
+    counters: EngineCounters,
     started: bool,
 }
 
@@ -378,6 +400,7 @@ impl Simulator {
             seq: 0,
             rng: ChaCha20Rng::seed_from_u64(seed),
             trace: Trace::new(),
+            counters: EngineCounters::default(),
             started: false,
         }
     }
@@ -571,6 +594,32 @@ impl Simulator {
         &self.nodes[id.0].stats
     }
 
+    /// Engine-wide event and packet-verdict counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Exports the engine's deterministic counters into a telemetry snapshot
+    /// under `engine.*` (see the naming convention in the [`telemetry`]
+    /// crate). Counters add across shards; queue/wheel occupancy export as
+    /// max-merged gauges. The thread-local [`pool`] counters are deliberately
+    /// **not** exported here: campaign workers share threads across shards,
+    /// so raw pool counts depend on worker count and would break the
+    /// byte-identical-merge contract.
+    pub fn export_metrics(&self, m: &mut telemetry::MetricsSnapshot) {
+        m.incr("engine.events.popped", self.counters.events_popped);
+        m.gauge_max("engine.events.pending", self.events.len() as u64);
+        for (level, occ) in self.events.level_occupancy().iter().enumerate() {
+            m.gauge_max(&format!("engine.wheel.level{level}.occupancy"), u64::from(*occ));
+        }
+        m.incr("engine.packets.delivered", self.counters.delivered);
+        m.incr("engine.packets.no_route", self.counters.no_route);
+        m.incr("engine.packets.link_loss", self.counters.link_loss);
+        m.incr("engine.packets.egress_filtered", self.counters.egress_filtered);
+        m.incr("engine.packets.mtu_exceeded", self.counters.mtu_exceeded);
+        m.incr("engine.trace.dropped", self.trace.dropped());
+    }
+
     /// The packet trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -678,6 +727,7 @@ impl Simulator {
                 // Egress filtering of spoofed sources (BCP 38).
                 if self.nodes[id.0].egress_filtering && !self.nodes[id.0].addrs.contains(&pkt.header.src) {
                     self.nodes[id.0].stats.spoofed_filtered += 1;
+                    self.counters.egress_filtered += 1;
                     if self.trace.enabled {
                         let from_name = self.nodes[id.0].name.clone();
                         self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::EgressFiltered);
@@ -696,7 +746,7 @@ impl Simulator {
 
         // Routing (route overrides model hijacked prefixes).
         let Some(to) = self.host_lookup(pkt.header.dst) else {
-            self.count_transit_drop(from);
+            self.count_transit_drop(from, TraceVerdict::NoRoute);
             if self.trace.enabled {
                 let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
                 self.trace.record_packet(self.now, &from_name, "-", &pkt, TraceVerdict::NoRoute);
@@ -708,7 +758,7 @@ impl Simulator {
 
         // Random loss.
         if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
-            self.count_transit_drop(from);
+            self.count_transit_drop(from, TraceVerdict::LinkLoss);
             if self.trace.enabled {
                 let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
                 let to_name = self.host_label(to);
@@ -721,7 +771,7 @@ impl Simulator {
         // MTU handling by the "router" on the link.
         if pkt.wire_len() > usize::from(link.mtu) {
             if pkt.header.dont_fragment || !link.fragment_in_transit {
-                self.count_transit_drop(from);
+                self.count_transit_drop(from, TraceVerdict::MtuExceeded);
                 if self.trace.enabled {
                     let from_name = Self::origin_label(&self.nodes, &self.stub_blocks, from);
                     let to_name = self.host_label(to);
@@ -760,12 +810,42 @@ impl Simulator {
         self.push_event(time, EventKind::Deliver { to, from, pkt });
     }
 
-    fn count_transit_drop(&mut self, from: Origin) {
-        match from {
-            Origin::Node(id) => self.nodes[id.0].stats.dropped_in_transit += 1,
+    /// Attributes a transit drop to the sender's stats, broken down by the
+    /// verdict that caused it, and bumps the engine-wide verdict counter.
+    fn count_transit_drop(&mut self, from: Origin, verdict: TraceVerdict) {
+        match verdict {
+            TraceVerdict::NoRoute => self.counters.no_route += 1,
+            TraceVerdict::LinkLoss => self.counters.link_loss += 1,
+            TraceVerdict::MtuExceeded => self.counters.mtu_exceeded += 1,
+            TraceVerdict::Delivered | TraceVerdict::EgressFiltered => {
+                debug_assert!(false, "not a transit-drop verdict: {verdict}");
+            }
+        }
+        let stats = match from {
+            Origin::Node(id) => &mut self.nodes[id.0].stats,
             Origin::Stub(id) => {
                 let b = self.block_of_stub(id);
-                self.stub_blocks[b].stats.dropped_in_transit += 1;
+                &mut self.stub_blocks[b].stats
+            }
+            Origin::Router => return,
+        };
+        stats.dropped_in_transit += 1;
+        match verdict {
+            TraceVerdict::NoRoute => stats.no_route += 1,
+            TraceVerdict::LinkLoss => stats.link_loss += 1,
+            TraceVerdict::MtuExceeded => stats.mtu_exceeded += 1,
+            _ => {}
+        }
+    }
+
+    /// Attributes a delivered packet to the sender's verdict breakdown.
+    fn count_delivered(&mut self, from: Origin) {
+        self.counters.delivered += 1;
+        match from {
+            Origin::Node(id) => self.nodes[id.0].stats.delivered += 1,
+            Origin::Stub(id) => {
+                let b = self.block_of_stub(id);
+                self.stub_blocks[b].stats.delivered += 1;
             }
             Origin::Router => {}
         }
@@ -856,6 +936,7 @@ impl Simulator {
     }
 
     fn deliver(&mut self, to: HostRef, from: Origin, pkt: Ipv4Packet) {
+        self.count_delivered(from);
         match to {
             HostRef::Node(id) => {
                 self.nodes[id.0].stats.record_received(pkt.header.protocol, pkt.wire_len());
@@ -889,6 +970,7 @@ impl Simulator {
         let Some((time, _seq, kind)) = self.events.pop() else {
             return false;
         };
+        self.counters.events_popped += 1;
         self.now = time;
         match kind {
             EventKind::Deliver { to, from, pkt } => self.deliver(to, from, pkt),
@@ -981,7 +1063,45 @@ mod tests {
         sim.inject(a, udp(A, "99.99.99.99".parse().unwrap(), 10));
         sim.run();
         assert_eq!(sim.stats(a).dropped_in_transit, 1);
+        assert_eq!(sim.stats(a).no_route, 1);
+        assert_eq!(sim.counters().no_route, 1);
         assert_eq!(sim.trace().matching("UDP").len(), 1);
+    }
+
+    #[test]
+    fn counters_track_verdicts_and_export() {
+        let mut sim = Simulator::new(30);
+        let a = sim.add_node("a", vec![A], SinkNode::default());
+        let b = sim.add_node("b", vec![B], SinkNode::default());
+        sim.connect(a, b, Link::default().mtu(576));
+        sim.set_egress_filtering(a, true);
+        sim.inject(a, udp(A, B, 10)); // delivered
+        sim.inject(a, udp(C, B, 10)); // egress-filtered (spoofed)
+        sim.inject(a, udp(A, "99.99.99.99".parse().unwrap(), 10)); // no-route
+        let mut big = udp(A, B, 1000);
+        big.header.dont_fragment = true;
+        sim.inject(a, big); // mtu-exceeded (+ ICMP PTB delivered back)
+        sim.run();
+        let c = sim.counters();
+        assert_eq!(c.delivered, 2, "the UDP datagram and the PTB error");
+        assert_eq!(c.egress_filtered, 1);
+        assert_eq!(c.no_route, 1);
+        assert_eq!(c.mtu_exceeded, 1);
+        assert_eq!(c.link_loss, 0);
+        assert!(c.events_popped >= 2);
+        assert_eq!(sim.stats(a).delivered, 1, "PTB comes from the router, not node a");
+        assert_eq!(sim.stats(a).mtu_exceeded, 1);
+
+        let mut m = telemetry::MetricsSnapshot::new();
+        sim.export_metrics(&mut m);
+        assert_eq!(m.counter("engine.packets.delivered"), 2);
+        assert_eq!(m.counter("engine.packets.egress_filtered"), 1);
+        assert_eq!(m.counter("engine.packets.no_route"), 1);
+        assert_eq!(m.counter("engine.packets.mtu_exceeded"), 1);
+        assert_eq!(m.counter("engine.events.popped"), c.events_popped);
+        assert_eq!(m.gauge("engine.events.pending"), 0);
+        assert!(m.counter("engine.packets.link_loss") == 0);
+        assert!(m.render().contains("engine.wheel.level0.occupancy"));
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub mod wheel;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::engine::{
-        Ctx, EchoNode, Node, NodeId, Simulator, SinkNode, StubCtx, StubHandler, StubId, StubState, StubTimer,
+        Ctx, EchoNode, EngineCounters, Node, NodeId, Simulator, SinkNode, StubCtx, StubHandler, StubId, StubState,
+        StubTimer,
     };
     pub use crate::frag::{fragment_packet, ReassemblyBuffer, ReassemblyConfig};
     pub use crate::icmp::{IcmpMessage, Unreachable};

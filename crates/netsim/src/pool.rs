@@ -11,7 +11,11 @@
 //!
 //! The free list is thread-local because simulations are single-threaded and
 //! campaign workers each run their own sims; nothing here is shared across
-//! threads.
+//! threads. The hit/miss counters inherit that thread affinity: a campaign
+//! worker thread runs many shards back to back, so the counters are only
+//! meaningful as reset-before/read-after deltas around a single-threaded
+//! simulation ([`reset_counters`] then [`counters`]) and are deliberately
+//! **excluded** from shard-merged telemetry snapshots.
 
 use std::cell::RefCell;
 
@@ -21,43 +25,85 @@ const MAX_POOLED: usize = 1024;
 /// rare jumbo packet cannot pin memory forever.
 const MAX_POOLED_CAPACITY: usize = 4096;
 
+/// Free list plus accounting for one thread.
+#[derive(Default)]
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    counters: PoolCounters,
+}
+
+/// Snapshot of this thread's pool activity (see [`counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// [`take`] calls satisfied from the free list.
+    pub hits: u64,
+    /// [`take`] calls that fell through to a fresh heap allocation because
+    /// the free list was empty (pool-exhausted allocations).
+    pub misses: u64,
+    /// Buffers accepted back into the free list by [`give`].
+    pub returned: u64,
+    /// Buffers [`give`] declined to pool (oversized, zero-capacity, or the
+    /// free list was full) — each one is a heap deallocation.
+    pub dropped: u64,
+}
+
 thread_local! {
-    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static POOL: RefCell<PoolState> = RefCell::new(PoolState::default());
 }
 
 /// Takes a cleared buffer with at least `capacity` bytes of room, reusing a
 /// pooled one when available.
 pub fn take(capacity: usize) -> Vec<u8> {
-    POOL.with(|p| match p.borrow_mut().pop() {
-        Some(mut v) => {
-            if v.capacity() < capacity {
-                v.reserve(capacity - v.len());
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.free.pop() {
+            Some(mut v) => {
+                p.counters.hits += 1;
+                if v.capacity() < capacity {
+                    v.reserve(capacity - v.len());
+                }
+                v
             }
-            v
+            None => {
+                p.counters.misses += 1;
+                Vec::with_capacity(capacity)
+            }
         }
-        None => Vec::with_capacity(capacity),
     })
 }
 
 /// Returns a dead buffer to the pool (cleared first). Oversized or
 /// zero-capacity buffers are simply dropped.
 pub fn give(mut buf: Vec<u8>) {
-    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
-        return;
-    }
-    buf.clear();
     POOL.with(|p| {
         let mut p = p.borrow_mut();
-        if p.len() < MAX_POOLED {
-            p.push(buf);
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY || p.free.len() >= MAX_POOLED {
+            p.counters.dropped += 1;
+            return;
         }
+        buf.clear();
+        p.counters.returned += 1;
+        p.free.push(buf);
     });
 }
 
 /// Number of buffers currently pooled on this thread (for tests and
 /// instrumentation).
 pub fn pooled() -> usize {
-    POOL.with(|p| p.borrow().len())
+    POOL.with(|p| p.borrow().free.len())
+}
+
+/// This thread's pool counters since the last [`reset_counters`]. Because
+/// the pool is thread-local and campaign workers reuse threads across
+/// shards, only reset/read deltas around a single-threaded run are
+/// deterministic; never fold raw values into a shard-merged snapshot.
+pub fn counters() -> PoolCounters {
+    POOL.with(|p| p.borrow().counters)
+}
+
+/// Zeroes this thread's pool counters (the free list itself is untouched).
+pub fn reset_counters() {
+    POOL.with(|p| p.borrow_mut().counters = PoolCounters::default());
 }
 
 #[cfg(test)]
@@ -87,5 +133,27 @@ mod tests {
         give(Vec::with_capacity(8));
         let b = take(1000);
         assert!(b.capacity() >= 1000);
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_drops() {
+        // Drain the free list so the first take is a guaranteed miss, then
+        // measure a full miss -> return -> hit -> oversized-drop cycle.
+        while pooled() > 0 {
+            let _ = POOL.with(|p| p.borrow_mut().free.pop());
+        }
+        reset_counters();
+        let b = take(32);
+        give(b);
+        let b = take(32);
+        give(vec![0u8; MAX_POOLED_CAPACITY + 1]);
+        give(b);
+        let c = counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.returned, 2);
+        assert_eq!(c.dropped, 1);
+        reset_counters();
+        assert_eq!(counters(), PoolCounters::default());
     }
 }

@@ -39,6 +39,18 @@ pub struct TrafficStats {
     pub spoofed_filtered: u64,
     /// Packets dropped in transit (link loss, no route, MTU with DF).
     pub dropped_in_transit: u64,
+    /// Packets this node sent that reached their destination
+    /// (`TraceVerdict::Delivered`).
+    pub delivered: u64,
+    /// Packets this node sent that were dropped because no node owns the
+    /// destination address (`TraceVerdict::NoRoute`).
+    pub no_route: u64,
+    /// Packets this node sent that were dropped by link loss
+    /// (`TraceVerdict::LinkLoss`).
+    pub link_loss: u64,
+    /// Packets this node sent that exceeded the link MTU with DF set
+    /// (`TraceVerdict::MtuExceeded`).
+    pub mtu_exceeded: u64,
 }
 
 impl TrafficStats {
@@ -111,6 +123,13 @@ impl TrafficStats {
                 self.spoofed_filtered, self.dropped_in_transit
             );
         }
+        if self.delivered + self.no_route + self.link_loss + self.spoofed_filtered + self.mtu_exceeded > 0 {
+            let _ = writeln!(
+                out,
+                "  verdicts: delivered {}, no-route {}, link-loss {}, egress-filtered {}, mtu-exceeded {}",
+                self.delivered, self.no_route, self.link_loss, self.spoofed_filtered, self.mtu_exceeded
+            );
+        }
         for f in flows {
             let _ = writeln!(
                 out,
@@ -136,6 +155,10 @@ impl TrafficStats {
         self.icmp_received += other.icmp_received;
         self.spoofed_filtered += other.spoofed_filtered;
         self.dropped_in_transit += other.dropped_in_transit;
+        self.delivered += other.delivered;
+        self.no_route += other.no_route;
+        self.link_loss += other.link_loss;
+        self.mtu_exceeded += other.mtu_exceeded;
     }
 }
 
@@ -211,9 +234,10 @@ mod tests {
         let text = s.render("ca", &flows);
         assert!(text.starts_with("ca: sent 1 pkt / 60 B"));
         assert!(text.contains("2 spoofed (egress-filtered)"));
+        assert!(text.contains("verdicts: delivered 0, no-route 0, link-loss 0, egress-filtered 2, mtu-exceeded 0"));
         assert!(text.contains("TCP 30.0.0.1:49152 -> 123.0.0.53:53 [established] tx 31 B / rx 158 B"));
         assert!(text.contains("TCP 30.0.0.1:46080 -> 30.0.0.80:80 [time-wait] tx 64 B / rx 120 B"));
-        assert_eq!(text.lines().count(), 4);
+        assert_eq!(text.lines().count(), 5);
     }
 
     #[test]
@@ -223,6 +247,29 @@ mod tests {
         let text = s.render("client", &[]);
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("udp 1"));
+    }
+
+    #[test]
+    fn render_breaks_down_verdicts() {
+        let mut s = TrafficStats::default();
+        s.record_sent(Protocol::Udp, 90);
+        s.delivered = 4;
+        s.link_loss = 2;
+        s.mtu_exceeded = 1;
+        let text = s.render("attacker", &[]);
+        assert!(text.contains("verdicts: delivered 4, no-route 0, link-loss 2, egress-filtered 0, mtu-exceeded 1"));
+        assert_eq!(text.lines().count(), 2, "no drop line when spoofed/in-transit counters are zero");
+    }
+
+    #[test]
+    fn merge_accumulates_verdicts() {
+        let mut a = TrafficStats { delivered: 1, no_route: 2, ..TrafficStats::default() };
+        let b = TrafficStats { delivered: 10, link_loss: 3, mtu_exceeded: 4, ..TrafficStats::default() };
+        a.merge(&b);
+        assert_eq!(a.delivered, 11);
+        assert_eq!(a.no_route, 2);
+        assert_eq!(a.link_loss, 3);
+        assert_eq!(a.mtu_exceeded, 4);
     }
 
     #[test]

@@ -68,22 +68,25 @@ impl fmt::Display for TraceEntry {
 pub struct Trace {
     entries: Vec<TraceEntry>,
     /// Maximum number of retained entries (0 = unbounded). When the bound is
-    /// hit the oldest entries are discarded.
+    /// hit the oldest entries are discarded and counted in
+    /// [`dropped`](Trace::dropped).
     pub capacity: usize,
     /// Whether recording is enabled. Large measurement campaigns disable the
     /// trace to save memory.
     pub enabled: bool,
+    /// Entries discarded at the capacity bound.
+    dropped: u64,
 }
 
 impl Trace {
     /// An enabled, unbounded trace.
     pub fn new() -> Self {
-        Trace { entries: Vec::new(), capacity: 0, enabled: true }
+        Trace { entries: Vec::new(), capacity: 0, enabled: true, dropped: 0 }
     }
 
     /// A disabled trace (records nothing).
     pub fn disabled() -> Self {
-        Trace { entries: Vec::new(), capacity: 0, enabled: false }
+        Trace { entries: Vec::new(), capacity: 0, enabled: false, dropped: 0 }
     }
 
     /// Records one entry (if enabled).
@@ -94,6 +97,7 @@ impl Trace {
         if self.capacity > 0 && self.entries.len() >= self.capacity {
             let overflow = self.entries.len() + 1 - self.capacity;
             self.entries.drain(..overflow);
+            self.dropped += overflow as u64;
         }
         self.entries.push(entry);
     }
@@ -128,18 +132,34 @@ impl Trace {
         self.entries.is_empty()
     }
 
-    /// Drops all recorded entries.
+    /// Entries discarded because the capacity bound was hit. A bounded trace
+    /// that silently truncated used to read as "the run produced this few
+    /// packets"; the count makes the elision visible.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops all recorded entries and resets the drop counter.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.dropped = 0;
     }
 
     /// Renders the trace as a multi-line string (one line per packet),
-    /// suitable for printing a message-sequence view of an attack.
+    /// suitable for printing a message-sequence view of an attack. When the
+    /// capacity bound discarded older entries, a trailing summary line says
+    /// how many are missing.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
             out.push_str(&e.to_string());
             out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} older entries dropped at the {}-entry capacity)\n",
+                self.dropped, self.capacity
+            ));
         }
         out
     }
@@ -179,7 +199,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_trace() {
+    fn capacity_bounds_trace_and_counts_drops() {
         let mut t = Trace::new();
         t.capacity = 3;
         for i in 0..10 {
@@ -187,6 +207,19 @@ mod tests {
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.entries()[0].summary, "pkt 7");
+        assert_eq!(t.dropped(), 7);
+        let rendered = t.render();
+        assert!(rendered.ends_with("(7 older entries dropped at the 3-entry capacity)\n"));
+    }
+
+    #[test]
+    fn unbounded_trace_never_drops() {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.record(entry(i));
+        }
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.render().contains("dropped"));
     }
 
     #[test]
@@ -211,8 +244,12 @@ mod tests {
     #[test]
     fn clear_resets() {
         let mut t = Trace::new();
+        t.capacity = 1;
         t.record(entry(1));
+        t.record(entry(2));
+        assert_eq!(t.dropped(), 1);
         t.clear();
         assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
     }
 }

@@ -36,7 +36,7 @@ const SLOTS: usize = 1 << LEVEL_BITS;
 /// Slot-index mask.
 const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 /// Number of levels. Level `l` spans `64^(l+1)` ticks.
-const LEVELS: usize = 6;
+pub const LEVELS: usize = 6;
 /// Ticks covered by the whole wheel; events further out go to the overflow
 /// heap (2^36 ticks × 4096 ns ≈ 3.2 days of simulated time).
 const HORIZON_TICKS: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
@@ -121,6 +121,17 @@ impl<T> TimeWheel<T> {
     /// Whether the wheel holds no events.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of occupied slots per level (popcount of each occupancy word).
+    /// A cheap structural gauge for telemetry: how spread out the pending
+    /// events are across the hierarchy.
+    pub fn level_occupancy(&self) -> [u32; LEVELS] {
+        let mut out = [0u32; LEVELS];
+        for (o, word) in out.iter_mut().zip(self.occupied.iter()) {
+            *o = word.count_ones();
+        }
+        out
     }
 
     /// Schedules an event. `time` must not precede the time of the last
@@ -365,6 +376,18 @@ mod tests {
             let (pt, _, _) = w.pop().unwrap();
             assert_eq!(t, pt);
         }
+    }
+
+    #[test]
+    fn level_occupancy_counts_slots() {
+        let mut w = TimeWheel::new();
+        assert_eq!(w.level_occupancy(), [0; LEVELS]);
+        w.push(SimTime::from_nanos(5000), 0, 0); // level 0 territory
+        w.push(SimTime::from_nanos(300 * 4096 * 64), 1, 1); // level 2 territory
+        let occ = w.level_occupancy();
+        assert_eq!(occ.iter().sum::<u32>(), 2);
+        drain(&mut w);
+        assert_eq!(w.level_occupancy(), [0; LEVELS]);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The flight recorder: a bounded ring buffer of sim-time span events.
+//!
+//! A full packet trace at campaign scale is either disabled (the hot paths
+//! since the SoA refactor) or unaffordable; the flight recorder is the
+//! middle ground — phase-level enter/exit events with a hard memory bound,
+//! kept *during* every run and dumped only when a run fails or surprises.
+//! Recording is deterministic: events carry the simulated clock, never wall
+//! time, so two runs of the same seed produce byte-identical dumps.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Whether a span event marks the beginning or the end of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The phase began.
+    Enter,
+    /// The phase ended.
+    Exit,
+}
+
+/// One recorded span boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulated time of the event in nanoseconds.
+    pub t_ns: u64,
+    /// Enter or exit.
+    pub kind: SpanKind,
+    /// Static span name (`layer.phase`, e.g. `"saddns.scan"`).
+    pub name: &'static str,
+    /// Free-form detail formatted at record time (empty when none).
+    pub detail: String,
+    /// Nesting depth at the time of the event (enter events count their own
+    /// level, so a top-level span enters at depth 1).
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    fn render_into(&self, out: &mut String) {
+        let marker = match self.kind {
+            SpanKind::Enter => '>',
+            SpanKind::Exit => '<',
+        };
+        let indent = (self.depth.saturating_sub(1) as usize).min(16);
+        let _ = write!(out, "  [{:>14} ns] {:indent$}{marker} {}", self.t_ns, "", self.name, indent = indent * 2);
+        if self.detail.is_empty() {
+            out.push('\n');
+        } else {
+            let _ = writeln!(out, " {}", self.detail);
+        }
+    }
+}
+
+/// A bounded ring buffer of [`SpanEvent`]s. When the bound is reached the
+/// oldest event is discarded and counted in [`dropped`](Self::dropped) — the
+/// recorder never reallocates past its capacity and never truncates
+/// silently.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+    depth: u32,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder { events: VecDeque::with_capacity(capacity), capacity, dropped: 0, depth: 0, total: 0 }
+    }
+
+    fn push(&mut self, event: SpanEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.total += 1;
+    }
+
+    /// Records a span entry at simulated time `t_ns`. Prefer the [`span!`]
+    /// macro, which formats the detail lazily.
+    ///
+    /// [`span!`]: crate::span
+    pub fn enter(&mut self, t_ns: u64, name: &'static str, detail: impl Into<String>) {
+        self.depth += 1;
+        let depth = self.depth;
+        self.push(SpanEvent { t_ns, kind: SpanKind::Enter, name, detail: detail.into(), depth });
+    }
+
+    /// Records the matching span exit at simulated time `t_ns`.
+    pub fn exit(&mut self, t_ns: u64, name: &'static str) {
+        let depth = self.depth.max(1);
+        self.push(SpanEvent { t_ns, kind: SpanKind::Exit, name, detail: String::new(), depth });
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Discards all retained events and resets the counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+        self.depth = 0;
+        self.total = 0;
+    }
+
+    /// Renders the last `n` retained events (all of them when fewer) as a
+    /// post-mortem dump: a summary header, then one line per event with the
+    /// simulated timestamp, nesting indentation and detail.
+    pub fn dump_last(&self, n: usize) -> String {
+        let keep = n.min(self.events.len());
+        let mut out = format!(
+            "flight recorder: last {keep} of {} span events ({} dropped at the {}-event bound)\n",
+            self.total, self.dropped, self.capacity
+        );
+        for event in self.events.iter().skip(self.events.len() - keep) {
+            event.render_into(&mut out);
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    /// A recorder with a 256-event ring — enough for the phase spans of any
+    /// single attack run while staying a few KiB.
+    fn default() -> Self {
+        FlightRecorder::new(256)
+    }
+}
+
+/// Records a span entry into a [`FlightRecorder`]: `span!(rec, t_ns, "name")`
+/// or `span!(rec, t_ns, "name", "detail {x}")`. The detail is formatted only
+/// when the macro runs, so guarded call sites (`if let Some(rec) = ...`) pay
+/// nothing while recording is off. Pair with [`FlightRecorder::exit`].
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $t:expr, $name:expr) => {
+        $rec.enter($t, $name, String::new())
+    };
+    ($rec:expr, $t:expr, $name:expr, $($arg:tt)+) => {
+        $rec.enter($t, $name, format!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_nested_spans_in_order() {
+        let mut rec = FlightRecorder::new(16);
+        rec.enter(10, "outer", "run 1");
+        rec.enter(20, "inner", "");
+        rec.exit(30, "inner");
+        rec.exit(40, "outer");
+        let depths: Vec<u32> = rec.events().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![1, 2, 2, 1]);
+        let dump = rec.dump_last(10);
+        assert!(dump.contains("> outer run 1"));
+        assert!(dump.contains("  < inner"), "inner exit is indented one level");
+        assert!(dump.contains("[            10 ns]"));
+    }
+
+    #[test]
+    fn ring_bound_counts_drops() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.enter(i, "e", String::new());
+            rec.exit(i, "e");
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 16);
+        assert_eq!(rec.total_recorded(), 20);
+        let dump = rec.dump_last(64);
+        assert!(dump.starts_with("flight recorder: last 4 of 20 span events (16 dropped at the 4-event bound)"));
+    }
+
+    #[test]
+    fn dump_last_takes_the_tail() {
+        let mut rec = FlightRecorder::new(16);
+        for i in 0..6u64 {
+            rec.enter(i, "phase", format!("{i}"));
+        }
+        let dump = rec.dump_last(2);
+        assert!(dump.contains("phase 4"));
+        assert!(dump.contains("phase 5"));
+        assert!(!dump.contains("phase 3"));
+    }
+
+    #[test]
+    fn span_macro_formats_details() {
+        let mut rec = FlightRecorder::new(8);
+        let port = 40123;
+        span!(rec, 5, "saddns.spray", "port {port}");
+        span!(rec, 6, "saddns.verify");
+        rec.exit(7, "saddns.verify");
+        rec.exit(8, "saddns.spray");
+        assert_eq!(rec.events().next().unwrap().detail, "port 40123");
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut rec = FlightRecorder::new(2);
+        rec.enter(1, "a", String::new());
+        rec.enter(2, "b", String::new());
+        rec.enter(3, "c", String::new());
+        assert_eq!(rec.dropped(), 1);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.total_recorded(), 0);
+    }
+}

@@ -7,8 +7,13 @@
 //! ```text
 //! cargo run --release --example campaign_perf -- \
 //!     [--seed N] [--cap N] [--runs N] [--repeats N] [--workers N] \
-//!     [--check-workers N] [--write-bench PATH]
+//!     [--check-workers N] [--write-bench PATH] [--metrics]
 //! ```
+//!
+//! `--metrics` runs one extra, untimed recorded pass over the scenario
+//! grids and prints the merged telemetry snapshot — the timed passes stay on
+//! the telemetry-off fast path, so the committed throughput numbers are
+//! never perturbed by the export.
 //!
 //! Every timed quantity is the **minimum over `--repeats` passes** — the
 //! shortest pass is the closest to the machine's true cost; the rest is
@@ -28,11 +33,20 @@ struct Args {
     workers: usize,
     check_workers: Option<usize>,
     write_bench: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { seed: 2021, cap: 200_000, runs: 3, repeats: 3, workers: 1, check_workers: None, write_bench: None };
+    let mut args = Args {
+        seed: 2021,
+        cap: 200_000,
+        runs: 3,
+        repeats: 3,
+        workers: 1,
+        check_workers: None,
+        write_bench: None,
+        metrics: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--write-bench" {
@@ -51,9 +65,10 @@ fn parse_args() -> Args {
             "--repeats" => args.repeats = grab("--repeats").max(1) as u32,
             "--workers" => args.workers = grab("--workers").max(1) as usize,
             "--check-workers" => args.check_workers = Some(grab("--check-workers").max(1) as usize),
+            "--metrics" => args.metrics = true,
             other => panic!(
                 "unknown flag {other} \
-                 (expected --seed/--cap/--runs/--repeats/--workers/--check-workers/--write-bench)"
+                 (expected --seed/--cap/--runs/--repeats/--workers/--check-workers/--write-bench/--metrics)"
             ),
         }
     }
@@ -112,6 +127,19 @@ fn main() {
     if let Some(check) = args.check_workers {
         assert_eq!(run_matrices(check), reference, "workers={check} changed the matrix vs workers={}", args.workers);
         println!("determinism: workers={check} reproduces workers={} byte-for-byte", args.workers);
+    }
+
+    if args.metrics {
+        // One untimed recorded pass: the timed loops above stay on the
+        // telemetry-off path, so the committed numbers never include export
+        // cost. The recorded matrices must match the timed reference.
+        let (full, mut snapshot) = ScenarioCampaign::full_grid(args.seed, args.runs).run_with_metrics(args.workers);
+        let (dnssec, dnssec_metrics) =
+            ScenarioCampaign::dnssec_grid(args.seed, args.runs).run_with_metrics(args.workers);
+        assert_eq!((full, dnssec), reference, "the recorded pass changed the matrices");
+        snapshot.merge(&dnssec_metrics);
+        println!("telemetry snapshot (merged over both grids):");
+        print!("{}", snapshot.render());
     }
 
     if let Some(path) = args.write_bench {

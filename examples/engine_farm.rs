@@ -6,14 +6,16 @@
 //! cargo run --release --example engine_farm -- \
 //!     [--seed N] [--hosts N] [--shards N] [--workers N] \
 //!     [--duration-ms N] [--think-ms N] [--names N] [--resolvers N] \
-//!     [--check-workers N] [--loaded-saddns N] [--write-bench PATH]
+//!     [--check-workers N] [--loaded-saddns N] [--write-bench PATH] [--metrics]
 //! ```
 //!
 //! `--write-bench` renders the run as the committed `BENCH_engine.json`
 //! document. `--check-workers N` re-runs the campaign with N workers and
 //! asserts the merged stats are byte-identical — the determinism contract CI
 //! smokes on every push. `--loaded-saddns N` additionally runs SadDNS against
-//! a resolver serving N background stub clients.
+//! a resolver serving N background stub clients (dumping the flight recorder
+//! if the chain fails). `--metrics` prints the merged telemetry snapshot of
+//! the farm run (and of the loaded SadDNS run, when enabled).
 
 use cross_layer_attacks::netsim::prelude::Duration;
 use cross_layer_attacks::xlayer_core::prelude::*;
@@ -24,6 +26,7 @@ struct Args {
     check_workers: Option<usize>,
     loaded_saddns: Option<u32>,
     write_bench: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +35,7 @@ fn parse_args() -> Args {
         check_workers: None,
         loaded_saddns: None,
         write_bench: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,9 +59,10 @@ fn parse_args() -> Args {
             "--resolvers" => args.cfg.shard.resolvers = grab("--resolvers").max(1) as u32,
             "--check-workers" => args.check_workers = Some(grab("--check-workers").max(1) as usize),
             "--loaded-saddns" => args.loaded_saddns = Some(grab("--loaded-saddns") as u32),
+            "--metrics" => args.metrics = true,
             other => panic!(
                 "unknown flag {other} (expected --seed/--hosts/--shards/--workers/--duration-ms/--think-ms/\
-                 --names/--resolvers/--check-workers/--loaded-saddns/--write-bench)"
+                 --names/--resolvers/--check-workers/--loaded-saddns/--write-bench/--metrics)"
             ),
         }
     }
@@ -82,7 +87,12 @@ fn main() {
     );
 
     let started = Instant::now();
-    let stats = run_farm_campaign(&cfg);
+    let (stats, farm_metrics) = if args.metrics {
+        let (stats, metrics) = run_farm_campaign_with_metrics(&cfg);
+        (stats, Some(metrics))
+    } else {
+        (run_farm_campaign(&cfg), None)
+    };
     let wall = started.elapsed();
     let wall_seconds = wall.as_secs_f64();
     let packets_per_sec = stats.packets_delivered as f64 / wall_seconds.max(1e-9);
@@ -101,6 +111,10 @@ fn main() {
         stats.packets_delivered, stats.bytes_delivered, stats.cache_entries,
     );
     println!("  wall={wall:.2?}  throughput={packets_per_sec:.0} packets/sec");
+    if let Some(metrics) = &farm_metrics {
+        println!("  telemetry snapshot (merged over {} shards):", cfg.shards);
+        print!("{}", metrics.render());
+    }
 
     if let Some(check) = args.check_workers {
         let again = run_farm_campaign(&FarmCampaignConfig { workers: check, ..cfg.clone() });
@@ -119,6 +133,13 @@ fn main() {
             loaded.background_cache_answers,
             loaded.background_upstream,
         );
+        if let Some(log) = &loaded.flight_log {
+            print!("{log}");
+        }
+        if args.metrics {
+            println!("  loaded-saddns telemetry snapshot:");
+            print!("{}", loaded.metrics.render());
+        }
     }
 
     if let Some(path) = args.write_bench {

@@ -7,8 +7,12 @@
 //!
 //! ```text
 //! cargo run --release --example scenario_matrix -- \
-//!     [--seed N] [--runs N] [--workers N]
+//!     [--seed N] [--runs N] [--workers N] [--metrics]
 //! ```
+//!
+//! `--metrics` additionally runs the grids through the recorded evaluation
+//! path and prints the merged telemetry snapshot (`attacks.*`, `dns.*`,
+//! `engine.*`, `campaign.*`) — byte-identical at any worker count.
 
 use cross_layer_attacks::attacks::prelude::*;
 use cross_layer_attacks::xlayer_core::prelude::*;
@@ -18,10 +22,11 @@ struct Args {
     seed: u64,
     runs: u64,
     workers: usize,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 2021, runs: 3, workers: available_workers() };
+    let mut args = Args { seed: 2021, runs: 3, workers: available_workers(), metrics: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut grab = |name: &str| {
@@ -33,7 +38,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = grab("--seed"),
             "--runs" => args.runs = grab("--runs").max(1),
             "--workers" => args.workers = grab("--workers").max(1) as usize,
-            other => panic!("unknown flag {other} (expected --seed/--runs/--workers)"),
+            "--metrics" => args.metrics = true,
+            other => panic!("unknown flag {other} (expected --seed/--runs/--workers/--metrics)"),
         }
     }
     args
@@ -53,7 +59,15 @@ fn main() {
         available_workers()
     );
     let started = Instant::now();
-    let matrix = campaign.run(args.workers);
+    let mut telemetry = args.metrics.then(cross_layer_attacks::telemetry::MetricsSnapshot::new);
+    let matrix = match &mut telemetry {
+        Some(snapshot) => {
+            let (matrix, m) = campaign.run_with_metrics(args.workers);
+            snapshot.merge(&m);
+            matrix
+        }
+        None => campaign.run(args.workers),
+    };
     println!("{}", render_scenario_matrix(&matrix));
     let baseline = matrix.cell(PoisonMethod::HijackDns, Defence::None).expect("baseline cell");
     println!(
@@ -65,7 +79,19 @@ fn main() {
     // The DNSSEC deployment grid: the four attacks against the signing
     // pipeline itself, across the deployment profiles (no DS, NSEC, NSEC3
     // opt-out, strict rollover).
-    let dnssec = ScenarioCampaign::dnssec_grid(args.seed, args.runs).run(args.workers);
+    let dnssec_campaign = ScenarioCampaign::dnssec_grid(args.seed, args.runs);
+    let dnssec = match &mut telemetry {
+        Some(snapshot) => {
+            let (matrix, m) = dnssec_campaign.run_with_metrics(args.workers);
+            snapshot.merge(&m);
+            matrix
+        }
+        None => dnssec_campaign.run(args.workers),
+    };
     println!("{}", render_dnssec_matrix(&dnssec));
+    if let Some(snapshot) = &telemetry {
+        println!("telemetry snapshot (merged over both grids):");
+        print!("{}", snapshot.render());
+    }
     println!("matrix complete in {:.2?} (workers={})", started.elapsed(), args.workers);
 }

@@ -12,6 +12,8 @@
 //! * [`apps`] — the application taxonomy and exploit behaviour (Tables 1–2);
 //! * [`ca`] — the ACME-style certificate authority: issuance pipeline,
 //!   multi-vantage-point domain validation, fraudulent-certificate grids;
+//! * [`telemetry`] — the deterministic metrics registry, sim-time spans and
+//!   flight recorder shared by every layer;
 //! * [`xlayer_core`] — measurement campaigns, comparative analysis,
 //!   cross-layer scenarios and countermeasure ablations (Tables 3–6,
 //!   Figures 3–5).
@@ -31,4 +33,5 @@ pub use bgp;
 pub use ca;
 pub use dns;
 pub use netsim;
+pub use telemetry;
 pub use xlayer_core;

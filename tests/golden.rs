@@ -166,6 +166,17 @@ fn golden_scenario_matrix() {
 }
 
 #[test]
+fn golden_telemetry_snapshot() {
+    // The merged telemetry snapshot of the full scenario grid (the same grid
+    // golden_scenario_matrix locks): every run's resolver and engine
+    // counters plus the per-methodology attack aggregates, rendered through
+    // `MetricsSnapshot::render`. Blessing at workers=1 and checking at
+    // workers=3 locks the snapshot's thread-count invariance byte-for-byte.
+    let (_, snapshot) = ScenarioCampaign::full_grid(GOLDEN_SEED, 2).run_with_metrics(golden_workers());
+    check("telemetry", &snapshot.render());
+}
+
+#[test]
 fn golden_ca_ablation() {
     // The CA-layer acceptance rows: multi-vantage validation refuses the
     // off-path chains but not the interception hijack; DNSSEC (with the
